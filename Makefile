@@ -1,0 +1,28 @@
+# Development entry points for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench report artifacts examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.experiments.cli all
+
+artifacts:
+	$(PYTHON) -m repro.experiments.cli export --out-dir artifacts
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \
+	  benchmarks/artifacts artifacts
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+``paper_sweep`` runs the full 19 x 4 x 3 evaluation grid once per
+session; each figure/table benchmark then measures its regeneration and
+writes the rendered artifact to ``benchmarks/artifacts/`` so the paper's
+rows/series can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.runner import run_sweep
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+#: the seed every benchmark artifact is generated with
+SWEEP_SEED = 2013
+
+
+@pytest.fixture(scope="session")
+def platform() -> CloudPlatform:
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="session")
+def paper_sweep(platform):
+    """The full evaluation grid (19 strategies x 4 workflows x 3
+    scenarios), shared across all benchmarks."""
+    return run_sweep(platform=platform, seed=SWEEP_SEED)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def save_artifact(directory: Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n")

@@ -1,0 +1,63 @@
+"""Ablation: pre-booting vs cold starts.
+
+The paper ignores boot time because static scheduling permits
+pre-booting (Sect. IV-A, citing Mao & Humphrey's ~2 min constant EC2
+boots).  This bench quantifies what that assumption is worth: under
+cold starts every fresh VM delays its first task by 120 s, so
+OneVMperTask (24 boots on Montage) loses far more makespan than
+StartParExceed (6 boots, one per entry task).
+"""
+
+import pytest
+
+from benchmarks.conftest import SWEEP_SEED, save_artifact
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.experiments.scenarios import scenario
+from repro.util.tables import format_table
+from repro.workflows.generators import montage
+
+BOOT = 120.0
+
+
+def _study(warm_platform):
+    cold_platform = CloudPlatform.ec2(boot_seconds=BOOT, prebooted=False)
+    wf = scenario("pareto", warm_platform).apply(montage(), SWEEP_SEED)
+    rows = {}
+    for policy in ("OneVMperTask", "StartParNotExceed", "StartParExceed"):
+        warm = HeftScheduler(policy).schedule(wf, warm_platform)
+        cold = HeftScheduler(policy).schedule(wf, cold_platform)
+        rows[policy] = {
+            "warm_ms": warm.makespan,
+            "cold_ms": cold.makespan,
+            "penalty": cold.makespan - warm.makespan,
+            "vms": cold.vm_count,
+        }
+    return rows
+
+
+def test_boot_ablation(benchmark, platform, artifact_dir):
+    rows = benchmark(_study, platform)
+
+    for policy, r in rows.items():
+        # cold starts only ever delay
+        assert r["penalty"] >= BOOT - 1e-6, policy
+        # and by at most one boot per dependency-path VM
+        assert r["penalty"] <= r["vms"] * BOOT + 1e-6
+
+    # the one-VM-per-task extreme pays boots along its whole critical
+    # path; the packed policy pays essentially one
+    assert rows["OneVMperTask"]["penalty"] > rows["StartParExceed"]["penalty"]
+
+    save_artifact(
+        artifact_dir,
+        "ablation_boot.txt",
+        format_table(
+            ["policy", "warm ms", "cold ms", "penalty s", "VMs"],
+            [
+                (p, r["warm_ms"], r["cold_ms"], r["penalty"], r["vms"])
+                for p, r in rows.items()
+            ],
+            title=f"Pre-booting vs {BOOT:.0f}s cold starts (Montage, Pareto)",
+        ),
+    )

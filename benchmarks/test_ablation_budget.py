@@ -1,0 +1,68 @@
+"""Ablation: the dynamic upgraders' budget factor.
+
+The paper's budget sentence is garbled ("for times respectively twice");
+DESIGN.md resolves it to 2x for both CPA-Eager and Gain because the
+reported loss band is [45, 100]%.  This bench sweeps the factor and
+shows the greedy upgraders saturate whatever budget they get: loss
+approaches (factor - 1) * 100%, so 4x would have produced ~300% loss —
+far outside the paper's plots.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core.allocation.cpa_eager import CpaEagerScheduler
+from repro.core.allocation.gain import GainScheduler
+from repro.core.baseline import reference_schedule
+from repro.experiments.scenarios import scenario
+from repro.util.tables import format_table
+from repro.workflows.generators import montage
+
+FACTORS = (1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def _sweep(platform):
+    wf = scenario("pareto", platform).apply(montage(), 2013)
+    ref = reference_schedule(wf, platform)
+    rows = []
+    for factor in FACTORS:
+        cells = [factor]
+        for cls in (CpaEagerScheduler, GainScheduler):
+            sched = cls(budget_factor=factor).schedule(wf, platform)
+            loss = (sched.total_cost - ref.total_cost) / ref.total_cost * 100
+            gain = (ref.makespan - sched.makespan) / ref.makespan * 100
+            cells += [gain, loss]
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_budget_factor_ablation(benchmark, platform, artifact_dir):
+    rows = benchmark(_sweep, platform)
+    by_factor = {r[0]: r for r in rows}
+
+    # factor 1: no upgrades, both sit at the reference
+    assert by_factor[1.0][1] == pytest.approx(0.0)
+    assert by_factor[1.0][2] == pytest.approx(0.0)
+
+    for factor, _, cpa_loss, _, gain_loss in rows:
+        # budgets are hard caps...
+        assert cpa_loss <= (factor - 1) * 100 + 1e-6
+        assert gain_loss <= (factor - 1) * 100 + 1e-6
+    # ... and the greedy upgraders saturate them at the top end
+    assert by_factor[4.0][4] > 200.0  # GAIN at 4x: way past the paper's band
+    assert by_factor[2.0][4] <= 100.0 + 1e-6  # 2x reproduces [45, 100]%
+
+    # more budget never slows the schedule down
+    for col in (1, 3):
+        gains = [r[col] for r in rows]
+        assert gains == sorted(gains)
+
+    save_artifact(
+        artifact_dir,
+        "ablation_budget.txt",
+        format_table(
+            ["factor", "CPA gain %", "CPA loss %", "GAIN gain %", "GAIN loss %"],
+            rows,
+            title="Budget-factor ablation (Montage, Pareto, seed 2013)",
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Ablation: co-renting idle time (paper Sect. V).
+
+"Given the large idle times their best use could be in a co-rent
+scenario where idle time is leased to other users and the user is
+partially reimbursed."  This bench quantifies it: reimbursement shrinks
+the cost gap between the heavy-idle policies (OneVMperTask, GAIN,
+CPA-Eager) and the packing policies, and ranks policies by wasted energy
+— where the heavy-idle policies' "negative impact [is] even more
+obvious" (the paper's energy-aware remark).
+"""
+
+from benchmarks.conftest import SWEEP_SEED, save_artifact
+from repro.core.baseline import reference_schedule
+from repro.core.economics import CoRentModel, EnergyModel
+from repro.experiments.config import paper_strategies
+from repro.experiments.scenarios import scenario
+from repro.util.tables import format_table
+from repro.workflows.generators import montage
+
+
+def _study(platform):
+    wf = scenario("pareto", platform).apply(montage(), SWEEP_SEED)
+    corent = CoRentModel(reimbursement_rate=0.5)
+    energy = EnergyModel()
+    rows = {}
+    for spec in paper_strategies():
+        sched = spec.run(wf, platform)
+        rows[spec.label] = (
+            sched.total_cost,
+            corent.effective_cost(sched),
+            sched.total_idle_seconds,
+            energy.wasted_kwh(sched),
+        )
+    return rows
+
+
+def test_corent_and_energy_ablation(benchmark, platform, artifact_dir):
+    rows = benchmark(_study, platform)
+
+    # co-rent reduces every strategy's cost (nothing has zero idle)
+    for label, (plain, effective, idle, wasted) in rows.items():
+        assert effective <= plain
+        assert idle > 0 and wasted > 0
+
+    # the heavy-idle policies recover the most money...
+    recovered = {l: plain - eff for l, (plain, eff, _, _) in rows.items()}
+    assert recovered["OneVMperTask-s"] > recovered["StartParExceed-s"]
+    assert recovered["GAIN"] > recovered["AllPar1LnS"]
+
+    # ...and burn the most energy for nothing
+    wasted = {l: w for l, (_, _, _, w) in rows.items()}
+    top3 = sorted(wasted, key=wasted.get, reverse=True)[:3]
+    heavy = {"OneVMperTask-s", "OneVMperTask-m", "OneVMperTask-l", "GAIN", "CPA-Eager"}
+    assert set(top3) <= heavy
+
+    table_rows = [
+        (l, plain, eff, idle, kwh)
+        for l, (plain, eff, idle, kwh) in sorted(rows.items())
+    ]
+    save_artifact(
+        artifact_dir,
+        "ablation_corent.txt",
+        format_table(
+            ["strategy", "cost $", "co-rent $", "idle s", "wasted kWh"],
+            table_rows,
+            title="Co-rent (50% reimbursement) and wasted energy, Montage/Pareto",
+        ),
+    )

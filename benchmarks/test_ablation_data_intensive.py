@@ -1,0 +1,69 @@
+"""Ablation: CPU-intensive vs data-intensive workloads.
+
+The paper evaluates CPU-intensive tasks and only argues qualitatively
+about the data-intensive case.  This bench runs the same Montage shape
+with (a) the paper's Pareto runtimes and negligible data, and (b) the
+same runtimes plus Pareto(1.3) data volumes on every edge (the paper's
+task-size distribution, in the 0.5-10 GB range): as the
+communication-to-computation ratio rises, policies that spread tasks
+over many VMs pay transfer time that same-VM packing avoids, so the
+makespan advantage of OneVMperTask over StartParExceed shrinks.
+"""
+
+import pytest
+
+from benchmarks.conftest import SWEEP_SEED, save_artifact
+from repro.core.allocation.heft import HeftScheduler
+from repro.util.tables import format_table
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoDataModel, ParetoModel
+from repro.workflows.generators import montage
+
+
+def _study(platform):
+    cpu_wf = apply_model(montage(), ParetoModel(), seed=SWEEP_SEED)
+    # heavy data variant: Pareto(1.3) edge volumes, scale 5 GB
+    data_wf = apply_model(
+        montage(),
+        ParetoDataModel(size_scale_mb=5 * 1024.0),
+        seed=SWEEP_SEED,
+    )
+    out = {}
+    for name, wf in (("cpu", cpu_wf), ("data", data_wf)):
+        spread = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        packed = HeftScheduler("StartParExceed").schedule(wf, platform)
+        out[name] = {
+            "spread_ms": spread.makespan,
+            "packed_ms": packed.makespan,
+            "advantage": packed.makespan / spread.makespan,
+        }
+    return out
+
+
+def test_data_intensity_ablation(benchmark, platform, artifact_dir):
+    out = benchmark(_study, platform)
+
+    # sanity: parallel spreading wins makespan in both regimes
+    for regime in out.values():
+        assert regime["spread_ms"] <= regime["packed_ms"]
+
+    # data gravity: the packing penalty shrinks when transfers dominate,
+    # because same-VM hand-offs are free
+    assert out["data"]["advantage"] < out["cpu"]["advantage"]
+
+    # transfers must actually hurt the spread policy in the data regime
+    assert out["data"]["spread_ms"] > out["cpu"]["spread_ms"] * 1.05
+
+    save_artifact(
+        artifact_dir,
+        "ablation_data_intensive.txt",
+        format_table(
+            ["regime", "OneVMperTask ms", "StartParExceed ms", "packed/spread"],
+            [
+                (name, r["spread_ms"], r["packed_ms"], r["advantage"])
+                for name, r in out.items()
+            ],
+            float_fmt=".2f",
+            title="CPU- vs data-intensive Montage: packing penalty vs data gravity",
+        ),
+    )

@@ -1,0 +1,74 @@
+"""Ablation: data locality across regions.
+
+The paper's Sect. III-A hypothesis — VM-hungry strategies suit
+data-heavy workloads "where the VM should be as close as possible to
+the data" — evaluated: a two-site pipeline with multi-GB staging edges
+and thin join edges, compute either pinned home (datasets respected,
+everything else in the default region) or following its data.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.core.allocation.locality import LocalityHeftScheduler, pin_regions
+from repro.util.tables import format_table
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+_PINS = {"stage_us": "us-east-virginia", "stage_eu": "eu-dublin", "stage_sa": "sa-sao-paulo"}
+
+
+def _geo_pipeline(staging_gb: float) -> Workflow:
+    wf = Workflow("geo-pipeline")
+    for site in ("us", "eu", "sa"):
+        wf.add_task(Task(f"stage_{site}", 400.0, "stage"))
+        wf.add_task(Task(f"proc_{site}", 2500.0, "proc"))
+        wf.add_task(Task(f"reduce_{site}", 900.0, "reduce"))
+        wf.add_dependency(f"stage_{site}", f"proc_{site}", staging_gb)
+        wf.add_dependency(f"proc_{site}", f"reduce_{site}", staging_gb / 4)
+    wf.add_task(Task("join", 600.0, "join"))
+    for site in ("us", "eu", "sa"):
+        wf.add_dependency(f"reduce_{site}", "join", 0.2)
+    return wf.validate()
+
+
+def _study(platform):
+    rows = []
+    for staging_gb in (2.0, 10.0, 50.0):
+        wf = pin_regions(_geo_pipeline(staging_gb), _PINS)
+        home = LocalityHeftScheduler(follow_data=False).schedule(wf, platform)
+        local = LocalityHeftScheduler(follow_data=True).schedule(wf, platform)
+        rows.append(
+            (
+                f"{staging_gb:.0f} GB staging",
+                home.total_cost,
+                home.transfer_cost,
+                local.total_cost,
+                local.transfer_cost,
+            )
+        )
+    return rows
+
+
+def test_locality_ablation(benchmark, platform, artifact_dir):
+    rows = benchmark(_study, platform)
+
+    for label, home_total, home_xfer, local_total, local_xfer in rows:
+        # following the data always reduces egress (the boundary moves to
+        # the thin join edges)
+        assert local_xfer < home_xfer, label
+        assert local_total <= home_total + 1e-9, label
+
+    # the gap grows with the staged volume
+    gaps = [home - local for _, home, _, local, _ in rows]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > gaps[0]
+
+    save_artifact(
+        artifact_dir,
+        "ablation_locality.txt",
+        format_table(
+            ["staging", "home $", "home egress $", "local $", "local egress $"],
+            rows,
+            float_fmt=".2f",
+            title="Data locality across 3 regions (pins-only vs follow-the-data)",
+        ),
+    )

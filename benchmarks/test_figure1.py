@@ -1,0 +1,18 @@
+"""Figure 1 — the five provisioning policies on the CSTEM sub-workflow
+(one entry task + six children): VM count, cost, makespan, idle."""
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.figures import figure1_rows, render_figure1
+
+
+def test_figure1(benchmark, platform, artifact_dir):
+    rows = benchmark(figure1_rows, platform)
+    by_policy = {r[0]: r for r in rows}
+    # paper narrative: OneVMperTask rents the most VMs and wastes the
+    # most idle; single entry task => StartParExceed uses exactly one VM
+    assert by_policy["OneVMperTask"][1] == 7
+    assert by_policy["StartParExceed"][1] == 1
+    idle = {name: r[5] for name, r in by_policy.items()}
+    assert idle["OneVMperTask"] == max(idle.values())
+    assert idle["StartParExceed"] == min(idle.values())
+    save_artifact(artifact_dir, "figure1.txt", render_figure1(platform))

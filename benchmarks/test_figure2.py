@@ -1,0 +1,15 @@
+"""Figure 2 — the four workflow shapes: structure statistics of the
+generated Montage / CSTEM / MapReduce / Sequential instances."""
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.figures import figure2_summaries, render_figure2
+
+
+def test_figure2(benchmark, artifact_dir):
+    summaries = benchmark(figure2_summaries)
+    by_name = {s["name"]: s for s in summaries}
+    assert by_name["montage"]["tasks"] == 24  # the paper's instance size
+    assert by_name["sequential"]["max_parallelism"] == 1
+    assert by_name["mapreduce"]["max_parallelism"] >= by_name["cstem"]["max_parallelism"]
+    assert by_name["cstem"]["entry_tasks"] == 1
+    save_artifact(artifact_dir, "figure2.txt", render_figure2())

@@ -1,0 +1,19 @@
+"""Figure 3 — CDF of the Pareto(shape=2, scale=500) execution times."""
+
+import numpy as np
+
+from benchmarks.conftest import SWEEP_SEED, save_artifact
+from repro.experiments.figures import figure3_cdf, render_figure3
+
+
+def test_figure3(benchmark, artifact_dir):
+    x, empirical, analytic = benchmark(figure3_cdf, 100_000, SWEEP_SEED)
+    # the paper's curve: starts at 0 at x=500, ~0.94 by 2000, ~0.98 by 3500
+    assert empirical[0] == 0.0
+    assert abs(float(np.interp(2000.0, x, empirical)) - 0.9375) < 0.01
+    assert float(np.interp(3500.0, x, empirical)) > 0.97
+    # empirical matches the closed form everywhere
+    assert np.max(np.abs(empirical - analytic)) < 0.01
+    save_artifact(
+        artifact_dir, "figure3.txt", render_figure3(100_000, SWEEP_SEED)
+    )

@@ -1,0 +1,75 @@
+"""Figure 4 — % cost loss vs % makespan gain for all 19 strategies on
+each of the four workflows (Pareto scenario), vs OneVMperTask-small.
+
+The assertions pin the *shape* the paper reports: the reference sits at
+the origin; OneVMperTask-l buys gain at a 200-300% loss; AllPar*-s saves
+without losing time; the dynamic upgraders' loss stays within [45,100]%.
+"""
+
+import pytest
+
+from benchmarks.conftest import SWEEP_SEED, save_artifact
+from repro.core.baseline import reference_schedule
+from repro.experiments.config import paper_strategies, paper_workflows
+from repro.experiments.figures import figure4_points, render_figure4
+from repro.experiments.runner import run_strategy
+from repro.experiments.scenarios import scenario
+
+
+def _regenerate_cell(workflow_name, platform):
+    """Re-run the 19 strategies on one workflow's Pareto instance."""
+    shape = paper_workflows()[workflow_name]
+    wf = scenario("pareto", platform).apply(shape, SWEEP_SEED)
+    ref = reference_schedule(wf, platform)
+    return {
+        spec.label: run_strategy(spec, wf, platform, reference=ref)
+        for spec in paper_strategies()
+    }
+
+
+@pytest.mark.parametrize("workflow", ["montage", "cstem", "mapreduce", "sequential"])
+def test_figure4(benchmark, platform, paper_sweep, artifact_dir, workflow):
+    cell = benchmark(_regenerate_cell, workflow, platform)
+    pts = {label: (m.gain_pct, m.loss_pct) for label, m in cell.items()}
+
+    # the reference is the origin of the plot
+    assert pts["OneVMperTask-s"] == (0.0, 0.0)
+
+    # "OneVMperTask-l ... large loss of 200-300%"
+    gain_l, loss_l = pts["OneVMperTask-l"]
+    assert gain_l > 0
+    assert 200.0 <= loss_l <= 300.0
+
+    # AllPar[Not]Exceed-s always saves money without losing makespan
+    for label in ("AllParExceed-s", "AllParNotExceed-s"):
+        gain, loss = pts[label]
+        assert loss <= 0.0
+        assert gain >= -1e-6
+
+    # dynamic upgraders: gain at a bounded loss (paper: [45, 100]%)
+    for label in ("CPA-Eager", "GAIN"):
+        gain, loss = pts[label]
+        assert gain > 0
+        assert 45.0 <= loss <= 100.0 + 1e-6
+
+    # parallelism reduction never costs more than the reference
+    for label in ("AllPar1LnS", "AllPar1LnSDyn"):
+        assert pts[label][1] <= 1e-6
+
+    if workflow == "sequential":
+        # "for sequential workflows powerful VMs do bring benefits":
+        # every -l strategy except OneVMperTask-l shows gain and savings
+        for label in ("StartParExceed-l", "AllParExceed-l"):
+            gain, loss = pts[label]
+            assert gain > 0
+
+    save_artifact(
+        artifact_dir,
+        f"figure4_{workflow}.txt",
+        render_figure4(paper_sweep, scenario="pareto"),
+    )
+    from repro.experiments.figures import figure4_svg
+
+    save_artifact(
+        artifact_dir, f"figure4_{workflow}.svg", figure4_svg(paper_sweep, workflow)
+    )

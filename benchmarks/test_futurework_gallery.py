@@ -1,0 +1,63 @@
+"""Future work, executed: the paper's Sect. VI proposes refining the
+Table V classification with "custom workflows ... from different
+workloads".  This bench runs the full 19-strategy grid over the wider
+Pegasus gallery (Epigenomics, CyberShake, LIGO, SIPHT) under Pareto
+runtimes, classifies each cell as in Table III, and checks the paper's
+cross-workflow conclusions transfer: AllPar1LnSDyn keeps saving, the
+dynamic upgraders stay within their budget-bounded loss, and small
+AllPar provisioning never loses money."""
+
+from benchmarks.conftest import SWEEP_SEED, save_artifact
+from repro.cloud.platform import CloudPlatform
+from repro.core.adaptive import Goal, recommend
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+from repro.experiments.tables import classify_cell, render_table3
+from repro.workflows.generators import cybershake, epigenomics, ligo, sipht
+
+GALLERY = {
+    "epigenomics": epigenomics(),
+    "cybershake": cybershake(),
+    "ligo": ligo(),
+    "sipht": sipht(),
+}
+
+
+def _sweep(platform):
+    return run_sweep(
+        platform=platform,
+        workflows=GALLERY,
+        scenarios=[scenario("pareto", platform)],
+        seed=SWEEP_SEED,
+    )
+
+
+def test_gallery_classification(benchmark, platform, artifact_dir):
+    sweep = benchmark(_sweep, platform)
+
+    for wf_name in GALLERY:
+        cell = sweep.metrics["pareto"][wf_name]
+
+        # Table IV's small-instance guarantee generalizes
+        for label in ("AllParExceed-s", "AllParNotExceed-s"):
+            assert cell[label].loss_pct <= 1e-6, (wf_name, label)
+
+        # parallelism reduction keeps saving on every shape
+        for label in ("AllPar1LnS", "AllPar1LnSDyn"):
+            assert cell[label].savings_pct >= -1e-6, (wf_name, label)
+
+        # the dynamic upgraders stay inside their 2x budget band
+        for label in ("GAIN", "CPA-Eager"):
+            assert cell[label].loss_pct <= 100.0 + 1e-6
+            assert cell[label].gain_pct > 0
+
+        # the adaptive selector's savings advice holds on unseen shapes
+        rec = recommend(GALLERY[wf_name], platform, Goal.SAVINGS)
+        if rec.label in cell:
+            assert cell[rec.label].savings_pct >= -1e-6, (wf_name, rec.label)
+
+        # someone always beats the reference on cost (elasticity pays)
+        cls = classify_cell(cell)
+        assert cls.savings_dominant or cls.balanced, wf_name
+
+    save_artifact(artifact_dir, "futurework_gallery.txt", render_table3(sweep))

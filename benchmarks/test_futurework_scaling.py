@@ -1,0 +1,90 @@
+"""Future work, executed (III): structural scaling boundaries.
+
+The paper's conclusions come from fixed-size instances (Montage-24
+etc.); its future work asks where they hold "in terms of workflow
+structure".  This bench scales Montage from 3 to 24 projections under
+Pareto runtimes and checks the conclusions are size-stable: AllPar*-s
+keeps saving at every size, the reference's cost grows linearly with the
+task count, the packing edge stays substantial (and is largest for small
+instances, where whole levels share single BTUs), and the AllParExceed
+makespan tracks the reference's (parallelism preserved).
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.core.baseline import reference_schedule
+from repro.util.tables import format_table
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import montage
+
+PROJECTIONS = (3, 6, 12, 24)  # tasks: 15, 24, 42, 78
+SEEDS = range(4)
+
+
+def _study(platform):
+    rows = []
+    for p in PROJECTIONS:
+        ref_cost, packed_cost, packed_gainloss, ms_ratio = [], [], [], []
+        for seed in SEEDS:
+            wf = apply_model(montage(p), ParetoModel(), seed=seed)
+            ref = reference_schedule(wf, platform)
+            packed = AllParScheduler(exceed=True).schedule(wf, platform)
+            spx = HeftScheduler("StartParExceed").schedule(wf, platform)
+            ref_cost.append(ref.total_cost)
+            packed_cost.append(packed.total_cost)
+            packed_gainloss.append(
+                (packed.total_cost - ref.total_cost) / ref.total_cost * 100
+            )
+            ms_ratio.append(packed.makespan / ref.makespan)
+        rows.append(
+            (
+                3 * p + 6,
+                statistics.fmean(ref_cost),
+                statistics.fmean(packed_cost),
+                statistics.fmean(packed_gainloss),
+                statistics.fmean(ms_ratio),
+            )
+        )
+    return rows
+
+
+def test_structural_scaling(benchmark, platform, artifact_dir):
+    rows = benchmark(_study, platform)
+
+    for tasks, ref_cost, packed_cost, loss, ms_ratio in rows:
+        # the saving conclusion is size-stable
+        assert loss <= 1e-6, tasks
+        # AllParExceed keeps the reference's parallel makespan (within
+        # the serialization noise of packed sequential tails)
+        assert ms_ratio <= 1.25, tasks
+
+    # reference cost is one small VM (>= 1 BTU) per task: linear growth
+    tasks = [r[0] for r in rows]
+    ref_costs = [r[1] for r in rows]
+    growth_ref = ref_costs[-1] / ref_costs[0]
+    growth_tasks = tasks[-1] / tasks[0]
+    assert growth_ref == pytest.approx(growth_tasks, rel=0.35)
+
+    # packing keeps a substantial cost edge at every size (the edge is
+    # largest for small instances, where whole levels share single BTUs)
+    packed_costs = [r[2] for r in rows]
+    ratios = [pc / rc for pc, rc in zip(packed_costs, ref_costs)]
+    assert all(r < 0.8 for r in ratios), ratios
+    assert ratios[0] == min(ratios)
+
+    save_artifact(
+        artifact_dir,
+        "futurework_scaling.txt",
+        format_table(
+            ["tasks", "ref cost $", "AllParExceed-s cost $", "loss %", "makespan ratio"],
+            rows,
+            title="Montage size sweep (Pareto, 4 seeds per size)",
+        ),
+    )
+

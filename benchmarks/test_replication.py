@@ -1,0 +1,61 @@
+"""Replication bench: the paper's headline conclusions across 10
+independent Pareto draws, with bootstrap confidence intervals.
+
+A single-seed evaluation can get lucky; this bench re-establishes the
+key claims distributionally: AllPar*-small saves in *every* draw, the
+dynamic upgraders' loss CI sits inside the reported [45, 100]% band, and
+the medium/large stable gains are seed-independent identities.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.replication import render_replication, replicate
+
+SEEDS = range(10)
+LABELS = [
+    "OneVMperTask-s",
+    "AllParExceed-s",
+    "AllParNotExceed-s",
+    "AllParExceed-m",
+    "OneVMperTask-l",
+    "GAIN",
+    "CPA-Eager",
+    "AllPar1LnSDyn",
+]
+
+
+def _run(platform):
+    wfs = paper_workflows()
+    return replicate(
+        seeds=SEEDS,
+        platform=platform,
+        workflows={"montage": wfs["montage"], "mapreduce": wfs["mapreduce"]},
+        strategies=[strategy(l) for l in LABELS],
+    )
+
+
+def test_replicated_conclusions(benchmark, platform, artifact_dir):
+    results = benchmark(_run, platform)
+
+    for wf in ("montage", "mapreduce"):
+        # AllPar*-small saves in every single draw
+        for label in ("AllParExceed-s", "AllParNotExceed-s"):
+            assert results[(wf, label)].always_saves, (wf, label)
+
+        # dynamic upgraders: loss CI inside the paper's [45, 100]% band
+        for label in ("GAIN", "CPA-Eager"):
+            lo, hi = results[(wf, label)].loss_ci()
+            assert 45.0 <= lo and hi <= 100.0 + 1e-6, (wf, label, lo, hi)
+
+        # AllPar1LnSDyn never costs more than the reference, in any draw
+        assert results[(wf, "AllPar1LnSDyn")].always_saves
+
+        # OneVMperTask-l: the speed-up identity gain in every draw, and
+        # the paper's "large loss of 200-300%" (exactly 300% when no
+        # task crosses a BTU on small; Pareto tails occasionally save a
+        # BTU on the faster instance)
+        m = results[(wf, "OneVMperTask-l")]
+        assert abs(m.mean_gain - (1 - 1 / 2.1) * 100) < 0.5
+        assert all(200.0 <= loss <= 300.0 + 1e-9 for loss in m.losses)
+
+    save_artifact(artifact_dir, "replication.txt", render_replication(results))

@@ -1,0 +1,56 @@
+"""Scheduler and simulator throughput benchmarks (not a paper artifact;
+guards against accidental quadratic blow-ups as workflows grow)."""
+
+import pytest
+
+from repro.core.allocation.allpar1lns import AllPar1LnSDynScheduler
+from repro.core.allocation.cpa_eager import CpaEagerScheduler
+from repro.core.allocation.gain import GainScheduler
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import mapreduce, montage
+
+
+@pytest.fixture(scope="module")
+def big_workflow():
+    """A 302-task MapReduce with Pareto runtimes."""
+    return apply_model(mapreduce(mappers=100, reducers=100), ParetoModel(), seed=0)
+
+
+def test_heft_startpar_large_workflow(benchmark, platform, big_workflow):
+    sched = benchmark(
+        HeftScheduler("StartParNotExceed").schedule, big_workflow, platform
+    )
+    assert sched.makespan > 0
+
+
+def test_allpar_large_workflow(benchmark, platform, big_workflow):
+    sched = benchmark(AllParScheduler(exceed=True).schedule, big_workflow, platform)
+    # reuse bounds the fleet well below one VM per task
+    assert sched.vm_count < len(big_workflow)
+
+
+def test_allpar1lnsdyn_large_workflow(benchmark, platform, big_workflow):
+    sched = benchmark(AllPar1LnSDynScheduler().schedule, big_workflow, platform)
+    assert sched.makespan > 0
+
+
+def test_cpa_eager_montage(benchmark, platform):
+    wf = apply_model(montage(12), ParetoModel(), seed=1)
+    sched = benchmark(CpaEagerScheduler().schedule, wf, platform)
+    assert sched.makespan > 0
+
+
+def test_gain_montage(benchmark, platform):
+    wf = apply_model(montage(12), ParetoModel(), seed=1)
+    sched = benchmark(GainScheduler().schedule, wf, platform)
+    assert sched.makespan > 0
+
+
+def test_simulator_replay_large(benchmark, platform, big_workflow):
+    sched = AllParScheduler(exceed=True).schedule(big_workflow, platform)
+    result = benchmark(simulate_schedule, sched, True)
+    assert result.makespan == pytest.approx(sched.makespan)

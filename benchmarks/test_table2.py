@@ -1,0 +1,24 @@
+"""Table II — EC2 on-demand prices (Oct 31st 2012), verified verbatim."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.tables import render_table2, table2_rows
+
+_PAPER = {
+    "us-east-virginia": (0.08, 0.16, 0.32, 0.64, 0.12),
+    "us-west-oregon": (0.08, 0.16, 0.32, 0.64, 0.12),
+    "us-west-california": (0.09, 0.18, 0.36, 0.72, 0.12),
+    "eu-dublin": (0.085, 0.17, 0.34, 0.68, 0.12),
+    "asia-singapore": (0.085, 0.17, 0.34, 0.68, 0.19),
+    "asia-tokyo": (0.092, 0.184, 0.368, 0.736, 0.201),
+    "sa-sao-paulo": (0.115, 0.230, 0.460, 0.920, 0.25),
+}
+
+
+def test_table2(benchmark, platform, artifact_dir):
+    rows = benchmark(table2_rows, platform)
+    assert len(rows) == 7
+    for name, *prices in rows:
+        assert tuple(prices) == pytest.approx(_PAPER[name])
+    save_artifact(artifact_dir, "table2.txt", render_table2(platform))

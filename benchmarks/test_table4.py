@@ -1,0 +1,41 @@
+"""Table IV — AllPar[Not]Exceed savings fluctuation vs stable gain per
+instance size.
+
+The paper's key observations: the gain per size is stable and tracks the
+speed-up (0% for small, ~37% for medium, ~52% for large), while the loss
+interval fluctuates wildly; small is the only size whose loss never goes
+positive.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.experiments.tables import render_table4, table4
+
+
+def test_table4(benchmark, paper_sweep, artifact_dir):
+    entries = benchmark(table4, paper_sweep)
+    by_size = {e["size"]: e for e in entries}
+    assert set(by_size) == {"s", "m", "l"}
+
+    # small: savings are never negative (loss interval tops out at 0)
+    assert by_size["s"]["loss_interval"][1] <= 1e-6
+
+    # stable gain tracks the speed-up: 1 - 1/1.6 = 37.5%, 1 - 1/2.1 = 52.4%
+    # (the best case hits it exactly; the interval must bracket it)
+    m_lo, m_hi = by_size["m"]["gain_interval"]
+    l_lo, l_hi = by_size["l"]["gain_interval"]
+    assert m_lo - 1e-6 <= 37.5 <= m_hi + 1e-6
+    assert l_lo - 1e-6 <= 52.4 <= l_hi + 1e-6
+
+    # losses fluctuate much more than gains for m/l (the paper's point)
+    for size in ("m", "l"):
+        loss_span = by_size[size]["loss_interval"][1] - by_size[size]["loss_interval"][0]
+        assert loss_span > 50.0
+
+    # larger instances risk larger losses
+    assert (
+        by_size["l"]["loss_interval"][1]
+        >= by_size["m"]["loss_interval"][1]
+        >= by_size["s"]["loss_interval"][1]
+    )
+
+    save_artifact(artifact_dir, "table4.txt", render_table4(paper_sweep))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Adaptive scheduling — the paper's future-work direction, live.
+
+Classifies each of the paper's four workflow shapes (plus a synthetic
+fork-join), asks the Table-V selector for a strategy per user goal
+(savings / gain / balance), runs the recommendation, and shows what it
+actually delivered relative to the reference.
+
+Run:  python examples/adaptive_scheduling.py
+"""
+
+from repro import (
+    AdaptiveSelector,
+    CloudPlatform,
+    Goal,
+    ParetoModel,
+    apply_model,
+    compare_to_reference,
+    cstem,
+    fork_join,
+    mapreduce,
+    montage,
+    reference_schedule,
+    sequential,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    platform = CloudPlatform.ec2()
+    selector = AdaptiveSelector(platform)
+
+    shapes = {
+        "montage": montage(),
+        "cstem": cstem(),
+        "mapreduce": mapreduce(),
+        "sequential": sequential(),
+        "fork_join(8x3)": fork_join(width=8, stages=3),
+    }
+
+    rows = []
+    for name, shape in shapes.items():
+        structure, profile = selector.classify(shape)
+        # realistic heterogeneous runtimes (the paper's Pareto model)
+        workflow = apply_model(shape, ParetoModel(), seed=2013)
+        reference = reference_schedule(workflow, platform)
+        for goal in (Goal.SAVINGS, Goal.GAIN, Goal.BALANCE):
+            rec = selector.recommend(shape, goal)
+            schedule = selector.schedule(workflow, goal)
+            m = compare_to_reference(schedule, reference)
+            rows.append(
+                (
+                    f"{name} / {goal.value}",
+                    rec.label,
+                    m.gain_pct,
+                    m.savings_pct,
+                    "yes" if m.in_target_square else "no",
+                )
+            )
+        print(f"{name:16s} -> {structure.value}; tasks are {profile.value}")
+
+    print()
+    print(
+        format_table(
+            ["workflow / goal", "recommended", "gain %", "savings %", "in square"],
+            rows,
+            title="Table-V recommendations, measured (Pareto runtimes, seed 2013)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

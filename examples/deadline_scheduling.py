@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Deadline-constrained scheduling (the SHEFT idea from the paper's
+related work) plus a robustness check.
+
+Sweeps deadlines from loose to near the physical floor on a Pareto
+Montage, shows how the SHEFT-style scheduler buys exactly as much speed
+as the deadline needs, then perturbs the actual runtimes by 20% and
+reports how often the deadline still holds.
+
+Run:  python examples/deadline_scheduling.py
+"""
+
+from repro import (
+    CloudPlatform,
+    DeadlineScheduler,
+    ParetoModel,
+    apply_model,
+    montage,
+    reference_schedule,
+    robustness_study,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    platform = CloudPlatform.ec2()
+    workflow = apply_model(montage(), ParetoModel(), seed=2013)
+    reference = reference_schedule(workflow, platform)
+    print(
+        f"reference (OneVMperTask-small): makespan {reference.makespan:.0f} s, "
+        f"cost ${reference.total_cost:.2f}"
+    )
+    _, cp = workflow.critical_path()
+    print(f"physical floor (critical path on xlarge): {cp / 2.7:.0f} s\n")
+
+    rows = []
+    for factor in (1.2, 1.0, 0.8, 0.6, 0.5):
+        deadline = reference.makespan * factor
+        sched = DeadlineScheduler(deadline=deadline).schedule(workflow, platform)
+        upgraded = sum(1 for vm in sched.vms if vm.itype.name != "small")
+        # does the schedule survive 20% runtime noise?
+        report = robustness_study(sched, rel_std=0.2, trials=50, seed=1)
+        met = sum(1 for ms in report.realized_makespans if ms <= deadline)
+        rows.append(
+            (
+                f"{factor:.1f}x ref",
+                deadline,
+                sched.makespan,
+                sched.total_cost,
+                upgraded,
+                f"{met}/50",
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "deadline",
+                "deadline s",
+                "planned s",
+                "cost $",
+                "upgraded VMs",
+                "met under 20% noise",
+            ],
+            rows,
+            title="SHEFT-style deadline scheduling on Montage (Pareto, seed 2013)",
+        )
+    )
+    print(
+        "\nTighter deadlines buy speed for exactly the tasks that need it; "
+        "noise shows how much\nslack a deadline needs in practice (static "
+        "plans sit right at the edge)."
+    )
+
+
+if __name__ == "__main__":
+    main()

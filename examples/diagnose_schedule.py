@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Diagnosing a schedule: where does the time go, where does the money
+go, and what would actually help?
+
+Walks one Montage schedule through the library's analysis toolkit:
+the cost breakdown (per-VM BTUs, gaps, final-BTU tails), fleet
+utilization, the *realized* critical path with its blocking reasons
+(machine contention vs. data dependencies), and the distance from the
+physical makespan/cost optima.
+
+Run:  python examples/diagnose_schedule.py
+"""
+
+from repro import (
+    CloudPlatform,
+    HeftScheduler,
+    ParetoModel,
+    apply_model,
+    efficiency,
+    explain,
+    montage,
+    realized_critical_path,
+    render_explanation,
+    utilization,
+)
+from repro.experiments.gantt import gantt
+
+
+def main() -> None:
+    platform = CloudPlatform.ec2()
+    workflow = apply_model(montage(), ParetoModel(), seed=2013)
+    schedule = HeftScheduler("StartParNotExceed").schedule(workflow, platform)
+
+    print(gantt(schedule))
+    print()
+    print(render_explanation(explain(schedule)))
+
+    use = utilization(schedule)
+    print(
+        f"\nfleet utilization {use.utilization:.0%} "
+        f"(worst VM {use.min_vm_utilization:.0%}); peak parallelism "
+        f"{use.peak_parallelism}, mean {use.mean_parallelism:.2f}"
+    )
+
+    report = realized_critical_path(schedule)
+    chain = " -> ".join(report.path)
+    print(f"\nrealized critical path ({len(report.path)} tasks): {chain}")
+    print(
+        f"blocking: {report.bottleneck_fraction_vm:.0%} machine contention, "
+        f"{1 - report.bottleneck_fraction_vm:.0%} data dependencies"
+    )
+    slackers = sorted(report.slack.items(), key=lambda kv: -kv[1])[:3]
+    print("most slack (could run much later):")
+    for tid, s in slackers:
+        print(f"  {tid:20s} {s:8.0f} s")
+
+    eff = efficiency(schedule)
+    print(
+        f"\nvs physical optima: makespan {eff.makespan_ratio:.2f}x the "
+        f"critical-path bound, cost {eff.cost_ratio:.2f}x the perfect-"
+        f"packing bound"
+    )
+    print(
+        "\nReading: if blocking is mostly 'vm', rent more parallel capacity "
+        "(the paper's AllPar policies);\nif mostly 'dependency', only faster "
+        "instances on the chain help (CPA-Eager's move)."
+    )
+
+
+if __name__ == "__main__":
+    main()

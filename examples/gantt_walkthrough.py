@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's Figure 1, recreated live: each provisioning policy's
+schedule of the CSTEM sub-workflow (one entry task, six children) drawn
+as an ASCII Gantt chart — busy time, paid idle, and BTU boundaries.
+
+Run:  python examples/gantt_walkthrough.py
+"""
+
+from repro import AllParScheduler, CloudPlatform, HeftScheduler
+from repro.experiments.figures import figure1_subworkflow
+from repro.experiments.gantt import gantt
+
+
+def main() -> None:
+    platform = CloudPlatform.ec2()
+    workflow = figure1_subworkflow()
+    print(
+        f"workflow: {len(workflow)} tasks "
+        f"(entry {workflow.entry_tasks()[0]!r} + 6 parallel children), "
+        f"BTU = {platform.btu_seconds:.0f} s\n"
+    )
+
+    schedulers = {
+        "OneVMperTask": HeftScheduler("OneVMperTask"),
+        "StartParNotExceed": HeftScheduler("StartParNotExceed"),
+        "StartParExceed": HeftScheduler("StartParExceed"),
+        "AllParNotExceed": AllParScheduler(exceed=False),
+        "AllParExceed": AllParScheduler(exceed=True),
+    }
+    for name, scheduler in schedulers.items():
+        sched = scheduler.schedule(workflow, platform)
+        print(gantt(sched))
+        print()
+
+    print(
+        "Reading the charts (cf. the paper's Fig. 1): OneVMperTask buys\n"
+        "maximal parallelism at maximal idle; StartParExceed serializes\n"
+        "everything on the entry VM (single initial task); the AllPar\n"
+        "variants keep the parallelism while packing sequential tails."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""How provisioning policies scale with workflow width.
+
+Sweeps the MapReduce workflow from 2 to 64 mappers and tracks, for three
+provisioning extremes, how makespan and cost grow — showing the
+crossover the paper's conclusions describe: parallel provisioning buys
+time on wide workflows, sequential provisioning buys money, and the gap
+between them widens with the parallelism.
+
+Run:  python examples/mapreduce_scaling.py
+"""
+
+from repro import (
+    AllParScheduler,
+    CloudPlatform,
+    HeftScheduler,
+    ParetoModel,
+    apply_model,
+    mapreduce,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    platform = CloudPlatform.ec2()
+    small = platform.itype("small")
+
+    policies = {
+        "OneVMperTask": HeftScheduler("OneVMperTask"),
+        "StartParExceed": HeftScheduler("StartParExceed"),
+        "AllParExceed": AllParScheduler(exceed=True),
+    }
+
+    rows = []
+    for mappers in (2, 4, 8, 16, 32, 64):
+        shape = mapreduce(mappers=mappers, reducers=max(1, mappers // 4))
+        workflow = apply_model(shape, ParetoModel(), seed=7)
+        cells = [f"{mappers} mappers ({len(workflow)} tasks)"]
+        for scheduler in policies.values():
+            sched = scheduler.schedule(workflow, platform, itype=small)
+            cells.append(sched.makespan / 3600.0)
+            cells.append(sched.total_cost)
+        rows.append(tuple(cells))
+
+    headers = ["width"]
+    for name in policies:
+        headers += [f"{name} h", f"{name} $"]
+    print(
+        format_table(
+            headers,
+            rows,
+            title="MapReduce width sweep: makespan (hours) and cost ($) per policy",
+        )
+    )
+    print(
+        "\nShape check: AllParExceed tracks OneVMperTask's makespan at a "
+        "fraction of its cost;\nStartParExceed stays cheapest but its "
+        "makespan grows linearly with the width."
+    )
+
+
+if __name__ == "__main__":
+    main()

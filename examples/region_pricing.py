@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Region economics: where should a workflow run, and what does moving
+data out of a region cost?
+
+Part 1 prices the same Montage schedule in each of the paper's seven
+EC2 regions (Table II).  Part 2 builds a two-region pipeline by hand and
+shows the banded egress billing ((1 GB, 10 TB] at the source region's
+rate) the platform model implements.
+
+Run:  python examples/region_pricing.py
+"""
+
+from repro import CloudPlatform, HeftScheduler, Schedule, Task, VM, Workflow, montage
+from repro.util.tables import format_table
+
+
+def regional_price_comparison(platform: CloudPlatform) -> None:
+    workflow = montage()
+    scheduler = HeftScheduler("StartParNotExceed")
+    rows = []
+    for name in sorted(platform.regions):
+        region = platform.region(name)
+        sched = scheduler.schedule(
+            workflow, platform, itype=platform.itype("medium"), region=region
+        )
+        rows.append((name, sched.total_cost, sched.makespan, sched.vm_count))
+    rows.sort(key=lambda r: r[1])
+    print(
+        format_table(
+            ["region", "cost $", "makespan s", "VMs"],
+            rows,
+            float_fmt=".3f",
+            title="Montage-24, StartParNotExceed-m, priced per region",
+        )
+    )
+
+
+def cross_region_pipeline(platform: CloudPlatform) -> None:
+    """A producer in Sao Paulo shipping 50 GB to a consumer in Virginia."""
+    wf = Workflow("cross-region")
+    wf.add_task(Task("produce", 3000.0))
+    wf.add_task(Task("consume", 3000.0))
+    wf.add_dependency("produce", "consume", 50.0)
+    wf.validate()
+
+    sao = platform.region("sa-sao-paulo")
+    usa = platform.region("us-east-virginia")
+    producer = VM(id=0, itype=platform.itype("small"), region=sao)
+    producer.place("produce", 0.0, 3000.0)
+    consumer = VM(id=1, itype=platform.itype("small"), region=usa)
+    transfer = platform.transfer_time(
+        50.0,
+        producer.itype,
+        consumer.itype,
+        src_region=sao,
+        dst_region=usa,
+    )
+    consumer.place("consume", 3000.0 + transfer, 3000.0)
+    sched = Schedule(workflow=wf, platform=platform, vms=[producer, consumer])
+    sched.validate()
+
+    print("\nTwo-region pipeline (50 GB Sao Paulo -> Virginia):")
+    print(f"  transfer time : {transfer:8.1f} s (store-and-forward, 1 Gb/s)")
+    print(f"  rent cost     : ${sched.rent_cost:.3f}")
+    print(f"  egress cost   : ${sched.transfer_cost:.3f} "
+          f"(first GB free, then ${sao.transfer_out_per_gb}/GB)")
+    print(f"  total         : ${sched.total_cost:.3f}")
+    # the same pipeline entirely inside Virginia costs no egress at all
+    local = VM(id=0, itype=platform.itype("small"), region=usa)
+    local.place("produce", 0.0, 3000.0)
+    local.place("consume", 3000.0, 3000.0)
+    local_sched = Schedule(workflow=wf, platform=platform, vms=[local])
+    print(f"  ... vs single-VM single-region total: ${local_sched.total_cost:.3f}")
+
+
+def main() -> None:
+    platform = CloudPlatform.ec2()
+    regional_price_comparison(platform)
+    cross_region_pipeline(platform)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Profile the whole workflow gallery and test how the paper's Table-V
+conclusions transfer to shapes it never evaluated — the paper's stated
+future work ("custom workflows ... from different workloads").
+
+For each of nine shapes this prints the structural profile, the adaptive
+classifier's verdict, and the measured gain/savings of the Table-V
+savings recommendation under Pareto runtimes.
+
+Run:  python examples/workflow_gallery.py
+"""
+
+from repro import (
+    AdaptiveSelector,
+    CloudPlatform,
+    Goal,
+    ParetoModel,
+    apply_model,
+    bag_of_tasks,
+    compare_to_reference,
+    cstem,
+    cybershake,
+    epigenomics,
+    fork_join,
+    ligo,
+    mapreduce,
+    montage,
+    profile,
+    reference_schedule,
+    sequential,
+    sipht,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    platform = CloudPlatform.ec2()
+    selector = AdaptiveSelector(platform)
+
+    gallery = {
+        "montage": montage(),
+        "cstem": cstem(),
+        "mapreduce": mapreduce(),
+        "sequential": sequential(),
+        "epigenomics": epigenomics(),
+        "cybershake": cybershake(),
+        "ligo": ligo(),
+        "sipht": sipht(),
+        "bag_of_tasks": bag_of_tasks(),
+    }
+
+    profile_rows = []
+    advice_rows = []
+    for name, shape in gallery.items():
+        p = profile(shape)
+        structure, _ = selector.classify(shape)
+        profile_rows.append(
+            (
+                name,
+                p.tasks,
+                p.levels,
+                p.max_width,
+                p.avg_width,
+                p.serial_fraction,
+                p.level_skip_fraction,
+            )
+        )
+        workflow = apply_model(shape, ParetoModel(), seed=2013)
+        ref = reference_schedule(workflow, platform)
+        rec = selector.recommend(shape, Goal.SAVINGS)
+        sched = selector.schedule(workflow, Goal.SAVINGS)
+        m = compare_to_reference(sched, ref)
+        advice_rows.append(
+            (
+                name,
+                structure.name.lower().replace("_", " "),
+                rec.label,
+                m.gain_pct,
+                m.savings_pct,
+            )
+        )
+
+    print(
+        format_table(
+            ["workflow", "tasks", "levels", "width", "avg w", "serial", "skip"],
+            profile_rows,
+            title="Structural profiles of the workflow gallery",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["workflow", "class", "savings pick", "gain %", "savings %"],
+            advice_rows,
+            float_fmt=".1f",
+            title="Table-V savings advice applied beyond the paper's four shapes",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package, where
+``pip install -e . --no-build-isolation --no-use-pep517`` needs a
+setup.py-based editable install. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

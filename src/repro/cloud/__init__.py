@@ -1,0 +1,42 @@
+"""EC2-style cloud platform model: instance catalog, the paper's Table II
+region/price data, BTU billing, VM lifecycle and the store-and-forward
+network (paper Sect. IV-A)."""
+
+from repro.cloud.instance import (
+    InstanceType,
+    SMALL,
+    MEDIUM,
+    LARGE,
+    XLARGE,
+    INSTANCE_TYPES,
+    instance_type,
+    faster_types,
+    next_faster,
+)
+from repro.cloud.region import Region, EC2_REGIONS, DEFAULT_REGION, region
+from repro.cloud.billing import BillingModel, BTU_SECONDS
+from repro.cloud.network import NetworkModel
+from repro.cloud.vm import VM, Placement
+from repro.cloud.platform import CloudPlatform
+
+__all__ = [
+    "InstanceType",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "XLARGE",
+    "INSTANCE_TYPES",
+    "instance_type",
+    "faster_types",
+    "next_faster",
+    "Region",
+    "EC2_REGIONS",
+    "DEFAULT_REGION",
+    "region",
+    "BillingModel",
+    "BTU_SECONDS",
+    "NetworkModel",
+    "VM",
+    "Placement",
+    "CloudPlatform",
+]

@@ -1,0 +1,103 @@
+"""The cloud platform facade bundling catalog, regions, billing and
+network — the single object schedulers and the simulator consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import INSTANCE_TYPES, InstanceType, instance_type
+from repro.cloud.network import NetworkModel
+from repro.cloud.region import DEFAULT_REGION, EC2_REGIONS, Region
+from repro.errors import PlatformError
+from repro.workflows.task import Task
+
+
+@dataclass(frozen=True)
+class CloudPlatform:
+    """An immutable description of the simulated IaaS provider.
+
+    The default instance is the paper's platform: the EC2 catalog and
+    Table II regions, BTU = 3600 s, store-and-forward network, boot time
+    zero (static scheduling + pre-booting).
+    """
+
+    regions: Mapping[str, Region] = field(default_factory=lambda: dict(EC2_REGIONS))
+    default_region: Region = DEFAULT_REGION
+    billing: BillingModel = field(default_factory=BillingModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    catalog: Mapping[str, InstanceType] = field(
+        default_factory=lambda: dict(INSTANCE_TYPES)
+    )
+    #: VM boot duration. The paper ignores boot via a pre-booting
+    #: strategy (static scheduling); set ``prebooted=False`` to model
+    #: cold starts instead, where a fresh VM's first task is delayed by
+    #: ``boot_seconds`` after it becomes ready (EC2 boots are < 2 min
+    #: and independent of fleet size, per Mao & Humphrey).
+    boot_seconds: float = 0.0
+    prebooted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.default_region.name not in self.regions:
+            raise PlatformError(
+                f"default region {self.default_region.name!r} not in regions"
+            )
+        if self.boot_seconds < 0:
+            raise PlatformError("boot_seconds must be >= 0")
+        for r in self.regions.values():
+            for itype in self.catalog.values():
+                r.price(itype)  # raises if a price is missing
+
+    @classmethod
+    def ec2(cls, **overrides) -> "CloudPlatform":
+        """The paper's EC2 platform; keyword overrides for variants."""
+        return cls(**overrides)
+
+    # ------------------------------------------------------------------
+    @property
+    def btu_seconds(self) -> float:
+        return self.billing.btu_seconds
+
+    def itype(self, name: str) -> InstanceType:
+        key = name.lower()
+        if key in self.catalog:
+            return self.catalog[key]
+        return instance_type(name)
+
+    def region(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise PlatformError(f"unknown region {name!r}") from None
+
+    def runtime(self, task: Task, itype: InstanceType) -> float:
+        """Execution time of *task* on *itype* (reference work / speedup)."""
+        return itype.runtime(task.work)
+
+    def transfer_time(
+        self,
+        size_gb: float,
+        src: InstanceType,
+        dst: InstanceType,
+        *,
+        same_vm: bool = False,
+        src_region: Region | None = None,
+        dst_region: Region | None = None,
+    ) -> float:
+        """Data-shipping time between two placements on this platform."""
+        src_region = src_region or self.default_region
+        dst_region = dst_region or self.default_region
+        return self.network.transfer_time(
+            size_gb,
+            src,
+            dst,
+            same_vm=same_vm,
+            same_region=src_region.name == dst_region.name,
+        )
+
+    def cheapest_region(self, itype: InstanceType | None = None) -> Region:
+        """Region with the lowest price for *itype* (small by default)."""
+        key = (itype or self.itype("small")).name
+        return min(self.regions.values(), key=lambda r: (r.price(key), r.name))

@@ -1,0 +1,103 @@
+"""Amazon EC2 regions and on-demand prices — the paper's Table II
+(prices observed October 31st, 2012, USD per BTU-hour, transfer-out per
+GB)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.cloud.instance import InstanceType
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud region with per-instance-type BTU prices.
+
+    ``prices`` maps instance-type *names* to USD per BTU; ``transfer_out
+    _per_gb`` is the egress price applied to data leaving the region.
+    """
+
+    name: str
+    prices: Mapping[str, float]
+    transfer_out_per_gb: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("region name must be non-empty")
+        if self.transfer_out_per_gb < 0:
+            raise PlatformError(f"negative transfer price in {self.name!r}")
+        for itype, price in self.prices.items():
+            if price < 0:
+                raise PlatformError(
+                    f"negative price for {itype!r} in {self.name!r}"
+                )
+        # zero prices are legal: they model an owned private cluster
+        # (the hybrid-cloud setting of HCOC in the paper's related work)
+
+    def price(self, itype: InstanceType | str) -> float:
+        """USD per BTU for *itype* in this region."""
+        key = itype.name if isinstance(itype, InstanceType) else itype
+        try:
+            return self.prices[key]
+        except KeyError:
+            raise PlatformError(
+                f"region {self.name!r} has no price for instance type {key!r}"
+            ) from None
+
+
+def _ec2(name: str, small: float, transfer: float) -> Region:
+    # Table II follows the small x {1, 2, 4, 8} progression exactly, i.e.
+    # the EC2 "cost-per-core x cores" formula the paper cites.
+    return Region(
+        name=name,
+        prices={
+            "small": small,
+            "medium": 2 * small,
+            "large": 4 * small,
+            "xlarge": 8 * small,
+        },
+        transfer_out_per_gb=transfer,
+    )
+
+
+#: Table II, verbatim.
+EC2_REGIONS: Dict[str, Region] = {
+    r.name: r
+    for r in (
+        _ec2("us-east-virginia", 0.080, 0.12),
+        _ec2("us-west-oregon", 0.080, 0.12),
+        _ec2("us-west-california", 0.090, 0.12),
+        _ec2("eu-dublin", 0.085, 0.12),
+        _ec2("asia-singapore", 0.085, 0.19),
+        _ec2("asia-tokyo", 0.092, 0.201),
+        _ec2("sa-sao-paulo", 0.115, 0.25),
+    )
+}
+
+#: cheapest region; the homogeneous experiments run entirely inside it
+DEFAULT_REGION = EC2_REGIONS["us-east-virginia"]
+
+
+def private_region(name: str = "private") -> Region:
+    """An owned (zero-price) region modelling a private cluster.
+
+    Hybrid-cloud schedulers (HCOC) place work here first and burst to a
+    paid public region only when constraints demand it.
+    """
+    return Region(
+        name=name,
+        prices={"small": 0.0, "medium": 0.0, "large": 0.0, "xlarge": 0.0},
+        transfer_out_per_gb=0.0,
+    )
+
+
+def region(name: str) -> Region:
+    """Look up a region by name; raises :class:`PlatformError`."""
+    try:
+        return EC2_REGIONS[name]
+    except KeyError:
+        raise PlatformError(
+            f"unknown region {name!r}; known: {sorted(EC2_REGIONS)}"
+        ) from None

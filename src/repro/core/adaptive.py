@@ -1,0 +1,202 @@
+"""Adaptive strategy selection — the paper's future-work direction,
+encoding its Table V conclusions.
+
+Given a workflow's *structure class* and the user's *goal*, recommend a
+scheduling algorithm + provisioning policy + instance size.  The
+classifier derives the structure class from DAG statistics and the
+execution-time profile (short / long / heterogeneous) from the task
+runtimes relative to the BTU.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cloud.platform import CloudPlatform
+from repro.errors import SchedulingError
+from repro.workflows.dag import Workflow
+
+
+class Goal(enum.Enum):
+    """What the user optimizes for (paper Table V columns)."""
+
+    SAVINGS = "savings"
+    GAIN = "gain"
+    BALANCE = "balance"
+
+
+class StructureClass(enum.Enum):
+    """Workflow families distinguished by the paper (Table V rows)."""
+
+    HIGHLY_PARALLEL = "much parallelism (MapReduce-like)"
+    PARALLEL_INTERDEPENDENT = "much parallelism + many interdependencies (Montage-like)"
+    SOME_PARALLELISM = "some parallelism (CSTEM-like)"
+    SEQUENTIAL = "sequential"
+
+
+class RuntimeProfile(enum.Enum):
+    """Execution-time regimes the paper's recommendations key on."""
+
+    SHORT = "short"  # well below one BTU
+    LONG = "long"  # around or above one BTU
+    HETEROGENEOUS = "heterogeneous"  # Pareto-like spread
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A concrete strategy choice with the paper's rationale."""
+
+    algorithm: str
+    provisioning: str
+    instance: str
+    rationale: str
+
+    @property
+    def label(self) -> str:
+        if self.algorithm in ("HEFT",):
+            return f"{self.provisioning}-{self.instance[0]}"
+        return self.algorithm
+
+
+def classify_structure(wf: Workflow) -> StructureClass:
+    """Bucket *wf* into one of the paper's four structure families.
+
+    Parallelism = average level width (task count / level count), which
+    separates a mostly-serial backbone with one wide stage (CSTEM, ~1.8)
+    from genuinely wide workflows (Montage ~2.7, MapReduce ~4.8).
+    Interdependence = fraction of edges skipping at least one level
+    (Montage's "intermingled" dependencies).
+    """
+    from repro.workflows.analysis import profile
+
+    p = profile(wf)
+    if p.max_width == 1:
+        return StructureClass.SEQUENTIAL
+    if p.avg_width >= 2.5:
+        if p.level_skip_fraction > 0.1:
+            return StructureClass.PARALLEL_INTERDEPENDENT
+        return StructureClass.HIGHLY_PARALLEL
+    return StructureClass.SOME_PARALLELISM
+
+
+def classify_runtimes(wf: Workflow, platform: CloudPlatform) -> RuntimeProfile:
+    """Short / long / heterogeneous, relative to the platform BTU."""
+    from repro.workflows.analysis import profile
+
+    p = profile(wf)
+    if p.runtime_cv > 0.4:
+        return RuntimeProfile.HETEROGENEOUS
+    if p.mean_runtime >= 0.5 * platform.btu_seconds:
+        return RuntimeProfile.LONG
+    return RuntimeProfile.SHORT
+
+
+#: Table V, transliterated. Keys: (structure, goal); short/long/
+#: heterogeneous nuances are resolved inside recommend().
+_TABLE_V = {
+    (StructureClass.HIGHLY_PARALLEL, Goal.SAVINGS): Recommendation(
+        "AllPar1LnSDyn", "AllParNotExceed", "small",
+        "dynamic parallelism reduction gives the best savings on wide workflows",
+    ),
+    (StructureClass.HIGHLY_PARALLEL, Goal.GAIN): Recommendation(
+        "AllParExceed", "AllParExceed", "medium",
+        "AllParExceed-m wins for small & heterogeneous tasks on parallel workflows",
+    ),
+    (StructureClass.HIGHLY_PARALLEL, Goal.BALANCE): Recommendation(
+        "AllPar1LnSDyn", "AllParNotExceed", "small",
+        "AllPar1LnSDyn stays in the target square for heterogeneous tasks",
+    ),
+    (StructureClass.PARALLEL_INTERDEPENDENT, Goal.SAVINGS): Recommendation(
+        "AllPar1LnSDyn", "AllParNotExceed", "small",
+        "parallelism reduction also pays off despite interdependencies",
+    ),
+    (StructureClass.PARALLEL_INTERDEPENDENT, Goal.GAIN): Recommendation(
+        "HEFT", "StartParExceed", "large",
+        "StartPar[Not]Exceed-l / AllPar[Not]Exceed-m shine with short tasks",
+    ),
+    (StructureClass.PARALLEL_INTERDEPENDENT, Goal.BALANCE): Recommendation(
+        "HEFT", "StartParNotExceed", "medium",
+        "StartParNotExceed-[m|s] balances gain and savings on Montage-likes",
+    ),
+    (StructureClass.SOME_PARALLELISM, Goal.SAVINGS): Recommendation(
+        "AllPar1LnSDyn", "AllParNotExceed", "small",
+        "AllPar1LnSDyn remains the savings pick for mildly parallel workflows",
+    ),
+    (StructureClass.SOME_PARALLELISM, Goal.GAIN): Recommendation(
+        "AllParNotExceed", "AllParNotExceed", "medium",
+        "AllParNotExceed-m for heterogeneous tasks on CSTEM-likes",
+    ),
+    (StructureClass.SOME_PARALLELISM, Goal.BALANCE): Recommendation(
+        "HEFT", "StartParNotExceed", "small",
+        "[Start|All]ParNotExceed-[s|m] with long/heterogeneous tasks",
+    ),
+    (StructureClass.SEQUENTIAL, Goal.SAVINGS): Recommendation(
+        "HEFT", "StartParExceed", "small",
+        "any small-instance strategy except OneVMperTask saves on chains",
+    ),
+    (StructureClass.SEQUENTIAL, Goal.GAIN): Recommendation(
+        "HEFT", "StartParExceed", "large",
+        "large instances do pay off on sequential workflows",
+    ),
+    (StructureClass.SEQUENTIAL, Goal.BALANCE): Recommendation(
+        "HEFT", "StartParExceed", "large",
+        "*-l with short tasks balances gain and savings on chains",
+    ),
+}
+
+
+def recommend(
+    wf: Workflow, platform: CloudPlatform, goal: Goal | str
+) -> Recommendation:
+    """Pick a strategy for *wf* per the paper's Table V."""
+    if isinstance(goal, str):
+        try:
+            goal = Goal(goal.lower())
+        except ValueError:
+            raise SchedulingError(
+                f"unknown goal {goal!r}; expected one of "
+                f"{[g.value for g in Goal]}"
+            ) from None
+    structure = classify_structure(wf)
+    profile = classify_runtimes(wf, platform)
+    rec = _TABLE_V[(structure, goal)]
+    # Table V nuance: sequential + gain only recommends large instances
+    # when tasks are heterogeneous or short; keep -l (the table's *-l).
+    if (
+        structure is StructureClass.PARALLEL_INTERDEPENDENT
+        and goal is Goal.BALANCE
+        and profile is RuntimeProfile.LONG
+    ):
+        rec = Recommendation(
+            "HEFT", "StartParNotExceed", "small",
+            "StartParNotExceed-s for long tasks on Montage-likes",
+        )
+    return rec
+
+
+class AdaptiveSelector:
+    """Object-style facade over :func:`recommend` that also instantiates
+    the chosen scheduler."""
+
+    def __init__(self, platform: CloudPlatform) -> None:
+        self.platform = platform
+
+    def classify(self, wf: Workflow) -> tuple:
+        return classify_structure(wf), classify_runtimes(wf, self.platform)
+
+    def recommend(self, wf: Workflow, goal: Goal | str) -> Recommendation:
+        return recommend(wf, self.platform, goal)
+
+    def schedule(self, wf: Workflow, goal: Goal | str):
+        """Recommend, build and run the scheduler; returns the Schedule."""
+        from repro.core.allocation.base import scheduling_algorithm
+
+        rec = self.recommend(wf, goal)
+        if rec.algorithm == "HEFT":
+            algo = scheduling_algorithm("HEFT", provisioning=rec.provisioning)
+        elif rec.algorithm in ("AllParExceed", "AllParNotExceed"):
+            algo = scheduling_algorithm("AllPar", exceed=rec.algorithm == "AllParExceed")
+        else:
+            algo = scheduling_algorithm(rec.algorithm)
+        return algo.schedule(wf, self.platform, itype=self.platform.itype(rec.instance))

@@ -1,0 +1,73 @@
+"""Scheduling-algorithm interface and registry.
+
+An allocation strategy turns ``(workflow, platform)`` into a
+:class:`~repro.core.schedule.Schedule`.  Homogeneous strategies take the
+instance type as a run parameter (the paper's ``-s/-m/-l`` suffixes);
+dynamic strategies (CPA-Eager, Gain, AllPar1LnSDyn) choose instance
+types themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+from repro.cloud.instance import SMALL, InstanceType
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import Region
+from repro.core.schedule import Schedule
+from repro.errors import SchedulingError
+from repro.workflows.dag import Workflow
+
+
+class SchedulingAlgorithm(abc.ABC):
+    """Base class for all task-allocation strategies."""
+
+    #: registry key and report label
+    name: str = "base"
+    #: True when the strategy picks VM speeds itself (ignores ``itype``)
+    heterogeneous: bool = False
+
+    @abc.abstractmethod
+    def schedule(
+        self,
+        workflow: Workflow,
+        platform: CloudPlatform,
+        *,
+        itype: InstanceType = SMALL,
+        region: Region | None = None,
+    ) -> Schedule:
+        """Produce a validated schedule of *workflow* on *platform*.
+
+        *itype* is the uniform VM flavor for homogeneous strategies and
+        the starting flavor for dynamic ones; *region* defaults to the
+        platform's default region.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+#: registry: name -> factory taking keyword parameters
+SCHEDULING_ALGORITHMS: Dict[str, Callable[..., SchedulingAlgorithm]] = {}
+
+
+def register_algorithm(factory: Callable[..., SchedulingAlgorithm]) -> Callable[..., SchedulingAlgorithm]:
+    """Class decorator registering an algorithm under its ``name``."""
+    probe = factory()
+    if not probe.name or probe.name == "base":
+        raise SchedulingError(f"algorithm {factory!r} must define a unique name")
+    if probe.name in SCHEDULING_ALGORITHMS:
+        raise SchedulingError(f"duplicate scheduling algorithm {probe.name!r}")
+    SCHEDULING_ALGORITHMS[probe.name] = factory
+    return factory
+
+
+def scheduling_algorithm(name: str, **params) -> SchedulingAlgorithm:
+    """Instantiate a registered algorithm by name (case-insensitive)."""
+    for key, factory in SCHEDULING_ALGORITHMS.items():
+        if key.lower() == name.lower():
+            return factory(**params)
+    raise SchedulingError(
+        f"unknown scheduling algorithm {name!r}; known: {sorted(SCHEDULING_ALGORITHMS)}"
+    )

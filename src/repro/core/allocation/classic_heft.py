@@ -1,0 +1,116 @@
+"""Textbook HEFT (Topcuoglu et al.) over a fixed heterogeneous pool.
+
+The paper re-reads HEFT as *ordering only* and delegates placement to a
+provisioning policy; the original algorithm instead fixes a set of
+heterogeneous processors and places each task on the one minimizing its
+earliest finish time, with *insertion* into idle gaps.  This module
+implements that original formulation as a comparator: upward ranks use
+the mean execution time across the pool, and placement scans every pool
+VM for the earliest gap that fits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cloud.instance import SMALL, InstanceType
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import Region
+from repro.cloud.vm import VM
+from repro.core.allocation.base import SchedulingAlgorithm, register_algorithm
+from repro.core.schedule import Schedule
+from repro.errors import SchedulingError
+from repro.util.intervals import Interval, IntervalSet
+from repro.workflows.dag import Workflow
+
+
+@register_algorithm
+class ClassicHeftScheduler(SchedulingAlgorithm):
+    """Insertion-based HEFT with EFT-minimizing placement."""
+
+    name = "HEFT-Classic"
+    heterogeneous = True
+
+    def __init__(self, pool: Sequence[str] = ("small", "small", "medium", "large")) -> None:
+        if not pool:
+            raise SchedulingError("HEFT needs a non-empty processor pool")
+        self.pool = tuple(pool)
+
+    # ------------------------------------------------------------------
+    def _mean_ranks(
+        self, workflow: Workflow, platform: CloudPlatform, itypes: List[InstanceType]
+    ) -> Dict[str, float]:
+        """Upward ranks with pool-mean execution and transfer weights."""
+        mean_speedup_inv = sum(1.0 / t.speedup for t in itypes) / len(itypes)
+        ranks: Dict[str, float] = {}
+        for tid in reversed(workflow.topological_order()):
+            w = workflow.task(tid).work * mean_speedup_inv
+            best = 0.0
+            for succ in workflow.successors(tid):
+                c = platform.transfer_time(
+                    workflow.data_gb(tid, succ), itypes[0], itypes[0]
+                )
+                best = max(best, c + ranks[succ])
+            ranks[tid] = w + best
+        return ranks
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        platform: CloudPlatform,
+        *,
+        itype: InstanceType = SMALL,
+        region: Region | None = None,
+    ) -> Schedule:
+        workflow.validate()
+        reg = region or platform.default_region
+        itypes = [platform.itype(name) for name in self.pool]
+        ranks = self._mean_ranks(workflow, platform, itypes)
+        order = sorted(workflow.task_ids, key=lambda t: (-ranks[t], t))
+
+        busy: List[IntervalSet] = [IntervalSet() for _ in itypes]
+        assignment: Dict[str, int] = {}
+        timing: Dict[str, Tuple[float, float]] = {}
+
+        for tid in order:
+            task = workflow.task(tid)
+            best: Tuple[float, int, float] | None = None  # (eft, vm index, start)
+            for idx, vm_type in enumerate(itypes):
+                ready = 0.0
+                for pred in workflow.predecessors(tid):
+                    p_idx = assignment[pred]
+                    dt = platform.transfer_time(
+                        workflow.data_gb(pred, tid),
+                        itypes[p_idx],
+                        vm_type,
+                        same_vm=p_idx == idx,
+                    )
+                    ready = max(ready, timing[pred][1] + dt)
+                duration = platform.runtime(task, vm_type)
+                start = busy[idx].first_fit(ready, duration)
+                eft = start + duration
+                if best is None or eft < best[0] - 1e-12:
+                    best = (eft, idx, start)
+            assert best is not None
+            eft, idx, start = best
+            busy[idx].add_disjoint(Interval(start, eft))
+            assignment[tid] = idx
+            timing[tid] = (start, eft)
+
+        vms: List[VM] = []
+        for idx, vm_type in enumerate(itypes):
+            hosted = [t for t in order if assignment[t] == idx]
+            if not hosted:
+                continue
+            vm = VM(id=len(vms), itype=vm_type, region=reg)
+            for tid in hosted:
+                start, end = timing[tid]
+                vm.place(tid, start, end - start)
+            vms.append(vm)
+        return Schedule(
+            workflow=workflow,
+            platform=platform,
+            vms=vms,
+            algorithm=self.name,
+            provisioning="FixedPool",
+        ).validate()

@@ -1,0 +1,135 @@
+"""HCOC-style hybrid-cloud scheduling (Bittencourt & Madeira).
+
+The paper's related work singles out HCOC: schedule on the *private*
+cluster first (PCH clustering), and when the makespan misses the
+deadline, move whole clusters out to rented *public* VMs until it fits.
+This implementation follows that loop:
+
+1. PCH clusters share a fixed pool of free private VMs (round-robin);
+2. while the makespan exceeds the deadline, the cluster holding the
+   highest-upward-rank still-private task is promoted to its own public
+   VM of ``public_itype`` (in the platform's default paid region);
+3. stop when the deadline holds, or every cluster is public
+   (``best_effort``) / raise otherwise.
+
+Cost is the public rent only — the private cluster is owned (a
+zero-price :func:`repro.cloud.region.private_region`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cloud.instance import SMALL, InstanceType
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import Region, private_region
+from repro.core.allocation.base import SchedulingAlgorithm, register_algorithm
+from repro.core.allocation.pch import pch_clusters
+from repro.core.allocation.ranking import upward_rank
+from repro.core.builder import ScheduleBuilder
+from repro.core.schedule import Schedule
+from repro.errors import SchedulingError
+from repro.workflows.dag import Workflow
+
+
+@register_algorithm
+class HcocScheduler(SchedulingAlgorithm):
+    name = "HCOC"
+    heterogeneous = True
+
+    def __init__(
+        self,
+        deadline: float = float("inf"),
+        private_pool: int = 2,
+        private_itype: str = "small",
+        public_itype: str = "large",
+        best_effort: bool = False,
+    ) -> None:
+        if deadline <= 0:
+            raise SchedulingError(f"deadline must be positive, got {deadline}")
+        if private_pool < 1:
+            raise SchedulingError(f"private_pool must be >= 1, got {private_pool}")
+        self.deadline = deadline
+        self.private_pool = private_pool
+        self.private_itype = private_itype
+        self.public_itype = public_itype
+        self.best_effort = best_effort
+
+    # ------------------------------------------------------------------
+    def _build(
+        self,
+        workflow: Workflow,
+        platform: CloudPlatform,
+        clusters: List[List[str]],
+        public: List[bool],
+        owned: Region,
+        paid: Region,
+    ) -> Schedule:
+        priv_type = platform.itype(self.private_itype)
+        pub_type = platform.itype(self.public_itype)
+        builder = ScheduleBuilder(workflow, platform, priv_type, owned)
+        pool = [
+            builder.new_vm(priv_type, owned)
+            for _ in range(min(self.private_pool, len(clusters)))
+        ]
+        vm_of_cluster: Dict[int, object] = {}
+        private_seen = 0
+        for i in range(len(clusters)):
+            if public[i]:
+                vm_of_cluster[i] = builder.new_vm(pub_type, paid)
+            else:
+                vm_of_cluster[i] = pool[private_seen % len(pool)]
+                private_seen += 1
+        cluster_of = {
+            tid: i for i, path in enumerate(clusters) for tid in path
+        }
+        for tid in workflow.topological_order():
+            builder.begin_task(tid)
+            builder.place(tid, vm_of_cluster[cluster_of[tid]])
+        return builder.build(algorithm=self.name, provisioning="HCOC")
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        platform: CloudPlatform,
+        *,
+        itype: InstanceType = SMALL,
+        region: Region | None = None,
+    ) -> Schedule:
+        workflow.validate()
+        owned = private_region()
+        if owned.name not in platform.regions:
+            platform = CloudPlatform(
+                regions={**dict(platform.regions), owned.name: owned},
+                default_region=platform.default_region,
+                billing=platform.billing,
+                network=platform.network,
+                catalog=platform.catalog,
+                boot_seconds=platform.boot_seconds,
+                prebooted=platform.prebooted,
+            )
+        paid = region or platform.default_region
+        priv_type = platform.itype(self.private_itype)
+        clusters = pch_clusters(workflow, platform, priv_type)
+        ranks = upward_rank(workflow, platform, priv_type)
+        public = [False] * len(clusters)
+
+        # Promotion order: cluster holding the highest-rank private task
+        # first — the HCOC "take the critical work to the cloud" move.
+        promotion_order = sorted(
+            range(len(clusters)),
+            key=lambda i: (-max(ranks[t] for t in clusters[i]), i),
+        )
+
+        sched = self._build(workflow, platform, clusters, public, owned, paid)
+        for idx in promotion_order:
+            if sched.makespan <= self.deadline + 1e-9:
+                break
+            public[idx] = True
+            sched = self._build(workflow, platform, clusters, public, owned, paid)
+        if sched.makespan > self.deadline + 1e-9 and not self.best_effort:
+            raise SchedulingError(
+                f"HCOC cannot meet deadline {self.deadline:.0f}s even fully "
+                f"public (makespan {sched.makespan:.0f}s)"
+            )
+        return sched.validate()

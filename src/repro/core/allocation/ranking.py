@@ -1,0 +1,76 @@
+"""Task-ordering primitives shared by the allocation strategies.
+
+*Priority ranking* is HEFT's upward rank: ``rank(t) = w(t) + max over
+successors (c(t, s) + rank(s))``.  Because a parent's rank strictly
+exceeds each child's, scheduling in decreasing rank order is always a
+valid topological order — a property the test suite checks.
+
+*Level ranking* groups tasks by DAG depth; inside a level the paper's
+AllPar strategies order by execution time, longest first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cloud.instance import InstanceType
+from repro.cloud.platform import CloudPlatform
+from repro.workflows.dag import Workflow
+
+
+def upward_rank(
+    workflow: Workflow,
+    platform: CloudPlatform,
+    itype: InstanceType,
+    include_transfers: bool = True,
+) -> Dict[str, float]:
+    """HEFT upward rank of every task.
+
+    Execution weights are the runtimes on *itype* (the run's uniform
+    flavor; on a homogeneous platform the HEFT "mean across processors"
+    reduces to exactly this). Edge weights are the store-and-forward
+    transfer times between two VMs of that flavor in the default region;
+    pass ``include_transfers=False`` for the pure-CPU variant.
+    """
+    workflow.validate()
+    ranks: Dict[str, float] = {}
+    for tid in reversed(workflow.topological_order()):
+        w = platform.runtime(workflow.task(tid), itype)
+        best = 0.0
+        for succ in workflow.successors(tid):
+            c = 0.0
+            if include_transfers:
+                c = platform.transfer_time(
+                    workflow.data_gb(tid, succ), itype, itype, same_vm=False
+                )
+            best = max(best, c + ranks[succ])
+        ranks[tid] = w + best
+    return ranks
+
+
+def heft_order(
+    workflow: Workflow,
+    platform: CloudPlatform,
+    itype: InstanceType,
+    include_transfers: bool = True,
+) -> List[str]:
+    """Tasks in decreasing upward rank (ties broken by id)."""
+    ranks = upward_rank(workflow, platform, itype, include_transfers)
+    return sorted(workflow.task_ids, key=lambda t: (-ranks[t], t))
+
+
+def level_order(
+    workflow: Workflow,
+    platform: CloudPlatform,
+    itype: InstanceType,
+    descending_exec: bool = True,
+) -> List[List[str]]:
+    """Levels in DAG order; inside each level tasks sorted by execution
+    time on *itype* (descending by default, the AllPar1LnS rule)."""
+    out: List[List[str]] = []
+    for level in workflow.levels():
+        key = lambda t: (-platform.runtime(workflow.task(t), itype), t)
+        if not descending_exec:
+            key = lambda t: (platform.runtime(workflow.task(t), itype), t)
+        out.append(sorted(level, key=key))
+    return out

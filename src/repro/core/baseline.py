@@ -1,0 +1,22 @@
+"""The paper's reference strategy: HEFT + OneVMperTask on small
+instances, "marked as a filled square in the upper-left corner of the
+target square" of Figure 4."""
+
+from __future__ import annotations
+
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import Region
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.schedule import Schedule
+from repro.workflows.dag import Workflow
+
+
+def reference_schedule(
+    workflow: Workflow,
+    platform: CloudPlatform,
+    region: Region | None = None,
+) -> Schedule:
+    """HEFT + OneVMperTask-small schedule of *workflow* on *platform*."""
+    return HeftScheduler("OneVMperTask").schedule(
+        workflow, platform, itype=platform.itype("small"), region=region
+    )

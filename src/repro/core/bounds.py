@@ -1,0 +1,73 @@
+"""Lower bounds on makespan and cost, and efficiency ratios.
+
+No schedule can beat the critical path on the fastest instance, nor can
+it be billed less than the total work priced at the cheapest effective
+rate per work-second.  Comparing a schedule against these bounds turns
+"A is better than B" into "A is within x% of optimal" — a lens the
+paper's relative comparisons lack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.schedule import Schedule
+from repro.workflows.dag import Workflow
+
+
+def makespan_lower_bound(wf: Workflow, platform: CloudPlatform) -> float:
+    """Critical path executed entirely on the fastest catalog type with
+    free communication — unbeatable by any schedule."""
+    _, cp = wf.critical_path()
+    fastest = max(t.speedup for t in platform.catalog.values())
+    return cp / fastest
+
+
+def cost_lower_bound(wf: Workflow, platform: CloudPlatform) -> float:
+    """Total work billed at the cheapest effective $ per work-second.
+
+    A type's effective rate is ``price / (BTU * speedup)``; perfect
+    packing (no idle, no BTU rounding) can approach but not beat it.
+    EC2's cost-per-core pricing with sublinear speed-ups makes *small*
+    the cheapest rate, so the bound is usually total work priced small.
+    """
+    region = platform.cheapest_region()
+    btu = platform.btu_seconds
+    best_rate = min(
+        region.price(t) / (btu * t.speedup) for t in platform.catalog.values()
+    )
+    return wf.total_work() * best_rate
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """A schedule's distance from the physical optima."""
+
+    label: str
+    makespan: float
+    makespan_bound: float
+    cost: float
+    cost_bound: float
+
+    @property
+    def makespan_ratio(self) -> float:
+        """>= 1; 1 means the schedule is makespan-optimal."""
+        return self.makespan / self.makespan_bound if self.makespan_bound else 1.0
+
+    @property
+    def cost_ratio(self) -> float:
+        """>= 1; 1 means perfectly packed billing at the best rate."""
+        return self.cost / self.cost_bound if self.cost_bound else 1.0
+
+
+def efficiency(schedule: Schedule) -> EfficiencyReport:
+    """Bound ratios for one schedule."""
+    wf, platform = schedule.workflow, schedule.platform
+    return EfficiencyReport(
+        label=schedule.label,
+        makespan=schedule.makespan,
+        makespan_bound=makespan_lower_bound(wf, platform),
+        cost=schedule.total_cost,
+        cost_bound=cost_lower_bound(wf, platform),
+    )

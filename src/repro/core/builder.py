@@ -1,0 +1,268 @@
+"""Incremental schedule construction.
+
+A :class:`ScheduleBuilder` is the shared workbench of every allocation
+algorithm + provisioning policy pair: the allocation strategy decides
+*task order*, the provisioning policy decides *which VM* (existing or
+new) each task lands on, and the builder maintains the resulting
+estimated start/finish times, per-VM accumulated execution time and BTU
+occupancy that both sides query.  Because scheduling is static and task
+times deterministic, the builder's estimates are exact — a property the
+test suite checks against the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.instance import InstanceType
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import Region
+from repro.cloud.vm import VM
+from repro.core.schedule import Schedule
+from repro.errors import SchedulingError
+from repro.workflows.dag import Workflow
+
+
+@dataclass
+class BuilderVM:
+    """A VM being filled in during scheduling."""
+
+    id: int
+    itype: InstanceType
+    region: Region
+    #: task ids in execution order
+    order: List[str] = field(default_factory=list)
+    #: estimated [start, finish) per hosted task
+    timing: Dict[str, tuple] = field(default_factory=dict)
+    #: sum of execution durations — "the VM with the largest execution
+    #: time" of the StartPar policies
+    busy_seconds: float = 0.0
+
+    @property
+    def empty(self) -> bool:
+        return not self.order
+
+    @property
+    def start_time(self) -> float:
+        if self.empty:
+            raise SchedulingError(f"vm{self.id} has no placements yet")
+        return self.timing[self.order[0]][0]
+
+    @property
+    def ready_time(self) -> float:
+        """When the VM becomes free (0 for an empty VM)."""
+        if self.empty:
+            return 0.0
+        return self.timing[self.order[-1]][1]
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self.empty:
+            return 0.0
+        return self.ready_time - self.start_time
+
+
+class ScheduleBuilder:
+    """Mutable scheduling state for one (workflow, platform, region) run."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        platform: CloudPlatform,
+        default_itype: InstanceType,
+        region: Region | None = None,
+        region_chooser=None,
+    ) -> None:
+        workflow.validate()
+        self.workflow = workflow
+        self.platform = platform
+        self.default_itype = default_itype
+        self.region = region or platform.default_region
+        #: optional ``(task_id, builder) -> Region | None`` hook deciding
+        #: where a *new* VM rented for a task lives (data locality);
+        #: ``None`` from the hook falls back to the builder region
+        self.region_chooser = region_chooser
+        self._active_task: str | None = None
+        self.vms: List[BuilderVM] = []
+        self.task_vm: Dict[str, BuilderVM] = {}
+        self.task_start: Dict[str, float] = {}
+        self.task_finish: Dict[str, float] = {}
+        self._levels = workflow.level_of()
+        self._level_sizes: Dict[int, int] = {}
+        for lvl in self._levels.values():
+            self._level_sizes[lvl] = self._level_sizes.get(lvl, 0) + 1
+
+    # ------------------------------------------------------------------
+    # queries used by provisioning policies
+    # ------------------------------------------------------------------
+    def level_of(self, task_id: str) -> int:
+        return self._levels[task_id]
+
+    def level_size(self, task_id: str) -> int:
+        """Number of tasks sharing *task_id*'s level (its parallelism)."""
+        return self._level_sizes[self._levels[task_id]]
+
+    def is_entry(self, task_id: str) -> bool:
+        return not self.workflow.predecessors(task_id)
+
+    def exec_time(self, task_id: str, itype: InstanceType | None = None) -> float:
+        """Estimated execution time of a task on *itype* (VM's type when
+        placed, builder default otherwise)."""
+        if itype is None:
+            vm = self.task_vm.get(task_id)
+            itype = vm.itype if vm is not None else self.default_itype
+        return self.platform.runtime(self.workflow.task(task_id), itype)
+
+    def busiest_vm(self, candidates: List[BuilderVM] | None = None) -> Optional[BuilderVM]:
+        """The VM with the largest accumulated execution time.
+
+        Deterministic tie-break on VM id (earliest rented wins).
+        """
+        pool = self.vms if candidates is None else candidates
+        pool = [vm for vm in pool if not vm.empty]
+        if not pool:
+            return None
+        return max(pool, key=lambda vm: (vm.busy_seconds, -vm.id))
+
+    def vm_of_largest_predecessor(self, task_id: str) -> Optional[BuilderVM]:
+        """VM hosting the predecessor with the longest execution time
+        (the AllPar* rule for sequential tasks)."""
+        preds = [p for p in self.workflow.predecessors(task_id) if p in self.task_vm]
+        if not preds:
+            return None
+        largest = max(preds, key=lambda p: (self.task_finish[p] - self.task_start[p], p))
+        return self.task_vm[largest]
+
+    def earliest_start(self, task_id: str, vm: BuilderVM) -> float:
+        """Estimated start of *task_id* if placed next on *vm*: VM free
+        time vs. latest predecessor finish + data transfer."""
+        ready = vm.ready_time
+        for pred in self.workflow.predecessors(task_id):
+            if pred not in self.task_finish:
+                raise SchedulingError(
+                    f"cannot place {task_id!r}: predecessor {pred!r} unscheduled "
+                    "(allocation order is not topological)"
+                )
+            pvm = self.task_vm[pred]
+            dt = self.platform.transfer_time(
+                self.workflow.data_gb(pred, task_id),
+                pvm.itype,
+                vm.itype,
+                same_vm=pvm is vm,
+                src_region=pvm.region,
+                dst_region=vm.region,
+            )
+            ready = max(ready, self.task_finish[pred] + dt)
+        if vm.empty and not self.platform.prebooted:
+            # cold start: the VM is requested when the task becomes
+            # ready and boots before it can execute anything
+            ready += self.platform.boot_seconds
+        return ready
+
+    def paid_horizon(self, vm: BuilderVM) -> float:
+        """Absolute time at which *vm* is released if no further task is
+        placed on it: the end of its last started BTU.
+
+        Idle VMs are deprovisioned at their BTU boundary (the standard
+        IaaS practice this literature assumes), so a task can only
+        *reuse* a VM if it can start before this horizon.
+        """
+        if vm.empty:
+            return float("inf")
+        billing = self.platform.billing
+        return vm.start_time + billing.paid_seconds(vm.uptime_seconds)
+
+    def is_reusable(self, task_id: str, vm: BuilderVM) -> bool:
+        """Can *task_id* still catch *vm* before it is released?"""
+        if vm.empty:
+            return True
+        return self.earliest_start(task_id, vm) <= self.paid_horizon(vm) + 1e-9
+
+    def fits_in_btu(self, task_id: str, vm: BuilderVM) -> bool:
+        """Would *task_id*, placed next on *vm*, finish within the BTUs
+        the VM has already started to pay?
+
+        On an **empty** VM the question is whether the task fits one
+        fresh BTU.  On a running VM the candidate's estimated finish must
+        not cross the VM's current paid horizon
+        (``start + btus(uptime) * BTU``); waiting time on the VM counts
+        against the BTU exactly as in the paper's Fig. 1.
+        """
+        billing = self.platform.billing
+        duration = self.exec_time(task_id, vm.itype)
+        if vm.empty:
+            return duration <= billing.btu_seconds + 1e-9
+        finish = self.earliest_start(task_id, vm) + duration
+        paid_horizon = vm.start_time + billing.paid_seconds(vm.uptime_seconds)
+        return finish <= paid_horizon + 1e-9
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def begin_task(self, task_id: str) -> None:
+        """Mark the task currently being placed, so region choosers can
+        see which task a ``new_vm`` rental is for."""
+        self._active_task = task_id
+
+    def new_vm(self, itype: InstanceType | None = None, region: Region | None = None) -> BuilderVM:
+        if region is None and self.region_chooser is not None and self._active_task:
+            region = self.region_chooser(self._active_task, self)
+        vm = BuilderVM(
+            id=len(self.vms),
+            itype=itype or self.default_itype,
+            region=region or self.region,
+        )
+        self.vms.append(vm)
+        return vm
+
+    def place(self, task_id: str, vm: BuilderVM) -> None:
+        """Append *task_id* to *vm*'s execution order and fix its times."""
+        if task_id in self.task_vm:
+            raise SchedulingError(f"task {task_id!r} already placed")
+        if vm.id >= len(self.vms) or vm is not self.vms[vm.id]:
+            raise SchedulingError(f"vm{vm.id} does not belong to this builder")
+        start = self.earliest_start(task_id, vm)
+        duration = self.exec_time(task_id, vm.itype)
+        vm.order.append(task_id)
+        vm.timing[task_id] = (start, start + duration)
+        vm.busy_seconds += duration
+        self.task_vm[task_id] = vm
+        self.task_start[task_id] = start
+        self.task_finish[task_id] = start + duration
+
+    # ------------------------------------------------------------------
+    # result
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        if not self.task_finish:
+            return 0.0
+        return max(self.task_finish.values())
+
+    def build(self, algorithm: str = "", provisioning: str = "") -> Schedule:
+        """Freeze the builder into an immutable :class:`Schedule`."""
+        unplaced = [t for t in self.workflow.task_ids if t not in self.task_vm]
+        if unplaced:
+            raise SchedulingError(f"unscheduled tasks remain: {unplaced}")
+        vms: List[VM] = []
+        for bvm in self.vms:
+            if bvm.empty:
+                continue  # a policy may have speculated a VM it never used
+            vm = VM(
+                id=len(vms),
+                itype=bvm.itype,
+                region=bvm.region,
+                boot_seconds=self.platform.boot_seconds,
+            )
+            for tid in bvm.order:
+                start, finish = bvm.timing[tid]
+                vm.place(tid, start, finish - start)
+            vms.append(vm)
+        return Schedule(
+            workflow=self.workflow,
+            platform=self.platform,
+            vms=vms,
+            algorithm=algorithm,
+            provisioning=provisioning,
+        )

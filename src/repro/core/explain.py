@@ -1,0 +1,131 @@
+"""Explainable cost accounting.
+
+`explain(schedule)` decomposes where the money and the waste go: per VM,
+how many BTUs were paid and why (execution, schedule gaps, final-BTU
+tail), plus the cross-region egress bill — the breakdown behind the
+paper's Figure 5 aggregates, per machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.schedule import Schedule
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class VmCostLine:
+    """One VM's bill, decomposed."""
+
+    name: str
+    itype: str
+    region: str
+    tasks: int
+    uptime_seconds: float
+    btus: int
+    cost: float
+    busy_seconds: float
+    #: idle between placements while the VM was kept alive
+    gap_seconds: float
+    #: unused remainder of the last paid BTU
+    tail_seconds: float
+
+    @property
+    def idle_seconds(self) -> float:
+        return self.gap_seconds + self.tail_seconds
+
+    @property
+    def utilization(self) -> float:
+        paid = self.btus and self.busy_seconds + self.idle_seconds
+        return self.busy_seconds / paid if paid else 0.0
+
+
+@dataclass(frozen=True)
+class CostExplanation:
+    """A schedule's full bill with per-VM decomposition."""
+
+    label: str
+    lines: Tuple[VmCostLine, ...]
+    rent_cost: float
+    transfer_cost: float
+    transfer_volumes: Tuple[Tuple[str, str, float], ...]
+
+    @property
+    def total_cost(self) -> float:
+        return self.rent_cost + self.transfer_cost
+
+    @property
+    def total_gap_seconds(self) -> float:
+        return sum(l.gap_seconds for l in self.lines)
+
+    @property
+    def total_tail_seconds(self) -> float:
+        return sum(l.tail_seconds for l in self.lines)
+
+    def worst_idlers(self, top: int = 3) -> List[VmCostLine]:
+        """VMs wasting the most paid time, worst first."""
+        return sorted(self.lines, key=lambda l: -l.idle_seconds)[:top]
+
+
+def explain(schedule: Schedule) -> CostExplanation:
+    """Decompose *schedule*'s bill."""
+    billing = schedule.platform.billing
+    lines: List[VmCostLine] = []
+    for vm in schedule.vms:
+        paid = vm.paid_seconds(billing)
+        gaps = sum(g.length for g in vm.busy_intervals().gaps())
+        # boot time (if billed) counts as gap-like waste at the front
+        lead = vm.placements[0].start - vm.rent_start
+        tail = paid - vm.uptime_seconds
+        lines.append(
+            VmCostLine(
+                name=vm.name,
+                itype=vm.itype.name,
+                region=vm.region.name,
+                tasks=len(vm.placements),
+                uptime_seconds=vm.uptime_seconds,
+                btus=billing.btus(vm.uptime_seconds),
+                cost=vm.cost(billing),
+                busy_seconds=vm.busy_seconds,
+                gap_seconds=gaps + lead,
+                tail_seconds=tail,
+            )
+        )
+    return CostExplanation(
+        label=schedule.label,
+        lines=tuple(lines),
+        rent_cost=schedule.rent_cost,
+        transfer_cost=schedule.transfer_cost,
+        transfer_volumes=tuple(schedule.transfer_volumes()),
+    )
+
+
+def render_explanation(explanation: CostExplanation) -> str:
+    rows = [
+        (
+            l.name,
+            l.itype,
+            l.tasks,
+            l.btus,
+            l.cost,
+            l.busy_seconds,
+            l.gap_seconds,
+            l.tail_seconds,
+        )
+        for l in explanation.lines
+    ]
+    table = format_table(
+        ["VM", "type", "tasks", "BTUs", "cost $", "busy s", "gaps s", "tail s"],
+        rows,
+        title=f"Cost breakdown — {explanation.label}",
+    )
+    footer = (
+        f"\nrent ${explanation.rent_cost:.2f}"
+        f" + egress ${explanation.transfer_cost:.2f}"
+        f" = ${explanation.total_cost:.2f}; "
+        f"waste: {explanation.total_gap_seconds:,.0f}s in gaps, "
+        f"{explanation.total_tail_seconds:,.0f}s in final-BTU tails"
+    )
+    return table + footer

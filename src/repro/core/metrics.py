@@ -1,0 +1,87 @@
+"""Schedule metrics and the paper's gain/loss comparison.
+
+Everything in the evaluation is measured against the reference strategy
+HEFT + OneVMperTask on small instances:
+
+    gain%    = (makespan_ref - makespan) / makespan_ref * 100
+    loss%    = (cost - cost_ref) / cost_ref * 100
+    savings% = -loss%
+
+Figure 4 plots ``loss%`` (y) against ``gain%`` (x); the "target square"
+is the quadrant with ``gain >= 0`` and ``loss <= 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """The numbers the paper reports for one strategy run."""
+
+    label: str
+    makespan: float
+    cost: float
+    idle_seconds: float
+    vm_count: int
+    btus: int
+    #: vs. reference; 0 for the reference itself
+    gain_pct: float = 0.0
+    loss_pct: float = 0.0
+
+    @property
+    def savings_pct(self) -> float:
+        return -self.loss_pct
+
+    @property
+    def in_target_square(self) -> bool:
+        """Both faster and cheaper than (or equal to) the reference."""
+        return self.gain_pct >= 0.0 and self.loss_pct <= 0.0
+
+    def as_row(self) -> tuple:
+        return (
+            self.label,
+            self.makespan,
+            self.cost,
+            self.gain_pct,
+            self.loss_pct,
+            self.idle_seconds,
+            self.vm_count,
+        )
+
+
+def evaluate(schedule: Schedule, label: str | None = None) -> ScheduleMetrics:
+    """Raw metrics of one schedule (no reference comparison)."""
+    return ScheduleMetrics(
+        label=label or schedule.label,
+        makespan=schedule.makespan,
+        cost=schedule.total_cost,
+        idle_seconds=schedule.total_idle_seconds,
+        vm_count=schedule.vm_count,
+        btus=schedule.total_btus,
+    )
+
+
+def compare_to_reference(
+    schedule: Schedule, reference: Schedule, label: str | None = None
+) -> ScheduleMetrics:
+    """Metrics of *schedule* with gain/loss relative to *reference*."""
+    if reference.makespan <= 0 or reference.total_cost <= 0:
+        raise SchedulingError("reference schedule has degenerate makespan/cost")
+    base = evaluate(schedule, label)
+    gain = (reference.makespan - base.makespan) / reference.makespan * 100.0
+    loss = (base.cost - reference.total_cost) / reference.total_cost * 100.0
+    return ScheduleMetrics(
+        label=base.label,
+        makespan=base.makespan,
+        cost=base.cost,
+        idle_seconds=base.idle_seconds,
+        vm_count=base.vm_count,
+        btus=base.btus,
+        gain_pct=gain,
+        loss_pct=loss,
+    )

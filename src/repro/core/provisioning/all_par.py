@@ -1,0 +1,79 @@
+"""AllPar[Not]Exceed: full task-level parallelism (paper Sect. III-A).
+
+Every *parallel* task — a task whose DAG level holds more than one task
+— runs on its own VM: an existing VM not already claimed by a task of
+the same level when one is free, a new rental otherwise.  *Sequential*
+tasks (singleton levels) run on the VM of their largest predecessor,
+keeping chains on one machine and costs down.  The *NotExceed* variant
+additionally rents a new VM whenever the candidate's remaining BTU
+cannot absorb the task; *Exceed* never rents for that reason.
+
+Per the paper, renting one single-core VM per parallel task instead of a
+multi-core VM is cost-neutral under EC2's cost-per-core pricing; only
+global idle time differs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.builder import BuilderVM, ScheduleBuilder
+from repro.core.provisioning.base import ProvisioningPolicy, register_policy
+
+
+class _AllParBase(ProvisioningPolicy):
+    exceed_btu: bool = True
+
+    # ------------------------------------------------------------------
+    def _free_vms_for_level(self, task_id: str, builder: ScheduleBuilder) -> List[BuilderVM]:
+        """Existing VMs not already hosting a task of *task_id*'s level
+        and still alive (idle VMs die at their BTU boundary) when the
+        task could start on them."""
+        lvl = builder.level_of(task_id)
+        return [
+            vm
+            for vm in builder.vms
+            if not vm.empty
+            and all(builder.level_of(t) != lvl for t in vm.order)
+            and builder.is_reusable(task_id, vm)
+        ]
+
+    def _pick(self, task_id: str, builder: ScheduleBuilder, candidates: List[BuilderVM]) -> Optional[BuilderVM]:
+        """Choose among *candidates*: the largest predecessor's VM when it
+        is one of them, else the candidate with the largest accumulated
+        execution time (ties to the oldest VM)."""
+        if not candidates:
+            return None
+        pred_vm = builder.vm_of_largest_predecessor(task_id)
+        if pred_vm is not None and pred_vm in candidates:
+            return pred_vm
+        return max(candidates, key=lambda vm: (vm.busy_seconds, -vm.id))
+
+    def select_vm(self, task_id: str, builder: ScheduleBuilder) -> BuilderVM:
+        if builder.level_size(task_id) > 1:
+            candidates = self._free_vms_for_level(task_id, builder)
+        else:
+            pred_vm = builder.vm_of_largest_predecessor(task_id)
+            candidates = (
+                [pred_vm]
+                if pred_vm is not None and builder.is_reusable(task_id, pred_vm)
+                else []
+            )
+        if not self.exceed_btu:
+            candidates = [
+                vm for vm in candidates if builder.fits_in_btu(task_id, vm)
+            ]
+        chosen = self._pick(task_id, builder, candidates)
+        return chosen if chosen is not None else builder.new_vm()
+
+
+@register_policy
+class AllParNotExceed(_AllParBase):
+    name = "AllParNotExceed"
+    exceed_btu = False
+
+
+@register_policy
+class AllParExceed(_AllParBase):
+    name = "AllParExceed"
+    exceed_btu = True

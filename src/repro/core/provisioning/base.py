@@ -1,0 +1,61 @@
+"""Provisioning policy interface and registry.
+
+A provisioning policy answers one question, task by task, in the order
+the allocation strategy hands tasks over: *which VM runs this task* —
+an existing one, or a newly rented one?  Policies are stateless between
+runs; all scheduling state lives in the
+:class:`~repro.core.builder.ScheduleBuilder` they are given.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+from repro.core.builder import BuilderVM, ScheduleBuilder
+from repro.errors import SchedulingError
+
+
+class ProvisioningPolicy(abc.ABC):
+    """Strategy deciding VM reuse vs. rental for each task."""
+
+    #: registry key and report label
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select_vm(self, task_id: str, builder: ScheduleBuilder) -> BuilderVM:
+        """Return the VM (existing or freshly rented via
+        ``builder.new_vm()``) that should run *task_id* next.
+
+        The caller immediately places the task on the returned VM, so the
+        builder state a policy inspects always reflects every earlier
+        decision.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+#: registry: name -> zero-argument factory
+PROVISIONING_POLICIES: Dict[str, Callable[[], ProvisioningPolicy]] = {}
+
+
+def register_policy(factory: Callable[[], ProvisioningPolicy]) -> Callable[[], ProvisioningPolicy]:
+    """Class decorator registering a policy under its ``name``."""
+    probe = factory()
+    if not probe.name or probe.name == "base":
+        raise SchedulingError(f"policy {factory!r} must define a unique name")
+    if probe.name in PROVISIONING_POLICIES:
+        raise SchedulingError(f"duplicate provisioning policy {probe.name!r}")
+    PROVISIONING_POLICIES[probe.name] = factory
+    return factory
+
+
+def provisioning_policy(name: str) -> ProvisioningPolicy:
+    """Instantiate a registered policy by name (case-insensitive)."""
+    for key, factory in PROVISIONING_POLICIES.items():
+        if key.lower() == name.lower():
+            return factory()
+    raise SchedulingError(
+        f"unknown provisioning policy {name!r}; known: {sorted(PROVISIONING_POLICIES)}"
+    )

@@ -1,0 +1,63 @@
+"""StartPar[Not]Exceed: parallelism only for the workflow's *initial*
+tasks (paper Sect. III-A).
+
+Every entry task gets its own VM; every other task is packed, in
+allocation order, onto "the VM with the largest execution time".  The
+*NotExceed* variant rents a fresh VM instead when the task would push
+that VM past its currently-paid BTUs; the *Exceed* variant never rents
+for that reason — so a workflow with a single entry task ends up
+entirely serialized on one VM (the paper's CSTEM remark).
+
+``try_all_vms`` (off by default, see DESIGN.md) lets NotExceed scan the
+remaining VMs in decreasing execution time before renting.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import BuilderVM, ScheduleBuilder
+from repro.core.provisioning.base import ProvisioningPolicy, register_policy
+
+
+class _StartParBase(ProvisioningPolicy):
+    exceed_btu: bool = True
+    try_all_vms: bool = False
+
+    def select_vm(self, task_id: str, builder: ScheduleBuilder) -> BuilderVM:
+        if builder.is_entry(task_id):
+            return builder.new_vm()
+        # Only VMs still alive when the task could start are reusable:
+        # idle VMs are deprovisioned at their BTU boundary.
+        alive = [
+            vm
+            for vm in builder.vms
+            if not vm.empty and builder.is_reusable(task_id, vm)
+        ]
+        target = builder.busiest_vm(alive)
+        if target is None:
+            return builder.new_vm()
+        if self.exceed_btu or builder.fits_in_btu(task_id, target):
+            return target
+        if self.try_all_vms:
+            others = sorted(
+                (vm for vm in alive if vm is not target),
+                key=lambda vm: (-vm.busy_seconds, vm.id),
+            )
+            for vm in others:
+                if builder.fits_in_btu(task_id, vm):
+                    return vm
+        return builder.new_vm()
+
+
+@register_policy
+class StartParNotExceed(_StartParBase):
+    name = "StartParNotExceed"
+    exceed_btu = False
+
+    def __init__(self, try_all_vms: bool = False) -> None:
+        self.try_all_vms = try_all_vms
+
+
+@register_policy
+class StartParExceed(_StartParBase):
+    name = "StartParExceed"
+    exceed_btu = True

@@ -1,0 +1,85 @@
+"""Fleet utilization and parallelism profiles of schedules.
+
+Beyond the paper's scalar idle-time metric (Fig. 5), these tools expose
+*where* the waste sits: per-VM utilization, the schedule-wide busy
+fraction, and the parallelism profile — a step function of how many VMs
+execute concurrently over time, whose peak is the fleet size a provider
+must stand up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Aggregate fleet statistics for one schedule."""
+
+    label: str
+    #: busy seconds / paid seconds over the whole fleet
+    utilization: float
+    #: per-VM busy/paid fractions, in VM order
+    per_vm: Tuple[float, ...]
+    #: maximum number of concurrently executing tasks
+    peak_parallelism: int
+    #: time-weighted average of concurrently executing tasks
+    mean_parallelism: float
+
+    @property
+    def min_vm_utilization(self) -> float:
+        return min(self.per_vm)
+
+    @property
+    def max_vm_utilization(self) -> float:
+        return max(self.per_vm)
+
+
+def parallelism_profile(schedule: Schedule) -> List[Tuple[float, int]]:
+    """Step function of concurrent executions: ``[(time, count), ...]``.
+
+    Each entry gives the concurrency from that time until the next
+    entry's time; the profile starts at the first task start and ends
+    with a ``(makespan, 0)`` sentinel.
+    """
+    deltas: List[Tuple[float, int]] = []
+    for vm in schedule.vms:
+        for p in vm.placements:
+            deltas.append((p.start, +1))
+            deltas.append((p.end, -1))
+    deltas.sort()
+    profile: List[Tuple[float, int]] = []
+    count = 0
+    for t, d in deltas:
+        count += d
+        if profile and profile[-1][0] == t:
+            profile[-1] = (t, count)
+        else:
+            profile.append((t, count))
+    return profile
+
+
+def utilization(schedule: Schedule) -> UtilizationReport:
+    """Compute the :class:`UtilizationReport` of *schedule*."""
+    billing = schedule.platform.billing
+    busy = sum(vm.busy_seconds for vm in schedule.vms)
+    paid = sum(vm.paid_seconds(billing) for vm in schedule.vms)
+    per_vm = tuple(
+        vm.busy_seconds / vm.paid_seconds(billing) for vm in schedule.vms
+    )
+    profile = parallelism_profile(schedule)
+    peak = max((c for _, c in profile), default=0)
+    weighted = 0.0
+    for (t0, c), (t1, _) in zip(profile, profile[1:]):
+        weighted += c * (t1 - t0)
+    span = profile[-1][0] - profile[0][0] if len(profile) > 1 else 0.0
+    return UtilizationReport(
+        label=schedule.label,
+        utilization=busy / paid if paid > 0 else 0.0,
+        per_vm=per_vm,
+        peak_parallelism=peak,
+        mean_parallelism=weighted / span if span > 0 else 0.0,
+    )

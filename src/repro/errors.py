@@ -1,0 +1,55 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class WorkflowError(ReproError):
+    """A workflow definition is structurally invalid (cycle, missing task,
+    duplicate id, dangling edge, negative work...)."""
+
+
+class WorkflowParseError(WorkflowError):
+    """A workflow description (DAX XML, DOT...) could not be parsed."""
+
+
+class PlatformError(ReproError):
+    """The cloud platform model was configured or used inconsistently
+    (unknown region, unknown instance type, non-positive BTU...)."""
+
+
+class BillingError(PlatformError):
+    """Invalid billing operation (negative uptime, unknown price...)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling algorithm or provisioning policy produced or was given
+    an invalid input (task not ready, unknown policy name...)."""
+
+
+class InvalidScheduleError(SchedulingError):
+    """A produced schedule violates a structural invariant: a task is
+    unassigned or double-assigned, per-VM executions overlap, or a task
+    starts before its inputs are available."""
+
+
+class BudgetExceededError(SchedulingError):
+    """A budget-constrained algorithm was asked to commit a configuration
+    whose cost exceeds its budget."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state
+    (event in the past, deadlock with pending tasks...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or a sweep failed."""

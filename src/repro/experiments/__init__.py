@@ -1,0 +1,51 @@
+"""Experiment harness regenerating every figure and table of the
+paper's evaluation (Sect. IV-V)."""
+
+from repro.experiments.config import (
+    StrategySpec,
+    paper_strategies,
+    paper_workflows,
+    strategy,
+)
+from repro.experiments.scenarios import Scenario, paper_scenarios, scenario
+from repro.experiments.runner import SweepResult, run_strategy, run_sweep
+from repro.experiments import figures, tables
+from repro.experiments.gantt import gantt
+from repro.experiments.report import full_report
+from repro.experiments.store import save_sweep, load_sweep, diff_sweeps
+from repro.experiments.summary import summarize, most_stable, render_summary
+from repro.experiments.replication import replicate, render_replication
+from repro.experiments.pareto_front import pareto_front, pareto_fronts, render_pareto
+from repro.experiments.export import export_all
+from repro.experiments.html_report import html_report, write_html_report
+
+__all__ = [
+    "StrategySpec",
+    "paper_strategies",
+    "paper_workflows",
+    "strategy",
+    "Scenario",
+    "paper_scenarios",
+    "scenario",
+    "SweepResult",
+    "run_strategy",
+    "run_sweep",
+    "figures",
+    "tables",
+    "gantt",
+    "full_report",
+    "save_sweep",
+    "load_sweep",
+    "diff_sweeps",
+    "summarize",
+    "most_stable",
+    "render_summary",
+    "replicate",
+    "render_replication",
+    "pareto_front",
+    "pareto_fronts",
+    "render_pareto",
+    "export_all",
+    "html_report",
+    "write_html_report",
+]

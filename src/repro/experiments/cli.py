@@ -1,0 +1,233 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Regenerates the paper's figures/tables as text, profiles workflows, and
+draws schedules::
+
+    repro-experiments all --seed 2013
+    repro-experiments figure4 --scenario best --quick
+    repro-experiments table3 --out results.txt
+    repro-experiments profile --workflow cybershake
+    repro-experiments gantt --workflow montage --strategy AllParExceed-m
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments import figures, tables
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.gantt import gantt
+from repro.experiments.report import full_report
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+from repro.util.tables import format_table
+from repro.workflows.analysis import profile
+from repro.workflows.generators import (
+    bag_of_tasks,
+    cstem,
+    cybershake,
+    epigenomics,
+    fork_join,
+    ligo,
+    mapreduce,
+    montage,
+    sequential,
+    sipht,
+)
+
+_SWEEP_ARTIFACTS = {"figure4", "figure5", "table3", "table4", "all", "export"}
+_ARTIFACTS = [
+    "all",
+    "export",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "profile",
+    "gantt",
+    "explain",
+    "list",
+]
+
+_WORKFLOWS = {
+    "montage": montage,
+    "cstem": cstem,
+    "mapreduce": mapreduce,
+    "sequential": sequential,
+    "fork_join": fork_join,
+    "epigenomics": epigenomics,
+    "cybershake": cybershake,
+    "ligo": ligo,
+    "sipht": sipht,
+    "bag_of_tasks": bag_of_tasks,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's evaluation figures and tables.",
+    )
+    parser.add_argument("artifact", choices=_ARTIFACTS, nargs="?", default="all")
+    parser.add_argument("--seed", type=int, default=2013, help="sweep RNG seed")
+    parser.add_argument(
+        "--scenario",
+        choices=["pareto", "best", "worst"],
+        default="pareto",
+        help="scenario for figure4/figure5 rendering",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sweep (Pareto scenario, Montage + Sequential only)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay every schedule through the discrete-event simulator",
+    )
+    parser.add_argument(
+        "--workflow",
+        choices=sorted(_WORKFLOWS),
+        default="montage",
+        help="workflow for the profile/gantt artifacts",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="StartParNotExceed-s",
+        help="Figure-4 strategy label for the gantt artifact",
+    )
+    parser.add_argument("--out", help="write the report to a file instead of stdout")
+    parser.add_argument(
+        "--out-dir",
+        default="artifacts",
+        help="directory for the `export` artifact bundle",
+    )
+    return parser
+
+
+def _render_profile(workflow_name: str) -> str:
+    p = profile(_WORKFLOWS[workflow_name]())
+    rows = [
+        ("tasks", p.tasks),
+        ("edges", p.edges),
+        ("levels", p.levels),
+        ("max width", p.max_width),
+        ("avg width", p.avg_width),
+        ("serial fraction", p.serial_fraction),
+        ("level-skip fraction", p.level_skip_fraction),
+        ("runtime CV", p.runtime_cv),
+        ("mean runtime s", p.mean_runtime),
+        ("total work s", p.total_work),
+        ("critical path s", p.critical_path_seconds),
+        ("total data GB", p.total_data_gb),
+        ("CCR", p.ccr),
+        ("parallel efficiency", p.parallel_efficiency),
+    ]
+    return format_table(
+        ["statistic", "value"],
+        rows,
+        float_fmt=".3f",
+        title=f"Workflow profile — {p.name}",
+    )
+
+
+def _render_gantt(workflow_name: str, strategy_label: str, platform) -> str:
+    wf = _WORKFLOWS[workflow_name]()
+    sched = strategy(strategy_label).run(wf, platform)
+    return gantt(sched)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    platform = CloudPlatform.ec2()
+    sweep = None
+    if args.artifact in _SWEEP_ARTIFACTS:
+        if args.quick:
+            wfs = paper_workflows()
+            sweep = run_sweep(
+                platform=platform,
+                workflows={k: wfs[k] for k in ("montage", "sequential")},
+                scenarios=[scenario("pareto", platform)],
+                seed=args.seed,
+                verify=args.verify,
+            )
+        else:
+            sweep = run_sweep(platform=platform, seed=args.seed, verify=args.verify)
+
+    if args.artifact == "export":
+        from repro.experiments.export import export_all
+
+        written = export_all(args.out_dir, sweep=sweep, seed=args.seed)
+        sys.stdout.write(
+            "\n".join(str(p) for p in written)
+            + f"\nwrote {len(written)} artifacts to {args.out_dir}\n"
+        )
+        return 0
+    if args.artifact == "all":
+        text = full_report(sweep)
+    elif args.artifact == "figure1":
+        text = figures.render_figure1(platform)
+    elif args.artifact == "figure2":
+        text = figures.render_figure2()
+    elif args.artifact == "figure3":
+        text = figures.render_figure3(seed=args.seed)
+    elif args.artifact == "figure4":
+        text = figures.render_figure4(sweep, scenario="pareto" if args.quick else args.scenario)
+    elif args.artifact == "figure5":
+        text = figures.render_figure5(sweep, scenario="pareto" if args.quick else args.scenario)
+    elif args.artifact == "table1":
+        text = tables.render_table1()
+    elif args.artifact == "table2":
+        text = tables.render_table2(platform)
+    elif args.artifact == "table3":
+        text = tables.render_table3(sweep)
+    elif args.artifact == "table4":
+        text = tables.render_table4(sweep)
+    elif args.artifact == "table5":
+        text = tables.render_table5(platform)
+    elif args.artifact == "profile":
+        text = _render_profile(args.workflow)
+    elif args.artifact == "gantt":
+        text = _render_gantt(args.workflow, args.strategy, platform)
+    elif args.artifact == "list":
+        from repro.core.allocation.base import SCHEDULING_ALGORITHMS
+        from repro.core.provisioning.base import PROVISIONING_POLICIES
+        from repro.experiments.config import paper_strategies
+
+        text = "\n".join(
+            [
+                "figure-4 strategies: "
+                + ", ".join(s.label for s in paper_strategies()),
+                "provisioning policies: "
+                + ", ".join(sorted(PROVISIONING_POLICIES)),
+                "scheduling algorithms: "
+                + ", ".join(sorted(SCHEDULING_ALGORITHMS)),
+                "workflows: " + ", ".join(sorted(_WORKFLOWS)),
+            ]
+        )
+    else:  # explain
+        from repro.core.explain import explain, render_explanation
+
+        wf = _WORKFLOWS[args.workflow]()
+        sched = strategy(args.strategy).run(wf, platform)
+        text = render_explanation(explain(sched))
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        sys.stdout.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

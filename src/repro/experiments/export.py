@@ -1,0 +1,73 @@
+"""One-call artifact export: every figure, table and analysis of the
+evaluation written to a directory (text + SVG + raw sweep JSON), so a
+single command materializes the paper's results folder.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments import figures, tables
+from repro.experiments.pareto_front import render_pareto
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.store import save_sweep
+from repro.experiments.summary import render_summary
+
+
+def export_all(
+    out_dir: str | Path,
+    sweep: SweepResult | None = None,
+    seed: int = 2013,
+    verify: bool = False,
+) -> List[Path]:
+    """Write every evaluation artifact under *out_dir*.
+
+    Runs the default sweep when none is given.  Returns the written
+    paths (text tables/figures, per-workflow SVGs, ``sweep.json``).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    platform = sweep.platform if sweep is not None else CloudPlatform.ec2()
+    if sweep is None:
+        sweep = run_sweep(platform=platform, seed=seed, verify=verify)
+
+    texts: Dict[str, str] = {
+        "table1.txt": tables.render_table1(),
+        "table2.txt": tables.render_table2(platform),
+        "table3.txt": tables.render_table3(sweep),
+        "table4.txt": tables.render_table4(sweep),
+        "table5.txt": tables.render_table5(platform),
+        "figure1.txt": figures.render_figure1(platform),
+        "figure2.txt": figures.render_figure2(),
+        "figure3.txt": figures.render_figure3(seed=seed),
+        "figure4.txt": figures.render_figure4(sweep),
+        "figure5.txt": figures.render_figure5(sweep),
+        "summary.txt": render_summary(sweep),
+        "pareto_front.txt": render_pareto(sweep),
+    }
+    written: List[Path] = []
+    for name, text in texts.items():
+        path = out / name
+        path.write_text(text + "\n")
+        written.append(path)
+
+    first_scenario = sweep.scenarios()[0]
+    for wf_name in sweep.workflows(first_scenario):
+        for maker, stem in (
+            (figures.figure4_svg, "figure4"),
+            (figures.figure5_svg, "figure5"),
+        ):
+            path = out / f"{stem}_{wf_name}.svg"
+            path.write_text(maker(sweep, wf_name, first_scenario) + "\n")
+            written.append(path)
+
+    sweep_path = out / "sweep.json"
+    save_sweep(sweep, sweep_path)
+    written.append(sweep_path)
+
+    from repro.experiments.html_report import write_html_report
+
+    written.append(write_html_report(out / "report.html", sweep, seed=seed))
+    return written

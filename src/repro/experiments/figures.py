@@ -1,0 +1,241 @@
+"""Regenerators for the paper's figures.
+
+Each ``figureN_*`` function returns plain data (what the paper plots);
+each ``render_figureN`` turns that into terminal text via the ascii
+plotting helpers, so the benchmark harness prints the same series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.metrics import evaluate
+from repro.core.provisioning.base import provisioning_policy
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.experiments.runner import SweepResult
+from repro.util.ascii_plot import ascii_bars, ascii_scatter
+from repro.util.rng import ensure_rng
+from repro.util.tables import format_table
+from repro.workloads.pareto import (
+    FEITELSON_RUNTIME_SHAPE,
+    FEITELSON_SCALE,
+    pareto_cdf,
+    pareto_sample,
+)
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+from repro.workflows.generators import cstem, mapreduce, montage, sequential
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — the five policies on the CSTEM sub-workflow
+# ----------------------------------------------------------------------
+def figure1_subworkflow() -> Workflow:
+    """The paper's worked example: one initial task + six children."""
+    wf = Workflow("cstem-sub")
+    init = wf.add_task(Task("t0", 1800.0, "init"))
+    for i, work in enumerate((2400.0, 2000.0, 1600.0, 1200.0, 900.0, 600.0)):
+        child = wf.add_task(Task(f"t{i + 1}", work, "child"))
+        wf.add_dependency(init.id, child.id, 0.01)
+    return wf.validate()
+
+
+def figure1_rows(platform: CloudPlatform | None = None) -> List[tuple]:
+    """Per-policy (VMs, BTUs, cost, makespan, idle) on the Fig. 1 example."""
+    platform = platform or CloudPlatform.ec2()
+    wf = figure1_subworkflow()
+    small = platform.itype("small")
+    rows = []
+    for policy in (
+        "OneVMperTask",
+        "StartParNotExceed",
+        "StartParExceed",
+        "AllParNotExceed",
+        "AllParExceed",
+    ):
+        if policy.startswith("AllPar"):
+            algo = AllParScheduler(exceed=policy == "AllParExceed")
+        else:
+            algo = HeftScheduler(provisioning_policy(policy))
+        sched = algo.schedule(wf, platform, itype=small)
+        m = evaluate(sched, label=policy)
+        rows.append(
+            (policy, m.vm_count, m.btus, m.cost, m.makespan, m.idle_seconds)
+        )
+    return rows
+
+
+def render_figure1(platform: CloudPlatform | None = None) -> str:
+    from repro.experiments.gantt import gantt
+
+    platform = platform or CloudPlatform.ec2()
+    table = format_table(
+        ["policy", "VMs", "BTUs", "cost $", "makespan s", "idle s"],
+        figure1_rows(platform),
+        title="Figure 1 — provisioning policies on the CSTEM sub-workflow",
+    )
+    wf = figure1_subworkflow()
+    small = platform.itype("small")
+    charts = []
+    for policy in (
+        "OneVMperTask",
+        "StartParNotExceed",
+        "StartParExceed",
+        "AllParNotExceed",
+        "AllParExceed",
+    ):
+        if policy.startswith("AllPar"):
+            algo = AllParScheduler(exceed=policy == "AllParExceed")
+        else:
+            algo = HeftScheduler(provisioning_policy(policy))
+        charts.append(gantt(algo.schedule(wf, platform, itype=small)))
+    return table + "\n\n" + "\n\n".join(charts)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — the four workflow shapes
+# ----------------------------------------------------------------------
+def figure2_summaries() -> List[Dict[str, object]]:
+    return [wf.summary() for wf in (montage(), cstem(), mapreduce(), sequential())]
+
+
+def render_figure2() -> str:
+    summaries = figure2_summaries()
+    headers = [
+        "workflow",
+        "tasks",
+        "edges",
+        "entries",
+        "exits",
+        "levels",
+        "max par",
+        "CP tasks",
+    ]
+    rows = [
+        (
+            s["name"],
+            s["tasks"],
+            s["edges"],
+            s["entry_tasks"],
+            s["exit_tasks"],
+            s["levels"],
+            s["max_parallelism"],
+            s["critical_path_tasks"],
+        )
+        for s in summaries
+    ]
+    return format_table(
+        headers, rows, title="Figure 2 — workflow shapes (structure stats)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — CDF of the Pareto execution times
+# ----------------------------------------------------------------------
+def figure3_cdf(
+    n_samples: int = 100_000, seed: int = 2013
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Empirical CDF over the paper's x-range plus the closed form.
+
+    Returns ``(x, empirical, analytic)`` for x in [500, 4000].
+    """
+    rng = ensure_rng(seed)
+    draws = pareto_sample(rng, n_samples, FEITELSON_RUNTIME_SHAPE, FEITELSON_SCALE)
+    x = np.linspace(FEITELSON_SCALE, 4000.0, 50)
+    empirical = np.array([(draws <= xi).mean() for xi in x])
+    analytic = pareto_cdf(x)
+    return x, empirical, analytic
+
+
+def render_figure3(n_samples: int = 100_000, seed: int = 2013) -> str:
+    x, emp, ana = figure3_cdf(n_samples, seed)
+    rows = [
+        (f"{xi:7.0f}", float(e), float(a))
+        for xi, e, a in zip(x[::7], emp[::7], ana[::7])
+    ]
+    table = format_table(
+        ["exec time s", "empirical CDF", "analytic CDF"],
+        rows,
+        float_fmt=".4f",
+        title="Figure 3 — Pareto(shape=2, scale=500) execution-time CDF",
+    )
+    bars = ascii_bars(
+        {f"{xi:5.0f}s": float(e) * 100 for xi, e in zip(x[::5], emp[::5])},
+        width=50,
+        unit="%",
+    )
+    return table + "\n\n" + bars
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — % cost loss vs % makespan gain per workflow
+# ----------------------------------------------------------------------
+def figure4_points(
+    sweep: SweepResult, workflow: str, scenario: str = "pareto"
+) -> Dict[str, Tuple[float, float]]:
+    """(gain%, loss%) per strategy label, the paper's scatter series."""
+    cell = sweep.metrics[scenario][workflow]
+    return {label: (m.gain_pct, m.loss_pct) for label, m in cell.items()}
+
+
+def figure4_svg(sweep: SweepResult, workflow: str, scenario: str = "pareto") -> str:
+    """Figure 4 for one workflow as a standalone SVG document."""
+    from repro.util.svg_plot import svg_scatter
+
+    return svg_scatter(
+        figure4_points(sweep, workflow, scenario),
+        title=f"Figure 4 ({workflow}, {scenario}) — % $ loss vs % gain",
+        xlabel="% gain",
+        ylabel="% $ loss",
+    )
+
+
+def figure5_svg(sweep: SweepResult, workflow: str, scenario: str = "pareto") -> str:
+    """Figure 5 for one workflow as a standalone SVG document."""
+    from repro.util.svg_plot import svg_bars
+
+    return svg_bars(
+        figure5_idle(sweep, workflow, scenario),
+        title=f"Figure 5 ({workflow}, {scenario}) — total idle time",
+        unit="s",
+    )
+
+
+def render_figure4(sweep: SweepResult, scenario: str = "pareto") -> str:
+    blocks = []
+    for wf_name in sweep.workflows(scenario):
+        points = figure4_points(sweep, wf_name, scenario)
+        plot = ascii_scatter(
+            points,
+            xlabel="% gain",
+            ylabel="% $ loss",
+            width=70,
+            height=22,
+        )
+        blocks.append(
+            f"Figure 4 ({wf_name}, {scenario}) — cost loss vs makespan gain\n{plot}"
+        )
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — total idle time per strategy per workflow
+# ----------------------------------------------------------------------
+def figure5_idle(
+    sweep: SweepResult, workflow: str, scenario: str = "pareto"
+) -> Dict[str, float]:
+    cell = sweep.metrics[scenario][workflow]
+    return {label: m.idle_seconds for label, m in cell.items()}
+
+
+def render_figure5(sweep: SweepResult, scenario: str = "pareto") -> str:
+    blocks = []
+    for wf_name in sweep.workflows(scenario):
+        bars = ascii_bars(figure5_idle(sweep, wf_name, scenario), unit="s")
+        blocks.append(f"Figure 5 ({wf_name}, {scenario}) — total idle time\n{bars}")
+    return "\n\n".join(blocks)

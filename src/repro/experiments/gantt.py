@@ -1,0 +1,61 @@
+"""ASCII Gantt charts of schedules — the visual language of the paper's
+Figure 1: one row per VM, ``#`` for execution, ``.`` for paid-but-idle
+time, ``|`` marks at BTU boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.schedule import Schedule
+
+
+def gantt(schedule: Schedule, width: int = 78, label_tasks: bool = True) -> str:
+    """Render *schedule* as a per-VM timeline.
+
+    Each row covers ``[0, horizon]`` where the horizon is the last paid
+    BTU boundary of any VM; one character is ``horizon / width`` seconds.
+    Task placements are drawn as runs of ``#`` (or the task id's first
+    letters when *label_tasks* and the run is wide enough); the paid tail
+    of each VM is ``.``; BTU boundaries inside the rent window are ``|``.
+    """
+    billing = schedule.platform.billing
+    horizon = max(
+        vm.rent_start + vm.paid_seconds(billing) for vm in schedule.vms
+    )
+    if horizon <= 0:
+        return "(empty schedule)"
+    scale = width / horizon
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int(t * scale)))
+
+    label_w = max(len(vm.name) for vm in schedule.vms)
+    lines: List[str] = [
+        f"{schedule.label}: makespan {schedule.makespan:,.0f}s, "
+        f"cost ${schedule.total_cost:.2f}, idle {schedule.total_idle_seconds:,.0f}s"
+    ]
+    for vm in schedule.vms:
+        row = [" "] * width
+        paid_end = vm.rent_start + vm.paid_seconds(billing)
+        for c in range(col(vm.rent_start), col(paid_end) + 1):
+            row[c] = "."
+        # BTU boundary ticks
+        t = vm.rent_start + billing.btu_seconds
+        while t < paid_end - 1e-9:
+            row[col(t)] = "|"
+            t += billing.btu_seconds
+        for p in vm.placements:
+            lo, hi = col(p.start), max(col(p.start), col(p.end) - 1)
+            for c in range(lo, hi + 1):
+                row[c] = "#"
+            if label_tasks and hi - lo + 1 >= len(p.task_id) + 1:
+                for i, ch in enumerate(p.task_id[: hi - lo]):
+                    row[lo + i] = ch
+        lines.append(f"{vm.name.ljust(label_w)} {''.join(row)}")
+    lines.append(
+        f"{' ' * label_w} 0{'-' * (width - len(f'{horizon:,.0f}s') - 2)}"
+        f"{horizon:,.0f}s"
+    )
+    lines.append(f"{' ' * label_w} (# busy, . paid idle, | BTU boundary)")
+    return "\n".join(lines)

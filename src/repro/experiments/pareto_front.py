@@ -1,0 +1,74 @@
+"""Pareto-front analysis of a sweep cell.
+
+The paper buckets strategies into savings/gain/balanced (Table III);
+multi-objective optimization has a sharper notion: a strategy is
+*dominated* if another is at least as good on both makespan and cost
+and strictly better on one.  The non-dominated set is the menu a user
+actually chooses from; everything else is never the right answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.metrics import ScheduleMetrics
+from repro.experiments.runner import SweepResult
+from repro.util.tables import format_table
+
+_EPS = 1e-9
+
+
+def dominates(a: ScheduleMetrics, b: ScheduleMetrics) -> bool:
+    """Is *a* at least as fast and as cheap as *b*, and strictly better
+    on one axis?"""
+    no_worse = a.makespan <= b.makespan + _EPS and a.cost <= b.cost + _EPS
+    strictly = a.makespan < b.makespan - _EPS or a.cost < b.cost - _EPS
+    return no_worse and strictly
+
+
+@dataclass(frozen=True)
+class ParetoCell:
+    """The non-dominated menu of one (scenario, workflow) cell."""
+
+    frontier: Tuple[str, ...]  # labels, sorted by makespan ascending
+    dominated: Tuple[str, ...]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.frontier
+
+
+def pareto_front(cell: Dict[str, ScheduleMetrics]) -> ParetoCell:
+    """Split a cell into frontier and dominated strategies."""
+    labels = list(cell)
+    dominated = set()
+    for a in labels:
+        for b in labels:
+            if a != b and dominates(cell[a], cell[b]):
+                dominated.add(b)
+    frontier = sorted(
+        (l for l in labels if l not in dominated),
+        key=lambda l: (cell[l].makespan, cell[l].cost, l),
+    )
+    return ParetoCell(frontier=tuple(frontier), dominated=tuple(sorted(dominated)))
+
+
+def pareto_fronts(sweep: SweepResult) -> Dict[Tuple[str, str], ParetoCell]:
+    """Frontier per (scenario, workflow) of a sweep."""
+    return {
+        (sc, wf): pareto_front(sweep.metrics[sc][wf])
+        for sc in sweep.scenarios()
+        for wf in sweep.workflows(sc)
+    }
+
+
+def render_pareto(sweep: SweepResult) -> str:
+    rows: List[tuple] = []
+    for (sc, wf), cell in pareto_fronts(sweep).items():
+        rows.append((f"{sc}/{wf}", len(cell.frontier), ", ".join(cell.frontier)))
+    return format_table(
+        ["case", "size", "Pareto frontier (fast -> cheap)"],
+        rows,
+        title="Non-dominated strategies per evaluation cell",
+        align_right=False,
+    )

@@ -1,0 +1,125 @@
+"""Sweep runner: every strategy x workflow x scenario, against the
+reference, with optional DES cross-validation of every schedule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.baseline import reference_schedule
+from repro.core.metrics import ScheduleMetrics, compare_to_reference
+from repro.core.schedule import Schedule
+from repro.errors import ExperimentError
+from repro.experiments.config import StrategySpec, paper_strategies, paper_workflows
+from repro.experiments.scenarios import Scenario, paper_scenarios
+from repro.simulator.executor import simulate_schedule
+from repro.util.rng import spawn_rngs
+from repro.workflows.dag import Workflow
+
+
+def run_strategy(
+    spec: StrategySpec,
+    workflow: Workflow,
+    platform: CloudPlatform,
+    reference: Schedule | None = None,
+    verify: bool = False,
+) -> ScheduleMetrics:
+    """Run one strategy on one concrete workflow instance.
+
+    With *verify*, the schedule is also replayed through the DES and its
+    timings checked against the static plan.
+    """
+    sched = spec.run(workflow, platform)
+    sched.validate()
+    if verify:
+        simulate_schedule(sched, check=True)
+    ref = reference if reference is not None else reference_schedule(workflow, platform)
+    return compare_to_reference(sched, ref, label=spec.label)
+
+
+@dataclass
+class SweepResult:
+    """Results of a full sweep, indexed [scenario][workflow][strategy]."""
+
+    platform: CloudPlatform
+    metrics: Dict[str, Dict[str, Dict[str, ScheduleMetrics]]] = field(
+        default_factory=dict
+    )
+    references: Dict[str, Dict[str, ScheduleMetrics]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def scenarios(self) -> List[str]:
+        return list(self.metrics)
+
+    def workflows(self, scenario: str) -> List[str]:
+        return list(self.metrics[scenario])
+
+    def get(self, scenario: str, workflow: str, strategy: str) -> ScheduleMetrics:
+        try:
+            return self.metrics[scenario][workflow][strategy]
+        except KeyError:
+            raise ExperimentError(
+                f"no result for {scenario}/{workflow}/{strategy}"
+            ) from None
+
+    def strategies(self, scenario: str, workflow: str) -> List[str]:
+        return list(self.metrics[scenario][workflow])
+
+    def rows(self) -> List[tuple]:
+        """Flat (scenario, workflow, strategy, metrics) rows."""
+        out = []
+        for sc, by_wf in self.metrics.items():
+            for wf, by_strat in by_wf.items():
+                for label, m in by_strat.items():
+                    out.append((sc, wf, label, m))
+        return out
+
+
+def run_sweep(
+    platform: CloudPlatform | None = None,
+    workflows: Mapping[str, Workflow] | None = None,
+    scenarios: Iterable[Scenario] | None = None,
+    strategies: Iterable[StrategySpec] | None = None,
+    seed: int = 2013,
+    verify: bool = False,
+) -> SweepResult:
+    """Run the paper's full evaluation grid.
+
+    The default arguments reproduce Figures 4-5 and Tables III-IV: four
+    workflows x three scenarios x nineteen strategies, seeded so the
+    Pareto draws are identical across strategies within one (scenario,
+    workflow) cell.
+    """
+    platform = platform or CloudPlatform.ec2()
+    workflows = workflows if workflows is not None else paper_workflows()
+    scenarios = list(scenarios) if scenarios is not None else paper_scenarios(platform)
+    strategies = (
+        list(strategies) if strategies is not None else paper_strategies()
+    )
+    if not workflows or not scenarios or not strategies:
+        raise ExperimentError("sweep needs at least one of each axis")
+
+    result = SweepResult(platform=platform)
+    rngs = spawn_rngs(seed, len(scenarios) * len(workflows))
+    i = 0
+    for sc in scenarios:
+        result.metrics[sc.name] = {}
+        result.references[sc.name] = {}
+        for wf_name, shape in workflows.items():
+            cell_seed = rngs[i]
+            i += 1
+            concrete = sc.apply(shape, cell_seed)
+            ref = reference_schedule(concrete, platform)
+            if verify:
+                simulate_schedule(ref, check=True)
+            result.references[sc.name][wf_name] = compare_to_reference(
+                ref, ref, label="OneVMperTask-s (reference)"
+            )
+            row: Dict[str, ScheduleMetrics] = {}
+            for spec in strategies:
+                row[spec.label] = run_strategy(
+                    spec, concrete, platform, reference=ref, verify=verify
+                )
+            result.metrics[sc.name][wf_name] = row
+    return result

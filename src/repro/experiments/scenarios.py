@@ -1,0 +1,67 @@
+"""The paper's three execution-time scenarios (Sect. IV-B).
+
+``pareto`` draws Feitelson Pareto runtimes; ``best`` makes all tasks
+equal with the workflow fitting one BTU sequentially; ``worst`` makes
+every task overrun a BTU even on the fastest instance.  A scenario is a
+pure function of ``(workflow shape, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.cloud.platform import CloudPlatform
+from repro.errors import ExperimentError
+from repro.workflows.dag import Workflow
+from repro.workloads.base import ExecutionTimeModel, apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workloads.uniform import BestCaseModel, WorstCaseModel
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named execution-time regime applied to workflow shapes."""
+
+    name: str
+    model_factory: Callable[[], ExecutionTimeModel]
+    #: stochastic scenarios consume the sweep seed; deterministic ones don't
+    stochastic: bool = False
+
+    def apply(self, workflow: Workflow, seed=None) -> Workflow:
+        model = self.model_factory()
+        return apply_model(workflow, model, seed if self.stochastic else None)
+
+
+def paper_scenarios(platform: CloudPlatform | None = None) -> List[Scenario]:
+    """Pareto / best / worst, parameterized by the platform's BTU and
+    top speed-up so the boundary properties hold by construction."""
+    platform = platform or CloudPlatform.ec2()
+    btu = platform.btu_seconds
+    max_speedup = max(t.speedup for t in platform.catalog.values())
+    return [
+        Scenario("pareto", ParetoModel, stochastic=True),
+        Scenario("best", lambda: BestCaseModel(btu_seconds=btu)),
+        Scenario(
+            "worst",
+            lambda: WorstCaseModel(
+                btu_seconds=btu,
+                max_speedup=max_speedup,
+                factor=max_speedup + 0.1,
+            ),
+        ),
+    ]
+
+
+def scenario(name: str, platform: CloudPlatform | None = None) -> Scenario:
+    """Look up one of the paper's scenarios by name."""
+    for s in paper_scenarios(platform):
+        if s.name == name.lower():
+            return s
+    raise ExperimentError(
+        f"unknown scenario {name!r}; known: pareto, best, worst"
+    )
+
+
+def scenario_map(platform: CloudPlatform | None = None) -> Dict[str, Scenario]:
+    return {s.name: s for s in paper_scenarios(platform)}

@@ -1,0 +1,129 @@
+"""Persist and reload sweep results.
+
+Running the full 19 x 4 x 3 grid takes seconds today but grows with
+workflow size; storing a :class:`~repro.experiments.runner.SweepResult`
+as JSON lets reports, notebooks and regression diffs work from saved
+runs.  Only metrics are stored (schedules are reproducible from the
+seed); the platform is re-created by the caller.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.metrics import ScheduleMetrics
+from repro.errors import ExperimentError
+from repro.experiments.runner import SweepResult
+
+_FORMAT_VERSION = 1
+
+
+def _metrics_to_dict(m: ScheduleMetrics) -> Dict[str, Any]:
+    return {
+        "label": m.label,
+        "makespan": m.makespan,
+        "cost": m.cost,
+        "idle_seconds": m.idle_seconds,
+        "vm_count": m.vm_count,
+        "btus": m.btus,
+        "gain_pct": m.gain_pct,
+        "loss_pct": m.loss_pct,
+    }
+
+
+def _metrics_from_dict(d: Dict[str, Any]) -> ScheduleMetrics:
+    try:
+        return ScheduleMetrics(
+            label=d["label"],
+            makespan=float(d["makespan"]),
+            cost=float(d["cost"]),
+            idle_seconds=float(d["idle_seconds"]),
+            vm_count=int(d["vm_count"]),
+            btus=int(d["btus"]),
+            gain_pct=float(d["gain_pct"]),
+            loss_pct=float(d["loss_pct"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(f"malformed metrics record: {exc!r}") from exc
+
+
+def sweep_to_dict(sweep: SweepResult) -> Dict[str, Any]:
+    return {
+        "format": _FORMAT_VERSION,
+        "metrics": {
+            sc: {
+                wf: {label: _metrics_to_dict(m) for label, m in cell.items()}
+                for wf, cell in by_wf.items()
+            }
+            for sc, by_wf in sweep.metrics.items()
+        },
+        "references": {
+            sc: {wf: _metrics_to_dict(m) for wf, m in by_wf.items()}
+            for sc, by_wf in sweep.references.items()
+        },
+    }
+
+
+def save_sweep(sweep: SweepResult, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(sweep_to_dict(sweep), indent=1))
+
+
+def load_sweep(path: str | Path, platform: CloudPlatform | None = None) -> SweepResult:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot load sweep from {path}: {exc}") from exc
+    if data.get("format") != _FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported sweep format {data.get('format')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    result = SweepResult(platform=platform or CloudPlatform.ec2())
+    for sc, by_wf in data["metrics"].items():
+        result.metrics[sc] = {
+            wf: {label: _metrics_from_dict(m) for label, m in cell.items()}
+            for wf, cell in by_wf.items()
+        }
+    for sc, by_wf in data.get("references", {}).items():
+        result.references[sc] = {
+            wf: _metrics_from_dict(m) for wf, m in by_wf.items()
+        }
+    return result
+
+
+def diff_sweeps(
+    old: SweepResult, new: SweepResult, rel_tolerance: float = 1e-9
+) -> Dict[str, Any]:
+    """Compare two sweeps cell by cell.
+
+    Returns ``{"added": [...], "removed": [...], "changed": [...]}`` where
+    each entry is the ``scenario/workflow/strategy`` key; "changed" lists
+    cells whose makespan or cost moved by more than *rel_tolerance*
+    relatively — the regression-tracking primitive.
+    """
+    def keys(sweep: SweepResult):
+        return {
+            (sc, wf, label)
+            for sc, wf, label, _ in sweep.rows()
+        }
+
+    old_keys, new_keys = keys(old), keys(new)
+    changed = []
+    for key in sorted(old_keys & new_keys):
+        sc, wf, label = key
+        a = old.get(sc, wf, label)
+        b = new.get(sc, wf, label)
+        for attr in ("makespan", "cost"):
+            va, vb = getattr(a, attr), getattr(b, attr)
+            denom = max(abs(va), abs(vb), 1e-12)
+            if abs(va - vb) / denom > rel_tolerance:
+                changed.append("/".join(key))
+                break
+    return {
+        "added": sorted("/".join(k) for k in new_keys - old_keys),
+        "removed": sorted("/".join(k) for k in old_keys - new_keys),
+        "changed": changed,
+    }

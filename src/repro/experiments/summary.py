@@ -1,0 +1,103 @@
+"""Cross-cell strategy summaries.
+
+The paper's narrative keeps referring to *stability* — "any strategy
+which might provide stable results in terms of cost and makespan
+throughout the tests", "Gain and CPA-Eager ... produce stable results
+throughout the three cases", Table IV's "stable gain".  This module
+computes that: per strategy, the gain/loss distribution over every
+(scenario, workflow) cell of a sweep, plus how often it lands in the
+target square.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.runner import SweepResult
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class StrategySummary:
+    """Aggregate behaviour of one strategy across a sweep."""
+
+    label: str
+    cells: int
+    mean_gain_pct: float
+    gain_spread_pct: float  # max - min
+    mean_loss_pct: float
+    loss_spread_pct: float
+    in_square_fraction: float
+
+    @property
+    def stable_gain(self) -> bool:
+        """Gain varies by under 5 points across all cells — Table IV's
+        "stable gain" notion."""
+        return self.gain_spread_pct < 5.0
+
+    @property
+    def stable_loss(self) -> bool:
+        return self.loss_spread_pct < 5.0
+
+
+def summarize(sweep: SweepResult) -> Dict[str, StrategySummary]:
+    """Per-strategy summary over every cell of *sweep*."""
+    by_label: Dict[str, List] = {}
+    for _sc, _wf, label, m in sweep.rows():
+        by_label.setdefault(label, []).append(m)
+    out: Dict[str, StrategySummary] = {}
+    for label, ms in by_label.items():
+        gains = [m.gain_pct for m in ms]
+        losses = [m.loss_pct for m in ms]
+        out[label] = StrategySummary(
+            label=label,
+            cells=len(ms),
+            mean_gain_pct=statistics.fmean(gains),
+            gain_spread_pct=max(gains) - min(gains),
+            mean_loss_pct=statistics.fmean(losses),
+            loss_spread_pct=max(losses) - min(losses),
+            in_square_fraction=sum(m.in_target_square for m in ms) / len(ms),
+        )
+    return out
+
+
+def most_stable(sweep: SweepResult, top: int = 5) -> List[StrategySummary]:
+    """Strategies ranked by combined gain+loss spread, most stable first."""
+    ranked = sorted(
+        summarize(sweep).values(),
+        key=lambda s: (s.gain_spread_pct + s.loss_spread_pct, s.label),
+    )
+    return ranked[:top]
+
+
+def render_summary(sweep: SweepResult) -> str:
+    rows = [
+        (
+            s.label,
+            s.cells,
+            s.mean_gain_pct,
+            s.gain_spread_pct,
+            s.mean_loss_pct,
+            s.loss_spread_pct,
+            s.in_square_fraction * 100,
+        )
+        for s in sorted(
+            summarize(sweep).values(), key=lambda s: -s.in_square_fraction
+        )
+    ]
+    return format_table(
+        [
+            "strategy",
+            "cells",
+            "mean gain %",
+            "gain spread",
+            "mean loss %",
+            "loss spread",
+            "in square %",
+        ],
+        rows,
+        float_fmt=".1f",
+        title="Strategy stability across the sweep",
+    )

@@ -1,0 +1,49 @@
+"""Discrete-event simulation substrate — the reproduction of the
+paper's "custom made simulator": an event-queue engine plus an executor
+that replays a static schedule (assignments + per-VM order) through
+task-ready/transfer/completion dynamics and reports observed timings."""
+
+from repro.simulator.engine import Simulator
+from repro.simulator.events import EventQueue, ScheduledEvent
+from repro.simulator.trace import TraceEvent, SimulationResult
+from repro.simulator.executor import ScheduleExecutor, simulate_schedule
+from repro.simulator.perturb import (
+    RobustnessReport,
+    lognormal_jitter,
+    robustness_study,
+)
+from repro.simulator.online import (
+    OnlineCloudExecutor,
+    OnlineResult,
+    online_to_schedule,
+    run_online,
+)
+from repro.simulator.stream import (
+    Submission,
+    StreamResult,
+    merge_stream,
+    poisson_stream,
+    run_stream,
+)
+
+__all__ = [
+    "Simulator",
+    "EventQueue",
+    "ScheduledEvent",
+    "TraceEvent",
+    "SimulationResult",
+    "ScheduleExecutor",
+    "simulate_schedule",
+    "RobustnessReport",
+    "lognormal_jitter",
+    "robustness_study",
+    "OnlineCloudExecutor",
+    "OnlineResult",
+    "online_to_schedule",
+    "run_online",
+    "Submission",
+    "StreamResult",
+    "merge_stream",
+    "poisson_stream",
+    "run_stream",
+]

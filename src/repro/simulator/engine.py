@@ -1,0 +1,76 @@
+"""Minimal deterministic discrete-event engine.
+
+The engine advances a clock through an :class:`~repro.simulator.events.
+EventQueue`; actions scheduled during processing land back in the same
+queue.  Time never moves backwards, simultaneous events fire in
+scheduling order, and a configurable event budget guards against
+accidental infinite loops in user actions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+
+
+class Simulator:
+    """The clock + queue core shared by all simulations."""
+
+    def __init__(self, max_events: int = 10_000_000) -> None:
+        if max_events <= 0:
+            raise SimulationError("max_events must be positive")
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._max_events = max_events
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def at(self, time: float, action: Callable[[], None], label: str = "") -> None:
+        """Schedule *action* at absolute *time* (>= now)."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"event {label!r} scheduled at {time} but clock is at {self._now}"
+            )
+        self._queue.push(max(time, self._now), action, label)
+
+    def after(self, delay: float, action: Callable[[], None], label: str = "") -> None:
+        """Schedule *action* *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        self.at(self._now + delay, action, label)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (up to *until*, inclusive); returns final time."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    break
+                ev = self._queue.pop()
+                self._now = ev.time
+                self._processed += 1
+                if self._processed > self._max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {self._max_events} events "
+                        "(runaway simulation?)"
+                    )
+                ev.action()
+        finally:
+            self._running = False
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,54 @@
+"""Time-ordered event queue.
+
+Events fire in (time, insertion sequence) order, so simultaneous events
+are processed deterministically in the order they were scheduled —
+essential for bit-for-bit reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledEvent:
+    """An action queued at a simulation time."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`ScheduledEvent` with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        if time < 0 or time != time:
+            raise SimulationError(f"cannot schedule event at time {time}")
+        ev = ScheduledEvent(time, next(self._counter), action, label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> ScheduledEvent:
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,170 @@
+"""Dynamic replay of a static schedule.
+
+The executor takes only the schedule's *decisions* — which VM runs each
+task and in what per-VM order — and re-derives all timing through
+discrete events: a task starts when it reaches the front of its VM's
+queue **and** its last input has arrived; finishing a task triggers the
+store-and-forward transfers to its successors' VMs.  VMs are pre-booted
+(the paper's static-scheduling argument), so they are available from
+t=0 and their rent window is measured from their first task start.
+
+Because the :class:`~repro.core.builder.ScheduleBuilder` uses exactly
+this recurrence, a valid static schedule replays with identical times;
+:func:`simulate_schedule` asserts that when ``check=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.schedule import Schedule
+from repro.errors import SimulationError
+from repro.simulator.engine import Simulator
+from repro.simulator.trace import SimulationResult, TraceEvent
+
+
+class ScheduleExecutor:
+    """Replays one :class:`Schedule` on a fresh :class:`Simulator`.
+
+    *runtime_fn*, when given, maps ``(task_id, planned_duration)`` to the
+    *actual* duration — the hook for robustness studies where execution
+    times deviate from the static scheduler's estimates.  The per-VM
+    queue and dependency disciplines absorb any deviation, so execution
+    always stays feasible; only the timings shift.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        max_events: int = 10_000_000,
+        runtime_fn: Callable[[str, float], float] | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.runtime_fn = runtime_fn
+        self.sim = Simulator(max_events=max_events)
+        self.result = SimulationResult()
+        wf = schedule.workflow
+        # Remaining input count per task; entry tasks are ready at t=0.
+        self._pending_inputs: Dict[str, int] = {
+            tid: len(wf.predecessors(tid)) for tid in wf.task_ids
+        }
+        # Per-VM queue position.
+        self._queues: Dict[int, List[str]] = {
+            vm.id: list(vm.task_ids) for vm in schedule.vms
+        }
+        self._next_idx: Dict[int, int] = {vm.id: 0 for vm in schedule.vms}
+        self._started: set = set()
+        self._done: set = set()
+        # cold-start bookkeeping: VMs whose boot has been triggered
+        self._boot_started: set = set()
+        self._boot_done: set = set()
+
+    # ------------------------------------------------------------------
+    def _vm_front(self, vm_id: int) -> str | None:
+        q = self._queues[vm_id]
+        i = self._next_idx[vm_id]
+        return q[i] if i < len(q) else None
+
+    def _try_start(self, task_id: str) -> None:
+        if task_id in self._started:
+            return
+        vm = self.schedule.vm_of(task_id)
+        if self._vm_front(vm.id) != task_id:
+            return  # an earlier queue entry still runs or waits
+        if self._pending_inputs[task_id] > 0:
+            return
+        platform = self.schedule.platform
+        if (
+            not platform.prebooted
+            and platform.boot_seconds > 0
+            and vm.id not in self._boot_done
+        ):
+            # first task is ready: the VM is requested now and boots
+            if vm.id not in self._boot_started:
+                self._boot_started.add(vm.id)
+                self.result.record(TraceEvent(self.sim.now, "vm_boot", "", vm.name))
+
+                def boot_complete(vm_id=vm.id, tid=task_id):
+                    self._boot_done.add(vm_id)
+                    self._try_start(tid)
+
+                self.sim.after(platform.boot_seconds, boot_complete, f"boot:{vm.name}")
+            return
+        self._started.add(task_id)
+        now = self.sim.now
+        duration = self.schedule.platform.runtime(
+            self.schedule.workflow.task(task_id), vm.itype
+        )
+        if self.runtime_fn is not None:
+            duration = self.runtime_fn(task_id, duration)
+            if duration < 0:
+                raise SimulationError(
+                    f"runtime_fn returned negative duration for {task_id!r}"
+                )
+        self.result.record(TraceEvent(now, "task_start", task_id, vm.name))
+        self.sim.after(duration, lambda: self._finish(task_id), f"end:{task_id}")
+
+    def _finish(self, task_id: str) -> None:
+        now = self.sim.now
+        vm = self.schedule.vm_of(task_id)
+        self._done.add(task_id)
+        self.result.record(TraceEvent(now, "task_end", task_id, vm.name))
+        # Free the VM for its next queued task.
+        self._next_idx[vm.id] += 1
+        nxt = self._vm_front(vm.id)
+        if nxt is not None:
+            self._try_start(nxt)
+        # Ship outputs to successors.
+        wf = self.schedule.workflow
+        for succ in wf.successors(task_id):
+            dst = self.schedule.vm_of(succ)
+            dt = self.schedule.platform.transfer_time(
+                wf.data_gb(task_id, succ),
+                vm.itype,
+                dst.itype,
+                same_vm=vm is dst,
+                src_region=vm.region,
+                dst_region=dst.region,
+            )
+            if dt > 0:
+                self.result.record(
+                    TraceEvent(now, "transfer_start", succ, dst.name, f"from:{task_id}")
+                )
+            self.sim.after(dt, lambda s=succ: self._arrive(s), f"arrive:{succ}")
+
+    def _arrive(self, task_id: str) -> None:
+        self._pending_inputs[task_id] -= 1
+        if self._pending_inputs[task_id] < 0:
+            raise SimulationError(f"extra input arrival for {task_id!r}")
+        self._try_start(task_id)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute to completion; raises on deadlock."""
+        for vm in self.schedule.vms:
+            self.result.record(TraceEvent(0.0, "vm_start", "", vm.name))
+            front = self._vm_front(vm.id)
+            if front is not None:
+                self.sim.at(0.0, lambda t=front: self._try_start(t), f"kick:{front}")
+        self.sim.run()
+        missing = set(self.schedule.workflow.task_ids) - self._done
+        if missing:
+            raise SimulationError(
+                f"simulation deadlocked; never completed: {sorted(missing)}"
+            )
+        for vm in self.schedule.vms:
+            starts = [self.result.task_start[t] for t in vm.task_ids]
+            ends = [self.result.task_finish[t] for t in vm.task_ids]
+            window = (min(starts), max(ends))
+            self.result.vm_windows[vm.name] = window
+            self.result.record(TraceEvent(window[1], "vm_stop", "", vm.name))
+        return self.result
+
+
+def simulate_schedule(schedule: Schedule, check: bool = True) -> SimulationResult:
+    """Replay *schedule* through the DES; with *check*, assert the
+    observed timings equal the planned ones."""
+    result = ScheduleExecutor(schedule).run()
+    if check:
+        result.check_against(schedule)
+    return result

@@ -1,0 +1,341 @@
+"""Online (dynamic) scheduling: decisions during execution.
+
+The paper schedules *statically* — all placement decisions are made up
+front from exact runtime estimates.  Much of its related work
+(instance-intensive workflows, auto-scaling) instead decides at runtime.
+This module implements that mode on the discrete-event engine: a task is
+placed the moment it becomes ready (all predecessors finished), using
+the same five provisioning rules, against the fleet state *at that
+moment*; idle VMs are deprovisioned at their BTU boundary and cannot be
+reused afterwards.
+
+Two deliberate differences from the static model, both inherent to
+online operation:
+
+* input transfers start only after placement (the destination is not
+  known earlier), so a task pays its *largest* predecessor transfer
+  after its ready time instead of overlapping per-predecessor transfers
+  with earlier waits;
+* with a ``runtime_fn`` the policy reacts to *actual* durations, so
+  online placements can differ from the static plan built on estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cloud.instance import SMALL, InstanceType
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import Region
+from repro.errors import SchedulingError, SimulationError
+from repro.simulator.engine import Simulator
+from repro.simulator.trace import TraceEvent
+from repro.workflows.dag import Workflow
+
+_SUPPORTED = (
+    "OneVMperTask",
+    "StartParNotExceed",
+    "StartParExceed",
+    "AllParNotExceed",
+    "AllParExceed",
+)
+
+
+@dataclass
+class _OnlineVM:
+    """Fleet state during an online run."""
+
+    id: int
+    itype: InstanceType
+    started_at: float
+    free_at: float
+    busy_seconds: float = 0.0
+    tasks: List[str] = field(default_factory=list)
+    levels: set = field(default_factory=set)
+    finished_at: float = 0.0
+    dead: bool = False
+
+    def horizon(self, btu: float) -> float:
+        """End of the last started BTU — deprovision time when idle."""
+        import math
+
+        uptime = max(self.free_at - self.started_at, 1e-9)
+        return self.started_at + math.ceil(uptime / btu - 1e-9) * btu
+
+
+@dataclass
+class OnlineResult:
+    """Outcome of one online run."""
+
+    makespan: float
+    rent_cost: float
+    idle_seconds: float
+    vm_count: int
+    task_start: Dict[str, float]
+    task_finish: Dict[str, float]
+    task_vm: Dict[str, int]
+    events: List[TraceEvent]
+
+
+class OnlineCloudExecutor:
+    """Run *workflow* with runtime placement decisions."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        platform: CloudPlatform,
+        policy: str = "StartParNotExceed",
+        itype: InstanceType = SMALL,
+        region: Region | None = None,
+        runtime_fn: Callable[[str, float], float] | None = None,
+        max_events: int = 10_000_000,
+        release_times: Dict[str, float] | None = None,
+    ) -> None:
+        if policy not in _SUPPORTED:
+            raise SchedulingError(
+                f"unsupported online policy {policy!r}; known: {_SUPPORTED}"
+            )
+        workflow.validate()
+        self.workflow = workflow
+        self.platform = platform
+        self.policy = policy
+        self.itype = itype
+        self.region = region or platform.default_region
+        self.runtime_fn = runtime_fn
+        #: optional per-entry-task earliest-ready times (workflow streams)
+        self.release_times = dict(release_times or {})
+        self.sim = Simulator(max_events=max_events)
+        self.fleet: List[_OnlineVM] = []
+        self.levels = workflow.level_of()
+        self.level_sizes: Dict[int, int] = {}
+        for lvl in self.levels.values():
+            self.level_sizes[lvl] = self.level_sizes.get(lvl, 0) + 1
+        self._pending = {
+            tid: len(workflow.predecessors(tid)) for tid in workflow.task_ids
+        }
+        self.task_start: Dict[str, float] = {}
+        self.task_finish: Dict[str, float] = {}
+        self.task_vm: Dict[str, int] = {}
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    # fleet queries at current simulation time
+    # ------------------------------------------------------------------
+    def _reap(self) -> None:
+        """Deprovision VMs idle past their BTU horizon."""
+        now = self.sim.now
+        btu = self.platform.btu_seconds
+        for vm in self.fleet:
+            if not vm.dead and vm.free_at <= now and vm.horizon(btu) < now - 1e-9:
+                vm.dead = True
+                vm.finished_at = vm.free_at
+                self.events.append(
+                    TraceEvent(vm.horizon(btu), "vm_stop", "", f"vm{vm.id}")
+                )
+
+    def _alive(self) -> List[_OnlineVM]:
+        return [vm for vm in self.fleet if not vm.dead]
+
+    def _rent(self) -> _OnlineVM:
+        # Cold starts: the VM is requested now but cannot execute until
+        # it has booted (the paper pre-boots; online cannot).
+        boot = 0.0 if self.platform.prebooted else self.platform.boot_seconds
+        vm = _OnlineVM(
+            id=len(self.fleet),
+            itype=self.itype,
+            started_at=self.sim.now,
+            free_at=self.sim.now + boot,
+        )
+        self.fleet.append(vm)
+        self.events.append(TraceEvent(self.sim.now, "vm_start", "", f"vm{vm.id}"))
+        return vm
+
+    def _fits_btu(self, vm: _OnlineVM, duration: float) -> bool:
+        """Would the task finish within the VM's already-paid BTUs?"""
+        start = max(self.sim.now, vm.free_at)
+        return start + duration <= vm.horizon(self.platform.btu_seconds) + 1e-9
+
+    def _select_vm(self, task_id: str, duration: float) -> _OnlineVM:
+        self._reap()
+        alive = self._alive()
+        if self.policy == "OneVMperTask":
+            return self._rent()
+        if self.policy.startswith("StartPar"):
+            if not self.workflow.predecessors(task_id) or not alive:
+                return self._rent()
+            target = max(alive, key=lambda v: (v.busy_seconds, -v.id))
+            if self.policy.endswith("Exceed") and not self.policy.endswith(
+                "NotExceed"
+            ):
+                return target
+            return target if self._fits_btu(target, duration) else self._rent()
+        # AllPar*: "each parallel task to its own VM" reads dynamically
+        # as *never queue a parallel task behind running work* — only
+        # VMs idle right now are reusable, anything else means renting.
+        # (The static scheduler excludes whole levels instead; online,
+        # a same-level task that already finished leaves its VM free
+        # with no parallelism lost.)
+        lvl = self.levels[task_id]
+        now = self.sim.now
+        if self.level_sizes[lvl] > 1:
+            candidates = [vm for vm in alive if vm.free_at <= now + 1e-9]
+        else:
+            pred_vm = self._largest_pred_vm(task_id)
+            candidates = [pred_vm] if pred_vm is not None and not pred_vm.dead else []
+        if self.policy == "AllParNotExceed":
+            candidates = [vm for vm in candidates if self._fits_btu(vm, duration)]
+        if not candidates:
+            return self._rent()
+        pred_vm = self._largest_pred_vm(task_id)
+        if pred_vm is not None and pred_vm in candidates:
+            return pred_vm
+        return max(candidates, key=lambda v: (v.busy_seconds, -v.id))
+
+    def _largest_pred_vm(self, task_id: str) -> Optional[_OnlineVM]:
+        preds = [p for p in self.workflow.predecessors(task_id) if p in self.task_vm]
+        if not preds:
+            return None
+        largest = max(
+            preds, key=lambda p: (self.task_finish[p] - self.task_start[p], p)
+        )
+        return self.fleet[self.task_vm[largest]]
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_ready(self, task_id: str) -> None:
+        now = self.sim.now
+        planned = self.platform.runtime(self.workflow.task(task_id), self.itype)
+        vm = self._select_vm(task_id, planned)
+        vm.levels.add(self.levels[task_id])
+        # input staging: the largest predecessor transfer, paid after
+        # placement (destination only now known)
+        transfer = 0.0
+        for pred in self.workflow.predecessors(task_id):
+            same = self.task_vm[pred] == vm.id
+            dt = self.platform.transfer_time(
+                self.workflow.data_gb(pred, task_id),
+                self.fleet[self.task_vm[pred]].itype,
+                vm.itype,
+                same_vm=same,
+            )
+            transfer = max(transfer, dt)
+        start = max(now + transfer, vm.free_at)
+        duration = self.platform.runtime(self.workflow.task(task_id), vm.itype)
+        if self.runtime_fn is not None:
+            duration = self.runtime_fn(task_id, duration)
+            if duration < 0:
+                raise SimulationError("runtime_fn returned a negative duration")
+        finish = start + duration
+        vm.free_at = finish
+        vm.busy_seconds += duration
+        vm.tasks.append(task_id)
+        self.task_vm[task_id] = vm.id
+        self.task_start[task_id] = start
+        self.task_finish[task_id] = finish
+        self.events.append(TraceEvent(start, "task_start", task_id, f"vm{vm.id}"))
+        self.sim.at(finish, lambda: self._on_finish(task_id), f"end:{task_id}")
+
+    def _on_finish(self, task_id: str) -> None:
+        self.events.append(
+            TraceEvent(self.sim.now, "task_end", task_id, f"vm{self.task_vm[task_id]}")
+        )
+        for succ in self.workflow.successors(task_id):
+            self._pending[succ] -= 1
+            if self._pending[succ] == 0:
+                self.sim.at(self.sim.now, lambda s=succ: self._on_ready(s), f"ready:{succ}")
+
+    # ------------------------------------------------------------------
+    def run(self) -> OnlineResult:
+        for tid in self.workflow.entry_tasks():
+            at = self.release_times.get(tid, 0.0)
+            self.sim.at(at, lambda t=tid: self._on_ready(t), f"ready:{tid}")
+        self.sim.run()
+        missing = [t for t in self.workflow.task_ids if t not in self.task_finish]
+        if missing:
+            raise SimulationError(f"online run never completed: {missing}")
+        billing = self.platform.billing
+        rent = 0.0
+        idle = 0.0
+        for vm in self.fleet:
+            uptime = vm.free_at - vm.started_at
+            rent += billing.vm_cost(uptime, vm.itype, self.region)
+            idle += billing.paid_seconds(uptime) - vm.busy_seconds
+        return OnlineResult(
+            makespan=max(self.task_finish.values()),
+            rent_cost=rent,
+            idle_seconds=idle,
+            vm_count=len(self.fleet),
+            task_start=dict(self.task_start),
+            task_finish=dict(self.task_finish),
+            task_vm=dict(self.task_vm),
+            # vm_stop events carry their horizon time but are observed at
+            # the next reap; sort so the trace reads chronologically
+            events=sorted(self.events, key=lambda e: e.time),
+        )
+
+
+def online_to_schedule(
+    result: OnlineResult,
+    workflow: Workflow,
+    platform: CloudPlatform,
+    itype: InstanceType | None = None,
+    region: Region | None = None,
+):
+    """Rebuild a noise-free online run as a :class:`Schedule`, opening
+    up every schedule analysis (Gantt, explain, utilization, bounds) to
+    online results.
+
+    Only valid when the run used exact runtimes (no ``runtime_fn``):
+    realized durations must equal ``work / speedup`` or the conversion
+    raises, because a :class:`Schedule` certifies exactly that.
+    """
+    from repro.cloud.vm import VM as CloudVM
+    from repro.core.schedule import Schedule
+
+    itype = itype or platform.itype("small")
+    region = region or platform.default_region
+    by_vm: Dict[int, List[str]] = {}
+    for tid, vm_id in result.task_vm.items():
+        by_vm.setdefault(vm_id, []).append(tid)
+    vms = []
+    for vm_id in sorted(by_vm):
+        vm = CloudVM(id=len(vms), itype=itype, region=region)
+        for tid in sorted(by_vm[vm_id], key=lambda t: result.task_start[t]):
+            start = result.task_start[tid]
+            duration = result.task_finish[tid] - start
+            expected = platform.runtime(workflow.task(tid), itype)
+            if abs(duration - expected) > 1e-6 * max(1.0, expected):
+                raise SimulationError(
+                    f"cannot convert noisy online run: {tid!r} ran "
+                    f"{duration:.3f}s, nominal {expected:.3f}s"
+                )
+            vm.place(tid, start, duration)
+        vms.append(vm)
+    return Schedule(
+        workflow=workflow,
+        platform=platform,
+        vms=vms,
+        algorithm="online",
+        provisioning="online",
+    ).validate()
+
+
+def run_online(
+    workflow: Workflow,
+    platform: CloudPlatform,
+    policy: str = "StartParNotExceed",
+    itype: InstanceType | None = None,
+    region: Region | None = None,
+    runtime_fn: Callable[[str, float], float] | None = None,
+) -> OnlineResult:
+    """Convenience wrapper: build and run an online executor."""
+    return OnlineCloudExecutor(
+        workflow,
+        platform,
+        policy=policy,
+        itype=itype or platform.itype("small"),
+        region=region,
+        runtime_fn=runtime_fn,
+    ).run()

@@ -1,0 +1,17 @@
+"""Small shared utilities: seeded RNG handling, interval algebra, text
+tables and ASCII plotting used by the experiment harness."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.intervals import Interval, IntervalSet
+from repro.util.tables import format_table
+from repro.util.ascii_plot import ascii_scatter, ascii_bars
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Interval",
+    "IntervalSet",
+    "format_table",
+    "ascii_scatter",
+    "ascii_bars",
+]

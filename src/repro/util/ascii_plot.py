@@ -1,0 +1,94 @@
+"""ASCII renditions of the paper's figures.
+
+Figure 4 is a gain-vs-loss scatter and Figure 5 an idle-time bar chart;
+both are reproduced as terminal graphics so the benchmark harness can
+print the same *series* the paper plots without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence, Tuple
+
+
+def _nice_bounds(values: Sequence[float], pad: float = 0.05) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        lo -= 1.0
+        hi += 1.0
+    span = hi - lo
+    return lo - pad * span, hi + pad * span
+
+
+def ascii_scatter(
+    points: Mapping[str, Tuple[float, float]],
+    *,
+    width: int = 72,
+    height: int = 24,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    mark_origin: bool = True,
+) -> str:
+    """Render labelled ``(x, y)`` points on a character grid.
+
+    Each series is marked with a single letter; a legend maps letters back
+    to series names. When *mark_origin* is set, the x=0 / y=0 axes are
+    drawn so the paper's "target square" (gain >= 0, loss <= 0) is visible.
+    """
+    if not points:
+        return "(no points)"
+    names = list(points)
+    xs = [points[n][0] for n in names]
+    ys = [points[n][1] for n in names]
+    xlo, xhi = _nice_bounds(xs + ([0.0] if mark_origin else []))
+    ylo, yhi = _nice_bounds(ys + ([0.0] if mark_origin else []))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int((x - xlo) / (xhi - xlo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        # row 0 is the top of the plot
+        return min(height - 1, max(0, int((yhi - y) / (yhi - ylo) * (height - 1))))
+
+    if mark_origin:
+        c0, r0 = to_col(0.0), to_row(0.0)
+        for r in range(height):
+            grid[r][c0] = "|"
+        for c in range(width):
+            grid[r0][c] = "-"
+        grid[r0][c0] = "+"
+
+    marks = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend = []
+    for i, name in enumerate(names):
+        mark = marks[i % len(marks)]
+        x, y = points[name]
+        if math.isnan(x) or math.isnan(y):
+            continue
+        grid[to_row(y)][to_col(x)] = mark
+        legend.append(f"  {mark} = {name} ({x:+.1f}, {y:+.1f})")
+
+    lines = ["".join(row) for row in grid]
+    header = f"{ylabel} (vertical, {ylo:.0f}..{yhi:.0f})  vs  {xlabel} (horizontal, {xlo:.0f}..{xhi:.0f})"
+    return "\n".join([header, *lines, "legend:", *legend])
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    *,
+    width: int = 60,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart, one labelled bar per entry."""
+    if not values:
+        return "(no bars)"
+    vmax = max(values.values())
+    scale = (width / vmax) if vmax > 0 else 0.0
+    label_w = max(len(k) for k in values)
+    lines = []
+    for name, v in values.items():
+        bar = "#" * max(0, int(round(v * scale)))
+        lines.append(f"{name.ljust(label_w)} |{bar} {v:,.0f}{unit}")
+    return "\n".join(lines)

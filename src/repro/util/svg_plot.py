@@ -1,0 +1,163 @@
+"""Dependency-free SVG scatter and bar charts.
+
+The ASCII renderers serve the terminal; these emit standalone ``.svg``
+files for the paper's Figure 4 (gain/loss scatter) and Figure 5 (idle
+bars) so results can be viewed in a browser.  Pure string assembly — no
+plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+from xml.sax.saxutils import escape
+
+# a qualitative palette with decent contrast, cycled over series
+_PALETTE = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+    "#aa3377", "#bbbbbb", "#000000", "#e69f00", "#56b4e9",
+    "#009e73", "#f0e442", "#0072b2", "#d55e00", "#cc79a7",
+    "#999933", "#882255", "#44aa99", "#117733",
+]
+
+
+def _bounds(values: List[float], pad: float = 0.08) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        lo, hi = lo - 1.0, hi + 1.0
+    span = hi - lo
+    return lo - pad * span, hi + pad * span
+
+
+def svg_scatter(
+    points: Mapping[str, Tuple[float, float]],
+    *,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 720,
+    height: int = 480,
+    mark_origin: bool = True,
+) -> str:
+    """Render labelled points as an SVG scatter with legend.
+
+    The y axis follows the paper's Figure 4 (loss grows upward); the
+    origin cross marks the reference strategy.
+    """
+    if not points:
+        raise ValueError("svg_scatter needs at least one point")
+    margin_l, margin_r, margin_t, margin_b = 60, 230, 40, 50
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    xs = [p[0] for p in points.values()] + ([0.0] if mark_origin else [])
+    ys = [p[1] for p in points.values()] + ([0.0] if mark_origin else [])
+    xlo, xhi = _bounds(xs)
+    ylo, yhi = _bounds(ys)
+
+    def px(x: float) -> float:
+        return margin_l + (x - xlo) / (xhi - xlo) * plot_w
+
+    def py(y: float) -> float:
+        return margin_t + (yhi - y) / (yhi - ylo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-size="15">{escape(title)}</text>'
+        )
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 12}" '
+        f'text-anchor="middle">{escape(xlabel)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{margin_t + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {margin_t + plot_h / 2:.0f})">'
+        f"{escape(ylabel)}</text>"
+    )
+    if mark_origin and xlo < 0 < xhi:
+        parts.append(
+            f'<line x1="{px(0):.1f}" y1="{margin_t}" x2="{px(0):.1f}" '
+            f'y2="{margin_t + plot_h}" stroke="#999" stroke-dasharray="4 3"/>'
+        )
+    if mark_origin and ylo < 0 < yhi:
+        parts.append(
+            f'<line x1="{margin_l}" y1="{py(0):.1f}" '
+            f'x2="{margin_l + plot_w}" y2="{py(0):.1f}" stroke="#999" '
+            f'stroke-dasharray="4 3"/>'
+        )
+    # axis extremity labels
+    for x in (xlo, xhi):
+        parts.append(
+            f'<text x="{px(x):.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle" fill="#555">{x:.0f}</text>'
+        )
+    for y in (ylo, yhi):
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{py(y) + 4:.1f}" '
+            f'text-anchor="end" fill="#555">{y:.0f}</text>'
+        )
+    for i, (name, (x, y)) in enumerate(points.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        parts.append(
+            f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="5" '
+            f'fill="{color}" fill-opacity="0.85"><title>'
+            f"{escape(name)} ({x:.1f}, {y:.1f})</title></circle>"
+        )
+        ly = margin_t + 14 * i
+        parts.append(
+            f'<circle cx="{width - margin_r + 14}" cy="{ly:.0f}" r="5" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{width - margin_r + 24}" y="{ly + 4:.0f}">{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_bars(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    unit: str = "",
+    width: int = 720,
+    bar_height: int = 18,
+) -> str:
+    """Render a horizontal bar chart as SVG."""
+    if not values:
+        raise ValueError("svg_bars needs at least one bar")
+    margin_l, margin_r, margin_t = 200, 90, 44
+    vmax = max(values.values()) or 1.0
+    height = margin_t + bar_height * len(values) + 20
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-size="15">{escape(title)}</text>'
+        )
+    plot_w = width - margin_l - margin_r
+    for i, (name, v) in enumerate(values.items()):
+        y = margin_t + i * bar_height
+        w = max(0.0, v / vmax * plot_w)
+        color = _PALETTE[i % len(_PALETTE)]
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + bar_height - 6}" '
+            f'text-anchor="end">{escape(name)}</text>'
+        )
+        parts.append(
+            f'<rect x="{margin_l}" y="{y + 2}" width="{w:.1f}" '
+            f'height="{bar_height - 6}" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l + w + 6:.1f}" y="{y + bar_height - 6}" '
+            f'fill="#555">{v:,.0f}{escape(unit)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's tables are regenerated as monospace text so the benchmark
+harness can print them directly; no plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _cell(value: object, fmt: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".2f",
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Floats are formatted with *float_fmt*; ``None`` renders empty. The
+    first column is always left-aligned (it is almost always a label).
+    """
+    str_rows: List[List[str]] = [[_cell(v, float_fmt) for v in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            if c == 0 or not align_right:
+                parts.append(cell.ljust(widths[c]))
+            else:
+                parts.append(cell.rjust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

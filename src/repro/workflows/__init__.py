@@ -1,0 +1,52 @@
+"""Workflow (DAG) model, generators for the paper's four shapes, and
+Pegasus-DAX / DOT interchange."""
+
+from repro.workflows.task import Task
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import (
+    montage,
+    cstem,
+    mapreduce,
+    sequential,
+    fork_join,
+    random_layered,
+    epigenomics,
+    cybershake,
+    ligo,
+    sipht,
+    bag_of_tasks,
+)
+from repro.workflows.dax import parse_dax, parse_dax_string, to_dax
+from repro.workflows.dot import to_dot
+from repro.workflows.analysis import WorkflowProfile, profile, compare_profiles
+from repro.workflows.transform import (
+    chain_decomposition,
+    merge_chains,
+    transitive_reduction,
+)
+
+__all__ = [
+    "Task",
+    "Workflow",
+    "montage",
+    "cstem",
+    "mapreduce",
+    "sequential",
+    "fork_join",
+    "random_layered",
+    "epigenomics",
+    "cybershake",
+    "ligo",
+    "sipht",
+    "bag_of_tasks",
+    "parse_dax",
+    "parse_dax_string",
+    "to_dax",
+    "to_dot",
+    "WorkflowProfile",
+    "profile",
+    "compare_profiles",
+    "chain_decomposition",
+    "merge_chains",
+    "transitive_reduction",
+]

@@ -1,0 +1,92 @@
+"""Structural and workload analysis of workflows.
+
+The statistics behind the paper's workflow taxonomy (Sect. IV-B / Table
+V): parallelism profile, cross-level "intermingledness" (Montage),
+serial fraction (CSTEM/Sequential), runtime heterogeneity, and the
+communication-to-computation ratio that separates CPU-intensive from
+data-intensive instances.  Used by :mod:`repro.core.adaptive` and
+available standalone for workload characterization studies.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workflows.dag import Workflow
+
+
+@dataclass(frozen=True)
+class WorkflowProfile:
+    """Quantitative fingerprint of one workflow instance."""
+
+    name: str
+    tasks: int
+    edges: int
+    levels: int
+    max_width: int
+    #: mean tasks per level — the paper's effective parallelism
+    avg_width: float
+    #: fraction of levels holding exactly one task
+    serial_fraction: float
+    #: fraction of edges skipping at least one level
+    level_skip_fraction: float
+    #: coefficient of variation of task runtimes
+    runtime_cv: float
+    mean_runtime: float
+    total_work: float
+    critical_path_seconds: float
+    #: total data volume (GB) over all edges
+    total_data_gb: float
+    #: communication-to-computation ratio: total transfer seconds on a
+    #: 1 Gb/s link over total work seconds
+    ccr: float
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """total work / (critical path * max width): 1.0 means the DAG
+        keeps its widest fleet perfectly busy."""
+        denom = self.critical_path_seconds * self.max_width
+        return self.total_work / denom if denom > 0 else 0.0
+
+
+def profile(wf: Workflow, link_gbps: float = 1.0) -> WorkflowProfile:
+    """Compute the :class:`WorkflowProfile` of *wf*."""
+    wf.validate()
+    levels = wf.levels()
+    level_of = wf.level_of()
+    edges = wf.edges()
+    works = [t.work for t in wf.tasks]
+    mean_rt = statistics.fmean(works)
+    cv = statistics.pstdev(works) / mean_rt if mean_rt > 0 else 0.0
+    skip = (
+        sum(1 for u, v, _ in edges if level_of[v] - level_of[u] > 1) / len(edges)
+        if edges
+        else 0.0
+    )
+    total_work = sum(works)
+    total_gb = sum(gb for _, _, gb in edges)
+    transfer_seconds = total_gb * 8.0 / link_gbps
+    _, cp = wf.critical_path()
+    return WorkflowProfile(
+        name=wf.name,
+        tasks=len(wf),
+        edges=len(edges),
+        levels=len(levels),
+        max_width=wf.max_parallelism(),
+        avg_width=len(wf) / len(levels),
+        serial_fraction=sum(1 for lvl in levels if len(lvl) == 1) / len(levels),
+        level_skip_fraction=skip,
+        runtime_cv=cv,
+        mean_runtime=mean_rt,
+        total_work=total_work,
+        critical_path_seconds=cp,
+        total_data_gb=total_gb,
+        ccr=transfer_seconds / total_work if total_work > 0 else 0.0,
+    )
+
+
+def compare_profiles(workflows: Dict[str, Workflow]) -> Dict[str, WorkflowProfile]:
+    """Profile several workflows at once (keyed as given)."""
+    return {name: profile(wf) for name, wf in workflows.items()}

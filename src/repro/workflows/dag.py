@@ -1,0 +1,266 @@
+"""Directed-acyclic-graph workflow model.
+
+Wraps a :class:`networkx.DiGraph` whose nodes are task ids and whose
+edges carry the size (GB) of the data the parent ships to the child.
+Provides the graph queries every scheduler in the paper needs: entry and
+exit tasks, topological order, *levels* (the paper's level-ranking unit
+of parallelism), and the critical path (the backbone of CPA-Eager).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Mapping, Tuple
+
+import networkx as nx
+
+from repro.errors import WorkflowError
+from repro.workflows.task import Task
+
+
+class Workflow:
+    """An immutable-after-validation DAG of :class:`Task` objects.
+
+    Build one by adding tasks and dependencies, then call
+    :meth:`validate` (or any query method — they validate lazily).
+    ``data_gb`` on an edge is the volume the parent transfers to the
+    child when they run on different VMs.
+    """
+
+    def __init__(self, name: str = "workflow") -> None:
+        if not name:
+            raise WorkflowError("workflow name must be non-empty")
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._tasks: Dict[str, Task] = {}
+        self._validated = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Register *task*; ids must be unique."""
+        if task.id in self._tasks:
+            raise WorkflowError(f"duplicate task id {task.id!r} in {self.name!r}")
+        self._tasks[task.id] = task
+        self._graph.add_node(task.id)
+        self._validated = False
+        return task
+
+    def add_dependency(self, parent: str, child: str, data_gb: float = 0.0) -> None:
+        """Add a *parent -> child* edge shipping *data_gb* gigabytes."""
+        for tid in (parent, child):
+            if tid not in self._tasks:
+                raise WorkflowError(f"unknown task {tid!r} in dependency")
+        if parent == child:
+            raise WorkflowError(f"self-dependency on {parent!r}")
+        if data_gb < 0:
+            raise WorkflowError(f"negative data size on {parent!r}->{child!r}")
+        self._graph.add_edge(parent, child, data_gb=float(data_gb))
+        self._validated = False
+
+    def validate(self) -> "Workflow":
+        """Check the structure; raises :class:`WorkflowError` on cycles or
+        an empty workflow. Returns ``self`` for chaining."""
+        if not self._tasks:
+            raise WorkflowError(f"workflow {self.name!r} has no tasks")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise WorkflowError(f"workflow {self.name!r} has a cycle: {cycle}")
+        self._validated = True
+        return self
+
+    def _require_valid(self) -> None:
+        if not self._validated:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def task(self, task_id: str) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise WorkflowError(f"unknown task {task_id!r}") from None
+
+    @property
+    def task_ids(self) -> List[str]:
+        return list(self._tasks)
+
+    @property
+    def tasks(self) -> List[Task]:
+        return list(self._tasks.values())
+
+    def edges(self) -> List[Tuple[str, str, float]]:
+        """All dependencies as ``(parent, child, data_gb)`` triples."""
+        return [
+            (u, v, d.get("data_gb", 0.0)) for u, v, d in self._graph.edges(data=True)
+        ]
+
+    def data_gb(self, parent: str, child: str) -> float:
+        try:
+            return self._graph.edges[parent, child].get("data_gb", 0.0)
+        except KeyError:
+            raise WorkflowError(f"no dependency {parent!r}->{child!r}") from None
+
+    def predecessors(self, task_id: str) -> List[str]:
+        self.task(task_id)
+        return sorted(self._graph.predecessors(task_id))
+
+    def successors(self, task_id: str) -> List[str]:
+        self.task(task_id)
+        return sorted(self._graph.successors(task_id))
+
+    def entry_tasks(self) -> List[str]:
+        """Tasks with no predecessors (the paper's *initial* tasks)."""
+        self._require_valid()
+        return sorted(t for t in self._tasks if self._graph.in_degree(t) == 0)
+
+    def exit_tasks(self) -> List[str]:
+        self._require_valid()
+        return sorted(t for t in self._tasks if self._graph.out_degree(t) == 0)
+
+    def topological_order(self) -> List[str]:
+        """A deterministic topological order (lexicographic tie-break)."""
+        self._require_valid()
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    # ------------------------------------------------------------------
+    # structure used by the schedulers
+    # ------------------------------------------------------------------
+    def level_of(self) -> Dict[str, int]:
+        """Longest-path depth of every task (entry tasks are level 0).
+
+        This is the paper's *level ranking*: all tasks in one level are
+        mutually independent and may run in parallel.
+        """
+        self._require_valid()
+        levels: Dict[str, int] = {}
+        for tid in nx.topological_sort(self._graph):
+            preds = list(self._graph.predecessors(tid))
+            levels[tid] = 0 if not preds else 1 + max(levels[p] for p in preds)
+        return levels
+
+    def levels(self) -> List[List[str]]:
+        """Tasks grouped by level, each group sorted by id."""
+        by_level: Dict[int, List[str]] = {}
+        for tid, lvl in self.level_of().items():
+            by_level.setdefault(lvl, []).append(tid)
+        return [sorted(by_level[k]) for k in sorted(by_level)]
+
+    def max_parallelism(self) -> int:
+        """Width of the widest level."""
+        return max(len(level) for level in self.levels())
+
+    def critical_path(
+        self,
+        exec_time: Callable[[str], float] | None = None,
+        transfer_time: Callable[[str, str], float] | None = None,
+    ) -> Tuple[List[str], float]:
+        """Longest path through the DAG and its length.
+
+        *exec_time* maps a task id to its duration (defaults to the
+        reference ``work``); *transfer_time* maps an edge to its
+        communication delay (defaults to zero, the CPU-intensive case).
+        Returns ``(path_task_ids, path_length_seconds)``.
+        """
+        self._require_valid()
+        w = exec_time or (lambda tid: self._tasks[tid].work)
+        c = transfer_time or (lambda u, v: 0.0)
+        dist: Dict[str, float] = {}
+        best_pred: Dict[str, str | None] = {}
+        for tid in nx.topological_sort(self._graph):
+            best, pred = 0.0, None
+            for p in self._graph.predecessors(tid):
+                cand = dist[p] + c(p, tid)
+                if cand > best:
+                    best, pred = cand, p
+            dist[tid] = best + w(tid)
+            best_pred[tid] = pred
+        end = max(dist, key=lambda t: dist[t])
+        path = [end]
+        while best_pred[path[-1]] is not None:
+            path.append(best_pred[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path, dist[end]
+
+    def total_work(self) -> float:
+        """Sum of reference execution times over all tasks."""
+        return sum(t.work for t in self._tasks.values())
+
+    def descendants(self, task_id: str) -> List[str]:
+        self.task(task_id)
+        return sorted(nx.descendants(self._graph, task_id))
+
+    def ancestors(self, task_id: str) -> List[str]:
+        self.task(task_id)
+        return sorted(nx.ancestors(self._graph, task_id))
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def with_works(self, works: Mapping[str, float]) -> "Workflow":
+        """Copy of this workflow with task execution times replaced.
+
+        *works* must cover every task; used to impose an execution-time
+        scenario (Pareto, best case, worst case) on a fixed shape.
+        """
+        missing = set(self._tasks) - set(works)
+        if missing:
+            raise WorkflowError(f"works missing for tasks: {sorted(missing)}")
+        out = Workflow(self.name)
+        for task in self._tasks.values():
+            out.add_task(task.with_work(works[task.id]))
+        for u, v, gb in self.edges():
+            out.add_dependency(u, v, gb)
+        return out.validate()
+
+    def with_data_sizes(self, sizes: Mapping[Tuple[str, str], float]) -> "Workflow":
+        """Copy with edge data volumes replaced (missing edges keep theirs)."""
+        out = Workflow(self.name)
+        for task in self._tasks.values():
+            out.add_task(task)
+        for u, v, gb in self.edges():
+            out.add_dependency(u, v, sizes.get((u, v), gb))
+        return out.validate()
+
+    def relabeled(self, name: str) -> "Workflow":
+        out = Workflow(name)
+        for task in self._tasks.values():
+            out.add_task(task)
+        for u, v, gb in self.edges():
+            out.add_dependency(u, v, gb)
+        return out
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Structural statistics (used by the Figure 2 regenerator)."""
+        self._require_valid()
+        levels = self.levels()
+        cp, cp_len = self.critical_path()
+        return {
+            "name": self.name,
+            "tasks": len(self),
+            "edges": self._graph.number_of_edges(),
+            "entry_tasks": len(self.entry_tasks()),
+            "exit_tasks": len(self.exit_tasks()),
+            "levels": len(levels),
+            "max_parallelism": self.max_parallelism(),
+            "critical_path_tasks": len(cp),
+            "critical_path_seconds": cp_len,
+            "total_work_seconds": self.total_work(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Workflow({self.name!r}, tasks={len(self)}, "
+            f"edges={self._graph.number_of_edges()})"
+        )

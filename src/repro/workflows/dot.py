@@ -1,0 +1,24 @@
+"""Graphviz DOT export — handy for eyeballing generated shapes against
+the paper's Fig. 2."""
+
+from __future__ import annotations
+
+from repro.workflows.dag import Workflow
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def to_dot(wf: Workflow) -> str:
+    """Render *wf* as a DOT digraph with work/data annotations."""
+    wf.validate()
+    lines = [f"digraph {_quote(wf.name)} {{", "  rankdir=TB;"]
+    for task in wf.tasks:
+        label = f"{task.id}\\n{task.work:.0f}s"
+        lines.append(f"  {_quote(task.id)} [label={_quote(label)}];")
+    for u, v, gb in wf.edges():
+        attr = f' [label="{gb:g}GB"]' if gb else ""
+        lines.append(f"  {_quote(u)} -> {_quote(v)}{attr};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Generators for the paper's four workflow shapes (Fig. 2) plus the
+synthetic shapes its future-work section calls for."""
+
+from repro.workflows.generators.montage import montage
+from repro.workflows.generators.cstem import cstem
+from repro.workflows.generators.mapreduce import mapreduce
+from repro.workflows.generators.sequential import sequential
+from repro.workflows.generators.synthetic import fork_join, random_layered
+from repro.workflows.generators.pegasus import cybershake, epigenomics, ligo, sipht
+from repro.workflows.generators.bot import bag_of_tasks
+
+__all__ = [
+    "bag_of_tasks",
+    "montage",
+    "cstem",
+    "mapreduce",
+    "sequential",
+    "fork_join",
+    "random_layered",
+    "epigenomics",
+    "cybershake",
+    "ligo",
+    "sipht",
+]

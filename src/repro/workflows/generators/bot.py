@@ -1,0 +1,27 @@
+"""Bag-of-tasks generator.
+
+The paper positions workflows against the already-studied bag-of-tasks
+(BoT) case, where provisioning effects were first demonstrated ([3]-[5]).
+A BoT is simply an edgeless workflow; having it as a first-class shape
+lets the same five policies be compared on the workload class the prior
+work used — every task is an *initial* task, so StartPar\\* degenerate to
+OneVMperTask and only the AllPar policies can pack.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+
+def bag_of_tasks(n: int = 20, work: float = 1000.0, name: str = "bag_of_tasks") -> Workflow:
+    """*n* independent tasks of *work* reference seconds each."""
+    if n < 1:
+        raise WorkflowError("bag_of_tasks needs n >= 1")
+    if work <= 0:
+        raise WorkflowError("work must be positive")
+    wf = Workflow(name)
+    for i in range(n):
+        wf.add_task(Task(f"job_{i:03d}", work, "job"))
+    return wf.validate()

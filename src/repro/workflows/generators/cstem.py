@@ -1,0 +1,67 @@
+"""CSTEM workflow (paper Fig. 2b).
+
+CSTEM (Coupled Structural/Thermal/Electromagnetic analysis, Dogan &
+Ozguner) is the paper's CPU-intensive, "relatively sequential" shape:
+one entry task, a mostly serial backbone with a few narrow fan-outs, and
+several final (exit) tasks.  The published figure is not machine
+readable, so this generator rebuilds the shape from those cited
+properties (see DESIGN.md "Faithfulness notes"); the default instance
+matches the paper's worked example in Fig. 1 — an initial task followed
+by a 6-way fan-out — as its widest stage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+_DATA_GB = 0.05  # CPU-intensive: small control/data files between stages
+
+
+def cstem(fanout: int = 6, backbone: int = 5, finals: int = 3, name: str = "cstem") -> Workflow:
+    """Build a CSTEM-like workflow.
+
+    Parameters
+    ----------
+    fanout:
+        Width of the single parallel stage right after the entry task
+        (the Fig. 1 sub-workflow uses 6).
+    backbone:
+        Number of strictly sequential tasks after the fan-in.
+    finals:
+        Number of exit tasks forked from the end of the backbone
+        ("several final tasks").
+    """
+    if fanout < 1 or backbone < 1 or finals < 1:
+        raise WorkflowError("cstem stages must all be >= 1")
+    wf = Workflow(name)
+
+    entry = wf.add_task(Task("init", 800.0, "init"))
+    stage = [
+        wf.add_task(Task(f"solve_{i}", 1000.0 + 100.0 * i, "solve"))
+        for i in range(fanout)
+    ]
+    for t in stage:
+        wf.add_dependency(entry.id, t.id, _DATA_GB)
+
+    # A narrow intermediate pair models the "few parallel tasks" beyond
+    # the first fan-out: two couplers both need every solver output.
+    couple_a = wf.add_task(Task("couple_a", 900.0, "couple"))
+    couple_b = wf.add_task(Task("couple_b", 700.0, "couple"))
+    for t in stage:
+        wf.add_dependency(t.id, couple_a.id, _DATA_GB)
+        wf.add_dependency(t.id, couple_b.id, _DATA_GB)
+
+    prev = wf.add_task(Task("assemble", 1200.0, "assemble"))
+    wf.add_dependency(couple_a.id, prev.id, _DATA_GB)
+    wf.add_dependency(couple_b.id, prev.id, _DATA_GB)
+    for i in range(backbone):
+        nxt = wf.add_task(Task(f"iterate_{i}", 1000.0, "iterate"))
+        wf.add_dependency(prev.id, nxt.id, _DATA_GB)
+        prev = nxt
+
+    for i in range(finals):
+        out = wf.add_task(Task(f"report_{i}", 400.0 + 100.0 * i, "report"))
+        wf.add_dependency(prev.id, out.id, _DATA_GB)
+    return wf.validate()

@@ -1,0 +1,51 @@
+"""MapReduce workflow with two sequential map phases (paper Fig. 2c).
+
+    split  ->  map1 x m  ->  map2 x m  ->  reduce x r  ->  merge
+
+``map2_i`` consumes ``map1_i`` (the figure shows two *sequential* map
+phases, not a shuffle between them); every reducer reads every second-
+phase mapper (the shuffle), and a final merge joins the reducers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+_SPLIT_GB = 0.5  # per-mapper input chunk
+_MAP_GB = 0.3  # map1 -> map2 intermediate
+_SHUFFLE_GB = 0.1  # per mapper->reducer partition
+_REDUCE_GB = 0.2  # reducer output
+
+
+def mapreduce(mappers: int = 10, reducers: int = 2, name: str = "mapreduce") -> Workflow:
+    """Build a two-phase MapReduce workflow.
+
+    Defaults give ``1 + 10 + 10 + 2 + 1 = 24`` tasks, comparable to the
+    paper's Montage instance.
+    """
+    if mappers < 1 or reducers < 1:
+        raise WorkflowError("mapreduce needs >= 1 mapper and >= 1 reducer")
+    wf = Workflow(name)
+
+    split = wf.add_task(Task("split", 300.0, "split"))
+    map1 = [
+        wf.add_task(Task(f"map1_{i}", 1000.0, "map")) for i in range(mappers)
+    ]
+    map2 = [
+        wf.add_task(Task(f"map2_{i}", 800.0, "map")) for i in range(mappers)
+    ]
+    reduces = [
+        wf.add_task(Task(f"reduce_{j}", 1200.0, "reduce")) for j in range(reducers)
+    ]
+    merge = wf.add_task(Task("merge", 400.0, "merge"))
+
+    for i in range(mappers):
+        wf.add_dependency(split.id, map1[i].id, _SPLIT_GB)
+        wf.add_dependency(map1[i].id, map2[i].id, _MAP_GB)
+        for j in range(reducers):
+            wf.add_dependency(map2[i].id, reduces[j].id, _SHUFFLE_GB)
+    for j in range(reducers):
+        wf.add_dependency(reduces[j].id, merge.id, _REDUCE_GB)
+    return wf.validate()

@@ -1,0 +1,107 @@
+"""Montage astronomical-mosaic workflow (paper Fig. 2a).
+
+Standard Pegasus Montage phase structure:
+
+    mProject x p  ->  mDiffFit x p  ->  mConcatFit  ->  mBgModel
+        ->  mBackground x p  ->  mImgtbl  ->  mAdd  ->  mShrink  ->  mJPEG
+
+Each ``mDiffFit`` compares two cyclically adjacent projections (the
+"intermingled, not only from one level" dependencies the paper points
+out), and each ``mBackground`` corrects one projection using the global
+background model.  Total task count is ``3p + 6``; the paper's 24-task
+instance is ``p = 6``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+# Nominal reference runtimes (seconds on a small instance) per phase,
+# loosely scaled from published Montage task profiles; experiment
+# scenarios overwrite them via Workflow.with_works().
+_DEFAULT_WORK = {
+    "mProject": 1200.0,
+    "mDiffFit": 300.0,
+    "mConcatFit": 600.0,
+    "mBgModel": 900.0,
+    "mBackground": 300.0,
+    "mImgtbl": 200.0,
+    "mAdd": 1500.0,
+    "mShrink": 400.0,
+    "mJPEG": 200.0,
+}
+
+# Nominal data volumes (GB) shipped along each edge class.
+_DEFAULT_DATA = {
+    "project->diff": 0.2,
+    "project->background": 0.2,
+    "diff->concat": 0.01,
+    "concat->bgmodel": 0.01,
+    "bgmodel->background": 0.01,
+    "background->imgtbl": 0.2,
+    "imgtbl->add": 0.01,
+    "background->add": 0.2,
+    "add->shrink": 1.0,
+    "shrink->jpeg": 0.3,
+}
+
+
+def montage(projections: int = 6, name: str = "montage") -> Workflow:
+    """Build a Montage workflow with *projections* parallel images.
+
+    ``projections = 6`` yields the paper's 24-task instance.
+    """
+    if projections < 2:
+        raise WorkflowError("montage needs at least 2 projections")
+    p = projections
+    wf = Workflow(name)
+
+    projects = [
+        wf.add_task(Task(f"mProject_{i}", _DEFAULT_WORK["mProject"], "mProject"))
+        for i in range(p)
+    ]
+    diffs = [
+        wf.add_task(Task(f"mDiffFit_{i}", _DEFAULT_WORK["mDiffFit"], "mDiffFit"))
+        for i in range(p)
+    ]
+    concat = wf.add_task(Task("mConcatFit", _DEFAULT_WORK["mConcatFit"], "mConcatFit"))
+    bgmodel = wf.add_task(Task("mBgModel", _DEFAULT_WORK["mBgModel"], "mBgModel"))
+    backgrounds = [
+        wf.add_task(
+            Task(f"mBackground_{i}", _DEFAULT_WORK["mBackground"], "mBackground")
+        )
+        for i in range(p)
+    ]
+    imgtbl = wf.add_task(Task("mImgtbl", _DEFAULT_WORK["mImgtbl"], "mImgtbl"))
+    madd = wf.add_task(Task("mAdd", _DEFAULT_WORK["mAdd"], "mAdd"))
+    shrink = wf.add_task(Task("mShrink", _DEFAULT_WORK["mShrink"], "mShrink"))
+    jpeg = wf.add_task(Task("mJPEG", _DEFAULT_WORK["mJPEG"], "mJPEG"))
+
+    # mDiffFit_i overlaps projections i and (i+1) mod p: cross-level,
+    # intermingled dependencies.
+    for i in range(p):
+        wf.add_dependency(projects[i].id, diffs[i].id, _DEFAULT_DATA["project->diff"])
+        wf.add_dependency(
+            projects[(i + 1) % p].id, diffs[i].id, _DEFAULT_DATA["project->diff"]
+        )
+        wf.add_dependency(diffs[i].id, concat.id, _DEFAULT_DATA["diff->concat"])
+    wf.add_dependency(concat.id, bgmodel.id, _DEFAULT_DATA["concat->bgmodel"])
+    for i in range(p):
+        # mBackground needs its own projection (skipping a level) plus the
+        # global background model.
+        wf.add_dependency(
+            projects[i].id, backgrounds[i].id, _DEFAULT_DATA["project->background"]
+        )
+        wf.add_dependency(
+            bgmodel.id, backgrounds[i].id, _DEFAULT_DATA["bgmodel->background"]
+        )
+        wf.add_dependency(
+            backgrounds[i].id, imgtbl.id, _DEFAULT_DATA["background->imgtbl"]
+        )
+        wf.add_dependency(backgrounds[i].id, madd.id, _DEFAULT_DATA["background->add"])
+    wf.add_dependency(imgtbl.id, madd.id, _DEFAULT_DATA["imgtbl->add"])
+    wf.add_dependency(madd.id, shrink.id, _DEFAULT_DATA["add->shrink"])
+    wf.add_dependency(shrink.id, jpeg.id, _DEFAULT_DATA["shrink->jpeg"])
+    return wf.validate()

@@ -1,0 +1,142 @@
+"""The wider Pegasus scientific-workflow gallery.
+
+The paper's future work asks for "custom workflows and execution times
+with various properties from different workloads".  These generators add
+the four shapes (beyond Montage) that the workflow-scheduling literature
+standardized on — Epigenomics, CyberShake, LIGO Inspiral and SIPHT —
+rebuilt from their published structural characterizations (Bharathi et
+al., "Characterization of Scientific Workflows", WORKS 2008).  Nominal
+runtimes are order-of-magnitude figures from that study; experiment
+scenarios overwrite them via :func:`repro.workloads.base.apply_model`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+
+def epigenomics(lanes: int = 2, width: int = 4, name: str = "epigenomics") -> Workflow:
+    """Epigenomics: parallel per-lane DNA sequence pipelines.
+
+    Per lane: ``fastqSplit`` fans out into *width* independent 4-stage
+    chains (``filterContams -> sol2sanger -> fastq2bfq -> map``) that a
+    ``mapMerge`` joins; a global merge, ``maqIndex`` and ``pileup``
+    finish the workflow.  Highly pipelined: long chains, bounded width.
+    """
+    if lanes < 1 or width < 1:
+        raise WorkflowError("epigenomics needs lanes >= 1 and width >= 1")
+    wf = Workflow(name)
+    merges = []
+    for lane in range(lanes):
+        split = wf.add_task(Task(f"fastqSplit_{lane}", 100.0, "fastqSplit"))
+        merge = wf.add_task(Task(f"mapMerge_{lane}", 150.0, "mapMerge"))
+        merges.append(merge)
+        for i in range(width):
+            chain = [
+                Task(f"filterContams_{lane}_{i}", 300.0, "filterContams"),
+                Task(f"sol2sanger_{lane}_{i}", 200.0, "sol2sanger"),
+                Task(f"fastq2bfq_{lane}_{i}", 150.0, "fastq2bfq"),
+                Task(f"map_{lane}_{i}", 2500.0, "map"),
+            ]
+            prev_id = split.id
+            for task in chain:
+                wf.add_task(task)
+                wf.add_dependency(prev_id, task.id, 0.3)
+                prev_id = task.id
+            wf.add_dependency(prev_id, merge.id, 0.3)
+    global_merge = wf.add_task(Task("mapMergeGlobal", 200.0, "mapMerge"))
+    for merge in merges:
+        wf.add_dependency(merge.id, global_merge.id, 0.5)
+    index = wf.add_task(Task("maqIndex", 300.0, "maqIndex"))
+    wf.add_dependency(global_merge.id, index.id, 1.0)
+    pileup = wf.add_task(Task("pileup", 400.0, "pileup"))
+    wf.add_dependency(index.id, pileup.id, 1.0)
+    return wf.validate()
+
+
+def cybershake(sites: int = 4, variations: int = 4, name: str = "cybershake") -> Workflow:
+    """CyberShake: seismic hazard characterization.
+
+    Per site, an ``ExtractSGT`` feeds *variations* parallel
+    ``SeismogramSynthesis`` tasks, each followed by a ``PeakValCalc``;
+    two zip tasks gather all seismograms and all peak values.  Very
+    wide and shallow — the data-parallel extreme of the gallery.
+    """
+    if sites < 1 or variations < 1:
+        raise WorkflowError("cybershake needs sites >= 1 and variations >= 1")
+    wf = Workflow(name)
+    zip_seis = wf.add_task(Task("zipSeis", 300.0, "zip"))
+    zip_psa = wf.add_task(Task("zipPSA", 200.0, "zip"))
+    for s in range(sites):
+        extract = wf.add_task(Task(f"extractSGT_{s}", 1500.0, "extractSGT"))
+        for v in range(variations):
+            synth = wf.add_task(
+                Task(f"seismogram_{s}_{v}", 800.0, "seismogramSynthesis")
+            )
+            wf.add_dependency(extract.id, synth.id, 1.5)
+            peak = wf.add_task(Task(f"peakVal_{s}_{v}", 100.0, "peakValCalc"))
+            wf.add_dependency(synth.id, peak.id, 0.1)
+            wf.add_dependency(synth.id, zip_seis.id, 0.5)
+            wf.add_dependency(peak.id, zip_psa.id, 0.01)
+    return wf.validate()
+
+
+def ligo(groups: int = 3, group_size: int = 4, name: str = "ligo") -> Workflow:
+    """LIGO Inspiral: gravitational-wave template analysis.
+
+    *groups* independent branches: each has *group_size* parallel
+    ``TmpltBank -> Inspiral`` pairs joined by a ``Thinca``; a per-group
+    ``TrigBank -> Inspiral2`` refinement chain feeds a final global
+    ``Thinca2`` coincidence stage.
+    """
+    if groups < 1 or group_size < 1:
+        raise WorkflowError("ligo needs groups >= 1 and group_size >= 1")
+    wf = Workflow(name)
+    final = wf.add_task(Task("thinca2_global", 200.0, "thinca"))
+    for g in range(groups):
+        thinca = wf.add_task(Task(f"thinca_{g}", 150.0, "thinca"))
+        for i in range(group_size):
+            bank = wf.add_task(Task(f"tmpltbank_{g}_{i}", 700.0, "tmpltbank"))
+            insp = wf.add_task(Task(f"inspiral_{g}_{i}", 2000.0, "inspiral"))
+            wf.add_dependency(bank.id, insp.id, 0.2)
+            wf.add_dependency(insp.id, thinca.id, 0.1)
+        trig = wf.add_task(Task(f"trigbank_{g}", 100.0, "trigbank"))
+        wf.add_dependency(thinca.id, trig.id, 0.1)
+        insp2 = wf.add_task(Task(f"inspiral2_{g}", 1500.0, "inspiral"))
+        wf.add_dependency(trig.id, insp2.id, 0.2)
+        wf.add_dependency(insp2.id, final.id, 0.1)
+    return wf.validate()
+
+
+def sipht(patser_jobs: int = 8, name: str = "sipht") -> Workflow:
+    """SIPHT: bacterial sRNA annotation.
+
+    A wide front of independent ``Patser`` jobs concatenated by
+    ``PatserConcate``, alongside a handful of independent preparatory
+    jobs, all feeding the central ``SRNA`` prediction; its output runs
+    through several parallel BLAST variants that a final ``SRNAAnnotate``
+    joins.  Irregular, annotation-style structure.
+    """
+    if patser_jobs < 1:
+        raise WorkflowError("sipht needs patser_jobs >= 1")
+    wf = Workflow(name)
+    concat = wf.add_task(Task("patserConcate", 100.0, "patserConcate"))
+    for i in range(patser_jobs):
+        patser = wf.add_task(Task(f"patser_{i}", 300.0, "patser"))
+        wf.add_dependency(patser.id, concat.id, 0.05)
+    srna = wf.add_task(Task("srna", 2000.0, "srna"))
+    wf.add_dependency(concat.id, srna.id, 0.1)
+    for prep in ("transterm", "findterm", "rnamotif", "blast_candidates"):
+        job = wf.add_task(Task(prep, 600.0, prep))
+        wf.add_dependency(job.id, srna.id, 0.2)
+    ffn = wf.add_task(Task("ffnParse", 150.0, "ffnParse"))
+    wf.add_dependency(srna.id, ffn.id, 0.1)
+    annotate = wf.add_task(Task("srnaAnnotate", 300.0, "srnaAnnotate"))
+    for blast in ("blastSynteny", "blastParalogues", "blastQRNA", "blastSRNA"):
+        job = wf.add_task(Task(blast, 800.0, blast))
+        wf.add_dependency(ffn.id, job.id, 0.2)
+        wf.add_dependency(job.id, annotate.id, 0.05)
+    wf.add_dependency(srna.id, annotate.id, 0.1)
+    return wf.validate()

@@ -1,0 +1,23 @@
+"""Strictly sequential workflow (paper Fig. 2d) — a makefile-style chain
+used to expose the limits of the parallel provisioning policies."""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+_DATA_GB = 0.05
+
+
+def sequential(length: int = 12, name: str = "sequential") -> Workflow:
+    """Build a chain of *length* tasks, each depending on the previous."""
+    if length < 1:
+        raise WorkflowError("sequential workflow needs length >= 1")
+    wf = Workflow(name)
+    prev = wf.add_task(Task("step_000", 1000.0, "step"))
+    for i in range(1, length):
+        nxt = wf.add_task(Task(f"step_{i:03d}", 1000.0, "step"))
+        wf.add_dependency(prev.id, nxt.id, _DATA_GB)
+        prev = nxt
+    return wf.validate()

@@ -1,0 +1,77 @@
+"""Synthetic workflow generators for the paper's future-work axis
+("custom workflows ... with various properties"): parameterized
+fork-join shapes and random layered DAGs."""
+
+from __future__ import annotations
+
+from repro.errors import WorkflowError
+from repro.util.rng import ensure_rng
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+_DATA_GB = 0.05
+
+
+def fork_join(width: int = 8, stages: int = 3, name: str = "fork_join") -> Workflow:
+    """Alternating fan-out/fan-in: a join task between each parallel stage.
+
+    ``stages`` parallel stages of ``width`` tasks each, separated by
+    single synchronization tasks, with one entry and one exit task.
+    """
+    if width < 1 or stages < 1:
+        raise WorkflowError("fork_join needs width >= 1 and stages >= 1")
+    wf = Workflow(name)
+    prev_join = wf.add_task(Task("source", 500.0, "sync"))
+    for s in range(stages):
+        members = [
+            wf.add_task(Task(f"stage{s}_task{i}", 1000.0, "work"))
+            for i in range(width)
+        ]
+        for m in members:
+            wf.add_dependency(prev_join.id, m.id, _DATA_GB)
+        join = wf.add_task(Task(f"join_{s}", 500.0, "sync"))
+        for m in members:
+            wf.add_dependency(m.id, join.id, _DATA_GB)
+        prev_join = join
+    return wf.validate()
+
+
+def random_layered(
+    layers: int = 5,
+    width_range: tuple[int, int] = (1, 6),
+    edge_density: float = 0.5,
+    seed=None,
+    name: str = "random_layered",
+) -> Workflow:
+    """Random layered DAG: each task links to >= 1 task of the previous
+    layer, plus extra previous-layer edges with probability
+    *edge_density*.  Work is uniform in [500, 2000) s so the shape, not
+    the durations, drives structure-sensitive comparisons.
+    """
+    if layers < 1:
+        raise WorkflowError("random_layered needs layers >= 1")
+    lo, hi = width_range
+    if not (1 <= lo <= hi):
+        raise WorkflowError(f"bad width_range {width_range}")
+    if not (0.0 <= edge_density <= 1.0):
+        raise WorkflowError(f"edge_density must be in [0, 1], got {edge_density}")
+    rng = ensure_rng(seed)
+    wf = Workflow(name)
+    previous: list[Task] = []
+    for layer in range(layers):
+        width = int(rng.integers(lo, hi + 1))
+        current = [
+            wf.add_task(
+                Task(f"L{layer}_T{i}", float(rng.uniform(500.0, 2000.0)), "work")
+            )
+            for i in range(width)
+        ]
+        if previous:
+            for t in current:
+                anchor = previous[int(rng.integers(0, len(previous)))]
+                wf.add_dependency(anchor.id, t.id, _DATA_GB)
+                for p in previous:
+                    if p.id != anchor.id and rng.random() < edge_density:
+                        wf.add_dependency(p.id, t.id, _DATA_GB)
+        previous = current
+    return wf.validate()

@@ -1,0 +1,113 @@
+"""JSON workflow interchange (round-trip), and one-way JSON export of
+schedules and simulation traces for downstream analysis tools.
+
+The workflow format is a plain object::
+
+    {"name": ..., "tasks": [{"id", "work", "category"}...],
+     "edges": [{"from", "to", "data_gb"}...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import WorkflowError, WorkflowParseError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+
+def workflow_to_dict(wf: Workflow) -> Dict[str, Any]:
+    wf.validate()
+    return {
+        "name": wf.name,
+        "tasks": [
+            {"id": t.id, "work": t.work, "category": t.category} for t in wf.tasks
+        ],
+        "edges": [
+            {"from": u, "to": v, "data_gb": gb} for u, v, gb in wf.edges()
+        ],
+    }
+
+
+def workflow_to_json(wf: Workflow, indent: int | None = 2) -> str:
+    return json.dumps(workflow_to_dict(wf), indent=indent)
+
+
+def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
+    try:
+        wf = Workflow(data["name"])
+        for t in data["tasks"]:
+            wf.add_task(Task(t["id"], float(t["work"]), t.get("category", "")))
+        for e in data.get("edges", []):
+            wf.add_dependency(e["from"], e["to"], float(e.get("data_gb", 0.0)))
+    except WorkflowParseError:
+        raise
+    except (KeyError, TypeError, ValueError, WorkflowError) as exc:
+        raise WorkflowParseError(f"malformed workflow JSON: {exc!r}") from exc
+    try:
+        return wf.validate()
+    except WorkflowError as exc:
+        raise WorkflowParseError(f"invalid workflow in JSON: {exc}") from exc
+
+
+def workflow_from_json(text: str) -> Workflow:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkflowParseError(f"invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise WorkflowParseError("workflow JSON must be an object")
+    return workflow_from_dict(data)
+
+
+def schedule_to_dict(schedule) -> Dict[str, Any]:
+    """One-way export of a :class:`~repro.core.schedule.Schedule`:
+    VM flavors/regions, timed placements, and summary metrics."""
+    return {
+        "workflow": schedule.workflow.name,
+        "algorithm": schedule.algorithm,
+        "provisioning": schedule.provisioning,
+        "makespan": schedule.makespan,
+        "total_cost": schedule.total_cost,
+        "rent_cost": schedule.rent_cost,
+        "transfer_cost": schedule.transfer_cost,
+        "idle_seconds": schedule.total_idle_seconds,
+        "vms": [
+            {
+                "name": vm.name,
+                "instance_type": vm.itype.name,
+                "region": vm.region.name,
+                "placements": [
+                    {"task": p.task_id, "start": p.start, "end": p.end}
+                    for p in vm.placements
+                ],
+            }
+            for vm in schedule.vms
+        ],
+    }
+
+
+def schedule_to_json(schedule, indent: int | None = 2) -> str:
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def trace_to_dict(result) -> Dict[str, Any]:
+    """Export a :class:`~repro.simulator.trace.SimulationResult`."""
+    return {
+        "makespan": result.makespan,
+        "events": [
+            {
+                "time": e.time,
+                "kind": e.kind,
+                "task": e.task_id,
+                "vm": e.vm,
+                "detail": e.detail,
+            }
+            for e in result.events
+        ],
+    }
+
+
+def trace_to_json(result, indent: int | None = None) -> str:
+    return json.dumps(trace_to_dict(result), indent=indent)

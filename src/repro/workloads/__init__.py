@@ -1,0 +1,29 @@
+"""Execution-time and data-size scenario models (paper Sect. IV-B)."""
+
+from repro.workloads.base import ExecutionTimeModel, apply_model
+from repro.workloads.pareto import (
+    ParetoModel,
+    ParetoDataModel,
+    pareto_cdf,
+    FEITELSON_RUNTIME_SHAPE,
+    FEITELSON_SIZE_SHAPE,
+    FEITELSON_SCALE,
+)
+from repro.workloads.uniform import BestCaseModel, WorstCaseModel, ConstantModel
+from repro.workloads.synthetic import CategoryScaledModel, TableModel
+
+__all__ = [
+    "ExecutionTimeModel",
+    "apply_model",
+    "ParetoModel",
+    "ParetoDataModel",
+    "pareto_cdf",
+    "FEITELSON_RUNTIME_SHAPE",
+    "FEITELSON_SIZE_SHAPE",
+    "FEITELSON_SCALE",
+    "BestCaseModel",
+    "WorstCaseModel",
+    "ConstantModel",
+    "CategoryScaledModel",
+    "TableModel",
+]

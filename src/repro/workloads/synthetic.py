@@ -1,0 +1,61 @@
+"""Additional workload models for the future-work sweeps: per-category
+scaling (keep a generator's relative task weights but stretch them) and
+explicit lookup tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.workloads.base import ExecutionTimeModel
+from repro.workflows.dag import Workflow
+
+
+class CategoryScaledModel(ExecutionTimeModel):
+    """Scale each task's built-in work by a per-category factor.
+
+    Unknown categories fall back to *default_scale*; useful for "make the
+    mappers 10x heavier" style what-if studies while preserving shape.
+    """
+
+    name = "category-scaled"
+
+    def __init__(self, scales: Mapping[str, float], default_scale: float = 1.0) -> None:
+        for cat, s in scales.items():
+            if s <= 0:
+                raise ValueError(f"scale for category {cat!r} must be positive")
+        if default_scale <= 0:
+            raise ValueError("default_scale must be positive")
+        self.scales = dict(scales)
+        self.default_scale = default_scale
+
+    def runtimes(self, wf: Workflow, seed=None) -> Dict[str, float]:
+        return {
+            t.id: t.work * self.scales.get(t.category, self.default_scale)
+            for t in wf.tasks
+        }
+
+
+class TableModel(ExecutionTimeModel):
+    """Explicit per-task runtimes, e.g. replayed from a trace."""
+
+    name = "table"
+
+    def __init__(self, table: Mapping[str, float], default: float | None = None) -> None:
+        for tid, w in table.items():
+            if w <= 0:
+                raise ValueError(f"runtime for {tid!r} must be positive")
+        if default is not None and default <= 0:
+            raise ValueError("default runtime must be positive")
+        self.table = dict(table)
+        self.default = default
+
+    def runtimes(self, wf: Workflow, seed=None) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for tid in wf.task_ids:
+            if tid in self.table:
+                out[tid] = self.table[tid]
+            elif self.default is not None:
+                out[tid] = self.default
+            else:
+                raise KeyError(f"no runtime for task {tid!r} and no default")
+        return out

@@ -1,0 +1,83 @@
+"""The paper's boundary scenarios (Sect. IV-B).
+
+*Best case*: all tasks equal and short enough that the whole workflow
+fits one BTU sequentially (``n * e <= BTU``) — a sequential provisioning
+then costs exactly 1 BTU while a fully parallel one costs n BTUs.
+
+*Worst case*: all tasks equal and so long that even the fastest instance
+cannot fit one inside a BTU (``BTU < e / 2.7``) — every NotExceed policy
+degenerates to OneVMperTask.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.base import ExecutionTimeModel
+from repro.workflows.dag import Workflow
+
+
+class ConstantModel(ExecutionTimeModel):
+    """Every task takes exactly *runtime* reference seconds."""
+
+    name = "constant"
+
+    def __init__(self, runtime: float) -> None:
+        if runtime <= 0:
+            raise ValueError(f"runtime must be positive, got {runtime}")
+        self.runtime = float(runtime)
+
+    def runtimes(self, wf: Workflow, seed=None) -> Dict[str, float]:
+        return {tid: self.runtime for tid in wf.task_ids}
+
+
+class BestCaseModel(ConstantModel):
+    """Equal tasks with ``n * e <= BTU`` (paper's best case).
+
+    The runtime is derived from the workflow size at application time,
+    so :meth:`runtimes` — not the constructor — fixes ``e = slack *
+    BTU / n``.
+    """
+
+    name = "best"
+
+    def __init__(self, btu_seconds: float = 3600.0, slack: float = 1.0) -> None:
+        if btu_seconds <= 0:
+            raise ValueError("btu_seconds must be positive")
+        if not (0 < slack <= 1.0):
+            raise ValueError("slack must be in (0, 1]")
+        self.btu_seconds = btu_seconds
+        self.slack = slack
+        super().__init__(runtime=btu_seconds)  # placeholder, replaced per-workflow
+
+    def runtimes(self, wf: Workflow, seed=None) -> Dict[str, float]:
+        e = self.slack * self.btu_seconds / len(wf)
+        return {tid: e for tid in wf.task_ids}
+
+
+class WorstCaseModel(ConstantModel):
+    """Equal tasks with ``e > max_speedup * BTU`` (paper's worst case).
+
+    With ``factor`` > ``max_speedup`` (2.7 for xlarge) the task overruns
+    a BTU even on the fastest instance.
+    """
+
+    name = "worst"
+
+    def __init__(
+        self,
+        btu_seconds: float = 3600.0,
+        max_speedup: float = 2.7,
+        factor: float = 2.8,
+    ) -> None:
+        if btu_seconds <= 0:
+            raise ValueError("btu_seconds must be positive")
+        if factor <= max_speedup:
+            raise ValueError(
+                f"factor ({factor}) must exceed max_speedup ({max_speedup}) "
+                "for the worst-case property to hold"
+            )
+        super().__init__(runtime=factor * btu_seconds)
+        self.btu_seconds = btu_seconds
+        self.max_speedup = max_speedup
+        self.factor = factor

@@ -1,0 +1,85 @@
+"""Tests for the EC2 instance catalog (paper Sect. IV-A)."""
+
+import pytest
+
+from repro.cloud.instance import (
+    INSTANCE_TYPES,
+    LARGE,
+    MEDIUM,
+    SMALL,
+    XLARGE,
+    InstanceType,
+    faster_types,
+    instance_type,
+    next_faster,
+)
+from repro.errors import PlatformError
+
+
+class TestCatalog:
+    def test_paper_speedups(self):
+        assert SMALL.speedup == 1.0
+        assert MEDIUM.speedup == 1.6
+        assert LARGE.speedup == 2.1
+        assert XLARGE.speedup == 2.7
+
+    def test_paper_cores(self):
+        assert [t.cores for t in (SMALL, MEDIUM, LARGE, XLARGE)] == [1, 2, 4, 8]
+
+    def test_paper_links(self):
+        """small/medium on 1 Gb links, large/xlarge on 10 Gb."""
+        assert SMALL.link_gbps == MEDIUM.link_gbps == 1.0
+        assert LARGE.link_gbps == XLARGE.link_gbps == 10.0
+
+    def test_catalog_ordering_by_speedup(self):
+        assert sorted(INSTANCE_TYPES.values()) == [SMALL, MEDIUM, LARGE, XLARGE]
+
+    def test_lookup_by_name_and_short(self):
+        assert instance_type("medium") is MEDIUM
+        assert instance_type("m") is MEDIUM
+        assert instance_type("XLARGE") is XLARGE
+
+    def test_lookup_unknown(self):
+        with pytest.raises(PlatformError):
+            instance_type("tiny")
+
+    def test_invalid_instance_type(self):
+        with pytest.raises(PlatformError):
+            InstanceType(speedup=0, cores=1, name="x", short="x", link_gbps=1)
+
+
+class TestRuntime:
+    def test_runtime_scaling(self):
+        assert XLARGE.runtime(2700.0) == pytest.approx(1000.0)
+        assert SMALL.runtime(2700.0) == 2700.0
+
+    def test_runtime_rejects_negative(self):
+        with pytest.raises(PlatformError):
+            SMALL.runtime(-1.0)
+
+
+class TestValueRatio:
+    def test_declining_value_per_dollar(self):
+        from repro.cloud.instance import value_ratio
+
+        assert value_ratio(SMALL) == 1.0
+        assert value_ratio(MEDIUM) == pytest.approx(0.8)
+        assert value_ratio(LARGE) == pytest.approx(0.525)
+        assert value_ratio(XLARGE) == pytest.approx(0.3375)
+
+    def test_monotone_decreasing(self):
+        from repro.cloud.instance import value_ratio
+
+        ratios = [value_ratio(t) for t in (SMALL, MEDIUM, LARGE, XLARGE)]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestLadder:
+    def test_faster_types(self):
+        assert faster_types(SMALL) == [MEDIUM, LARGE, XLARGE]
+        assert faster_types(XLARGE) == []
+
+    def test_next_faster(self):
+        assert next_faster(SMALL) is MEDIUM
+        assert next_faster(LARGE) is XLARGE
+        assert next_faster(XLARGE) is None

@@ -1,0 +1,51 @@
+"""Tests for the store-and-forward network model."""
+
+import pytest
+
+from repro.cloud.instance import LARGE, MEDIUM, SMALL, XLARGE
+from repro.cloud.network import NetworkModel
+from repro.errors import PlatformError
+
+
+@pytest.fixture
+def net() -> NetworkModel:
+    return NetworkModel()
+
+
+class TestTransferTime:
+    def test_same_vm_free(self, net):
+        assert net.transfer_time(100.0, SMALL, SMALL, same_vm=True) == 0.0
+
+    def test_formula_size_over_bandwidth_plus_latency(self, net):
+        # 1 GB over a 1 Gb/s link = 8 seconds + 0.1 s latency
+        assert net.transfer_time(1.0, SMALL, SMALL) == pytest.approx(8.1)
+
+    def test_bottleneck_link(self, net):
+        """small (1 Gb) to large (10 Gb) runs at the slower 1 Gb."""
+        assert net.bandwidth_gbps(SMALL, LARGE) == 1.0
+        assert net.bandwidth_gbps(LARGE, XLARGE) == 10.0
+        t_mixed = net.transfer_time(1.0, SMALL, LARGE)
+        t_fast = net.transfer_time(1.0, LARGE, XLARGE)
+        assert t_mixed == pytest.approx(8.1)
+        assert t_fast == pytest.approx(0.9)
+
+    def test_inter_region_latency(self, net):
+        t_local = net.transfer_time(1.0, MEDIUM, MEDIUM, same_region=True)
+        t_remote = net.transfer_time(1.0, MEDIUM, MEDIUM, same_region=False)
+        assert t_remote - t_local == pytest.approx(0.4)
+
+    def test_control_dependency_pays_latency(self, net):
+        assert net.transfer_time(0.0, SMALL, SMALL) == pytest.approx(0.1)
+
+    def test_negative_size(self, net):
+        with pytest.raises(PlatformError):
+            net.transfer_time(-1.0, SMALL, SMALL)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(PlatformError):
+            NetworkModel(intra_region_latency_s=-0.1)
+
+    def test_monotone_in_size(self, net):
+        assert net.transfer_time(2.0, SMALL, SMALL) > net.transfer_time(
+            1.0, SMALL, SMALL
+        )

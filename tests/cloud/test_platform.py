@@ -1,0 +1,72 @@
+"""Tests for the CloudPlatform facade."""
+
+import pytest
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import LARGE, SMALL
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import EC2_REGIONS
+from repro.errors import PlatformError
+from repro.workflows.task import Task
+
+
+class TestConstruction:
+    def test_ec2_defaults(self):
+        p = CloudPlatform.ec2()
+        assert p.btu_seconds == 3600.0
+        assert p.default_region.name == "us-east-virginia"
+        assert set(p.catalog) == {"small", "medium", "large", "xlarge"}
+        assert p.boot_seconds == 0.0
+
+    def test_override_billing(self):
+        p = CloudPlatform.ec2(billing=BillingModel(btu_seconds=60.0))
+        assert p.btu_seconds == 60.0
+
+    def test_default_region_must_be_listed(self):
+        with pytest.raises(PlatformError):
+            CloudPlatform(regions={"eu-dublin": EC2_REGIONS["eu-dublin"]})
+
+    def test_negative_boot_rejected(self):
+        with pytest.raises(PlatformError):
+            CloudPlatform.ec2(boot_seconds=-1.0)
+
+
+class TestQueries:
+    def test_itype_lookup(self):
+        p = CloudPlatform.ec2()
+        assert p.itype("l") is LARGE
+        assert p.itype("small") is SMALL
+        with pytest.raises(PlatformError):
+            p.itype("huge")
+
+    def test_region_lookup(self):
+        p = CloudPlatform.ec2()
+        assert p.region("eu-dublin").name == "eu-dublin"
+        with pytest.raises(PlatformError):
+            p.region("nowhere")
+
+    def test_runtime(self):
+        p = CloudPlatform.ec2()
+        t = Task("t", 2100.0)
+        assert p.runtime(t, LARGE) == pytest.approx(1000.0)
+
+    def test_transfer_time_defaults_to_default_region(self):
+        p = CloudPlatform.ec2()
+        t = p.transfer_time(1.0, SMALL, SMALL)
+        assert t == pytest.approx(8.1)
+
+    def test_transfer_time_cross_region(self):
+        p = CloudPlatform.ec2()
+        local = p.transfer_time(1.0, SMALL, SMALL)
+        remote = p.transfer_time(
+            1.0,
+            SMALL,
+            SMALL,
+            src_region=p.region("us-east-virginia"),
+            dst_region=p.region("eu-dublin"),
+        )
+        assert remote > local
+
+    def test_cheapest_region(self):
+        p = CloudPlatform.ec2()
+        assert p.cheapest_region().price("small") == pytest.approx(0.08)

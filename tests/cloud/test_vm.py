@@ -1,0 +1,106 @@
+"""Tests for the VM lifecycle/accounting model."""
+
+import pytest
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import MEDIUM, SMALL
+from repro.cloud.region import EC2_REGIONS
+from repro.cloud.vm import VM, Placement
+from repro.errors import InvalidScheduleError
+
+US = EC2_REGIONS["us-east-virginia"]
+
+
+@pytest.fixture
+def billing() -> BillingModel:
+    return BillingModel()
+
+
+def _vm(itype=SMALL, boot=0.0) -> VM:
+    return VM(id=0, itype=itype, region=US, boot_seconds=boot)
+
+
+class TestPlacement:
+    def test_duration(self):
+        p = Placement("t", 10.0, 25.0)
+        assert p.duration == 15.0
+
+    def test_invalid(self):
+        with pytest.raises(InvalidScheduleError):
+            Placement("t", -1.0, 5.0)
+        with pytest.raises(InvalidScheduleError):
+            Placement("t", 5.0, 1.0)
+
+
+class TestVmPlacement:
+    def test_place_and_order(self):
+        vm = _vm()
+        vm.place("b", 100.0, 50.0)
+        vm.place("a", 0.0, 50.0)
+        assert vm.task_ids == ["a", "b"]  # sorted by start
+
+    def test_overlap_rejected(self):
+        vm = _vm()
+        vm.place("a", 0.0, 100.0)
+        with pytest.raises(InvalidScheduleError, match="overlaps"):
+            vm.place("b", 50.0, 100.0)
+
+    def test_touching_allowed(self):
+        vm = _vm()
+        vm.place("a", 0.0, 100.0)
+        vm.place("b", 100.0, 100.0)
+        assert vm.busy_seconds == 200.0
+
+
+class TestVmAccounting:
+    def test_uptime_spans_first_to_last(self):
+        vm = _vm()
+        vm.place("a", 100.0, 200.0)
+        vm.place("b", 500.0, 100.0)
+        assert vm.rent_start == 100.0
+        assert vm.rent_end == 600.0
+        assert vm.uptime_seconds == 500.0
+
+    def test_boot_extends_rent_window(self):
+        vm = _vm(boot=120.0)
+        vm.place("a", 200.0, 100.0)
+        assert vm.rent_start == 80.0
+        assert vm.uptime_seconds == 220.0
+
+    def test_idle_includes_btu_tail(self, billing):
+        vm = _vm()
+        vm.place("a", 0.0, 1000.0)
+        # paid 3600, busy 1000
+        assert vm.idle_seconds(billing) == pytest.approx(2600.0)
+
+    def test_idle_includes_gaps(self, billing):
+        vm = _vm()
+        vm.place("a", 0.0, 1000.0)
+        vm.place("b", 2000.0, 1000.0)
+        # uptime 3000 -> paid 3600; busy 2000
+        assert vm.idle_seconds(billing) == pytest.approx(1600.0)
+
+    def test_cost(self, billing):
+        vm = _vm(MEDIUM)
+        vm.place("a", 0.0, 4000.0)
+        assert vm.cost(billing) == pytest.approx(2 * 0.16)
+
+    def test_empty_vm_accessors_raise(self):
+        vm = _vm()
+        with pytest.raises(InvalidScheduleError):
+            _ = vm.rent_start
+        with pytest.raises(InvalidScheduleError):
+            _ = vm.rent_end
+
+    def test_busy_intervals(self):
+        vm = _vm()
+        vm.place("a", 0.0, 10.0)
+        vm.place("b", 20.0, 10.0)
+        assert vm.busy_intervals().total_length == 20.0
+
+    def test_negative_boot_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            _vm(boot=-1.0)
+
+    def test_name(self):
+        assert _vm(MEDIUM).name == "vm0-m"

@@ -1,0 +1,75 @@
+"""Hypothesis properties of VM accounting under arbitrary placements."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import SMALL
+from repro.cloud.region import EC2_REGIONS
+from repro.cloud.vm import VM
+
+US = EC2_REGIONS["us-east-virginia"]
+BILLING = BillingModel()
+
+# disjoint placements: (start, duration) pairs laid out sequentially
+_segments = st.lists(
+    st.tuples(st.floats(0.0, 500.0), st.floats(1.0, 5000.0)),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _vm_from_segments(segments):
+    vm = VM(id=0, itype=SMALL, region=US)
+    t = 0.0
+    for gap, duration in segments:
+        t += gap
+        vm.place(f"t{len(vm.placements)}", t, duration)
+        t += duration
+    return vm
+
+
+@settings(max_examples=100, deadline=None)
+@given(_segments)
+def test_paid_at_least_busy(segments):
+    vm = _vm_from_segments(segments)
+    assert vm.paid_seconds(BILLING) >= vm.busy_seconds - 1e-6
+    assert vm.idle_seconds(BILLING) >= -1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(_segments)
+def test_uptime_decomposition(segments):
+    """uptime = busy + internal gaps; paid = uptime rounded up."""
+    vm = _vm_from_segments(segments)
+    gaps = sum(g.length for g in vm.busy_intervals().gaps())
+    assert vm.uptime_seconds == pytest.approx(vm.busy_seconds + gaps)
+    assert vm.paid_seconds(BILLING) == pytest.approx(
+        BILLING.paid_seconds(vm.uptime_seconds)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_segments)
+def test_cost_proportional_to_btus(segments):
+    vm = _vm_from_segments(segments)
+    btus = BILLING.btus(vm.uptime_seconds)
+    assert vm.cost(BILLING) == pytest.approx(btus * US.price(SMALL))
+    assert btus >= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(_segments, st.floats(1.0, 4000.0))
+def test_extending_uptime_never_lowers_cost(segments, extra):
+    vm = _vm_from_segments(segments)
+    base_cost = vm.cost(BILLING)
+    vm.place("tail", vm.rent_end + 1.0, extra)
+    assert vm.cost(BILLING) >= base_cost - 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(_segments)
+def test_placements_sorted_and_disjoint(segments):
+    vm = _vm_from_segments(segments)
+    for a, b in zip(vm.placements, vm.placements[1:]):
+        assert a.end <= b.start + 1e-12

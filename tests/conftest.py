@@ -1,0 +1,68 @@
+"""Shared fixtures: the EC2 platform, the paper's workflows, and small
+hand-built DAGs with known-by-construction schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import cstem, mapreduce, montage, sequential
+from repro.workflows.task import Task
+
+
+@pytest.fixture(scope="session")
+def platform() -> CloudPlatform:
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture
+def diamond() -> Workflow:
+    """A -> (B, C) -> D with distinct runtimes and data volumes."""
+    wf = Workflow("diamond")
+    wf.add_task(Task("A", 600.0))
+    wf.add_task(Task("B", 1200.0))
+    wf.add_task(Task("C", 900.0))
+    wf.add_task(Task("D", 300.0))
+    wf.add_dependency("A", "B", 0.5)
+    wf.add_dependency("A", "C", 0.25)
+    wf.add_dependency("B", "D", 1.0)
+    wf.add_dependency("C", "D", 0.125)
+    return wf.validate()
+
+
+@pytest.fixture
+def chain3() -> Workflow:
+    """X -> Y -> Z, zero data (pure control dependencies)."""
+    wf = Workflow("chain3")
+    wf.add_task(Task("X", 1000.0))
+    wf.add_task(Task("Y", 2000.0))
+    wf.add_task(Task("Z", 500.0))
+    wf.add_dependency("X", "Y")
+    wf.add_dependency("Y", "Z")
+    return wf.validate()
+
+
+@pytest.fixture
+def fan7() -> Workflow:
+    """The Fig. 1 shape: one entry task and six children."""
+    wf = Workflow("fan7")
+    wf.add_task(Task("root", 1800.0))
+    for i, work in enumerate((2400.0, 2000.0, 1600.0, 1200.0, 900.0, 600.0)):
+        wf.add_task(Task(f"c{i}", work))
+        wf.add_dependency("root", f"c{i}", 0.01)
+    return wf.validate()
+
+
+@pytest.fixture(
+    params=["montage", "cstem", "mapreduce", "sequential"],
+    ids=["montage", "cstem", "mapreduce", "sequential"],
+)
+def paper_workflow(request) -> Workflow:
+    """Parametrized over the paper's four shapes."""
+    return {
+        "montage": montage,
+        "cstem": cstem,
+        "mapreduce": mapreduce,
+        "sequential": sequential,
+    }[request.param]()

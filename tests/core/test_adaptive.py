@@ -1,0 +1,112 @@
+"""Tests for the adaptive strategy selector (paper Table V)."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.adaptive import (
+    AdaptiveSelector,
+    Goal,
+    RuntimeProfile,
+    StructureClass,
+    classify_runtimes,
+    classify_structure,
+    recommend,
+)
+from repro.errors import SchedulingError
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workloads.uniform import ConstantModel
+from repro.workflows.generators import cstem, mapreduce, montage, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestStructureClassifier:
+    def test_sequential(self):
+        assert classify_structure(sequential()) is StructureClass.SEQUENTIAL
+
+    def test_mapreduce_is_highly_parallel(self):
+        assert classify_structure(mapreduce()) is StructureClass.HIGHLY_PARALLEL
+
+    def test_montage_is_parallel_interdependent(self):
+        assert (
+            classify_structure(montage())
+            is StructureClass.PARALLEL_INTERDEPENDENT
+        )
+
+    def test_cstem_has_some_parallelism(self):
+        assert classify_structure(cstem()) is StructureClass.SOME_PARALLELISM
+
+
+class TestRuntimeClassifier:
+    def test_pareto_is_heterogeneous(self, platform):
+        wf = apply_model(montage(), ParetoModel(), seed=0)
+        assert classify_runtimes(wf, platform) is RuntimeProfile.HETEROGENEOUS
+
+    def test_short_constant(self, platform):
+        wf = apply_model(montage(), ConstantModel(100.0))
+        assert classify_runtimes(wf, platform) is RuntimeProfile.SHORT
+
+    def test_long_constant(self, platform):
+        wf = apply_model(montage(), ConstantModel(4000.0))
+        assert classify_runtimes(wf, platform) is RuntimeProfile.LONG
+
+
+class TestRecommend:
+    def test_savings_always_small_or_dyn(self, platform):
+        """Table V's savings column: AllPar1LnSDyn everywhere except
+        pure chains, which take any small-instance strategy."""
+        for wf in (montage(), cstem(), mapreduce()):
+            rec = recommend(wf, platform, Goal.SAVINGS)
+            assert rec.algorithm == "AllPar1LnSDyn"
+        seq = recommend(sequential(), platform, Goal.SAVINGS)
+        assert seq.instance == "small"
+
+    def test_sequential_gain_uses_large(self, platform):
+        rec = recommend(sequential(), platform, Goal.GAIN)
+        assert rec.instance == "large"
+
+    def test_goal_from_string(self, platform):
+        rec = recommend(montage(), platform, "gain")
+        assert rec.label
+
+    def test_unknown_goal(self, platform):
+        with pytest.raises(SchedulingError):
+            recommend(montage(), platform, "speed!")
+
+    def test_every_cell_filled(self, platform):
+        for wf in (montage(), cstem(), mapreduce(), sequential()):
+            for goal in Goal:
+                rec = recommend(wf, platform, goal)
+                assert rec.algorithm and rec.provisioning and rec.instance
+                assert rec.rationale
+
+
+class TestAdaptiveSelector:
+    def test_schedule_runs_recommendation(self, platform):
+        sel = AdaptiveSelector(platform)
+        for wf in (montage(), cstem(), mapreduce(), sequential()):
+            for goal in Goal:
+                sched = sel.schedule(wf, goal)
+                sched.validate()
+
+    def test_savings_goal_beats_reference_cost(self, platform):
+        """The whole point of Table V: following the savings advice
+        should actually save money vs. the reference."""
+        from repro.core.baseline import reference_schedule
+
+        sel = AdaptiveSelector(platform)
+        for wf in (montage(), cstem(), mapreduce(), sequential()):
+            concrete = apply_model(wf, ParetoModel(), seed=7)
+            sched = sel.schedule(concrete, Goal.SAVINGS)
+            ref = reference_schedule(concrete, platform)
+            assert sched.total_cost <= ref.total_cost + 1e-9
+
+    def test_classify_returns_pair(self, platform):
+        sel = AdaptiveSelector(platform)
+        structure, profile = sel.classify(montage())
+        assert isinstance(structure, StructureClass)
+        assert isinstance(profile, RuntimeProfile)

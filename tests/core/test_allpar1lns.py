@@ -1,0 +1,158 @@
+"""Tests for AllPar1LnS packing and the AllPar1LnSDyn budgeted speed
+upgrades (paper Sect. III-B)."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.allpar1lns import (
+    AllPar1LnSDynScheduler,
+    AllPar1LnSScheduler,
+    pack_level,
+)
+from repro.core.allocation.level import AllParScheduler
+from repro.core.baseline import reference_schedule
+from repro.errors import SchedulingError
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import mapreduce, montage, sequential
+from repro.workflows.task import Task
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestPackLevel:
+    def test_longest_task_alone_in_first_bin(self):
+        bins = pack_level(["a", "b", "c"], {"a": 10.0, "b": 4.0, "c": 3.0}.get)
+        assert bins[0] == ["a"]
+
+    def test_shorts_sequentialized(self):
+        exec_time = {"long": 10.0, "s1": 4.0, "s2": 3.0, "s3": 2.0}.get
+        bins = pack_level(["long", "s1", "s2", "s3"], exec_time)
+        assert bins == [["long"], ["s1", "s2", "s3"]]  # 4+3+2 <= 10
+
+    def test_overflow_opens_new_bin(self):
+        exec_time = {"long": 10.0, "s1": 6.0, "s2": 6.0}.get
+        bins = pack_level(["long", "s1", "s2"], exec_time)
+        assert bins == [["long"], ["s1"], ["s2"]]
+
+    def test_bin_loads_never_exceed_capacity(self):
+        times = {f"t{i}": float(20 - i) for i in range(15)}
+        bins = pack_level(list(times), times.get)
+        cap = max(times.values())
+        for b in bins:
+            assert sum(times[t] for t in b) <= cap + 1e-9
+
+    def test_all_tasks_kept(self):
+        times = {f"t{i}": float(1 + i % 5) for i in range(12)}
+        bins = pack_level(list(times), times.get)
+        assert sorted(t for b in bins for t in b) == sorted(times)
+
+    def test_equal_tasks_cannot_pack(self):
+        bins = pack_level(["a", "b", "c"], lambda t: 5.0)
+        assert len(bins) == 3
+
+    def test_empty_level(self):
+        assert pack_level([], lambda t: 1.0) == []
+
+    def test_deterministic_tie_break(self):
+        bins1 = pack_level(["b", "a"], lambda t: 5.0)
+        bins2 = pack_level(["a", "b"], lambda t: 5.0)
+        assert bins1 == bins2 == [["a"], ["b"]]
+
+
+class TestAllPar1LnS:
+    def test_no_worse_cost_than_allparnotexceed(self, platform):
+        """Sequentializing shorts can only reduce rented VMs/cost."""
+        for seed in range(3):
+            wf = apply_model(mapreduce(), ParetoModel(), seed=seed)
+            lns = AllPar1LnSScheduler().schedule(wf, platform)
+            apne = AllParScheduler(exceed=False).schedule(wf, platform)
+            assert lns.total_cost <= apne.total_cost + 1e-9
+
+    def test_level_makespan_preserved(self, platform):
+        """Packing below the longest task must not stretch the level."""
+        wf = Workflow("w")
+        wf.add_task(Task("src", 100.0))
+        for tid, work in (("long", 2000.0), ("s1", 900.0), ("s2", 800.0)):
+            wf.add_task(Task(tid, work))
+            wf.add_dependency("src", tid, 0.0)
+        wf.validate()
+        sched = AllPar1LnSScheduler().schedule(wf, platform)
+        # s1+s2 share one VM; both finish before 'long' does
+        assert sched.vm_of("s1") is sched.vm_of("s2")
+        assert sched.finish("s2") <= sched.finish("long") + 1e-6
+
+    def test_long_tasks_still_parallel(self, platform):
+        wf = Workflow("w")
+        wf.add_task(Task("src", 100.0))
+        for tid in ("l1", "l2"):
+            wf.add_task(Task(tid, 2000.0))
+            wf.add_dependency("src", tid, 0.0)
+        wf.validate()
+        sched = AllPar1LnSScheduler().schedule(wf, platform)
+        assert sched.vm_of("l1") is not sched.vm_of("l2")
+
+    def test_validates_on_paper_workflows(self, platform, paper_workflow):
+        AllPar1LnSScheduler().schedule(paper_workflow, platform).validate()
+
+
+class TestAllPar1LnSDyn:
+    def test_within_level_budgets_implies_cheaper_than_reference(self, platform):
+        """The per-level budgets sum to exactly the OneVMperTask-small
+        (reference) cost — every task on its own small VM — so Dyn's
+        total can never exceed the reference cost."""
+        for seed in range(3):
+            wf = apply_model(montage(), ParetoModel(), seed=seed)
+            dyn = AllPar1LnSDynScheduler().schedule(wf, platform)
+            ref = reference_schedule(wf, platform)
+            assert dyn.total_cost <= ref.total_cost + 1e-9
+
+    def test_no_slower_than_1lns(self, platform):
+        for seed in range(3):
+            wf = apply_model(montage(), ParetoModel(), seed=seed)
+            dyn = AllPar1LnSDynScheduler().schedule(wf, platform)
+            lns = AllPar1LnSScheduler().schedule(wf, platform)
+            assert dyn.makespan <= lns.makespan + 1e-6
+
+    def test_upgrades_longest_task_when_budget_allows(self, platform):
+        """Heterogeneous level with packing slack: the longest task's VM
+        gets a faster flavor."""
+        wf = Workflow("w")
+        wf.add_task(Task("src", 100.0))
+        # budget = 4 small BTUs; packed bins = 2 VMs -> slack for upgrades
+        for tid, work in (
+            ("long", 3400.0),
+            ("s1", 1200.0),
+            ("s2", 1100.0),
+            ("s3", 1000.0),
+        ):
+            wf.add_task(Task(tid, work))
+            wf.add_dependency("src", tid, 0.0)
+        wf.validate()
+        sched = AllPar1LnSDynScheduler().schedule(wf, platform)
+        assert sched.vm_of("long").itype.speedup > 1.0
+
+    def test_homogeneous_levels_degenerate_to_1lns(self, platform):
+        """Equal tasks leave no packing slack: Dyn == 1LnS."""
+        wf = mapreduce()
+        dyn = AllPar1LnSDynScheduler().schedule(wf, platform)
+        lns = AllPar1LnSScheduler().schedule(wf, platform)
+        assert dyn.makespan == pytest.approx(lns.makespan)
+        assert dyn.total_cost == pytest.approx(lns.total_cost)
+
+    def test_budget_slack_parameter(self, platform):
+        with pytest.raises(SchedulingError):
+            AllPar1LnSDynScheduler(budget_slack=0.0)
+
+    def test_validates_on_paper_workflows(self, platform, paper_workflow):
+        AllPar1LnSDynScheduler().schedule(paper_workflow, platform).validate()
+
+    def test_sequential_workflow_unchanged(self, platform):
+        """Singleton levels have budget == their own cost: no upgrades."""
+        wf = sequential(5)
+        sched = AllPar1LnSDynScheduler().schedule(wf, platform)
+        assert all(vm.itype.name == "small" for vm in sched.vms)

@@ -1,0 +1,74 @@
+"""Tests for the fixed-pool Round-Robin / Least-Load baselines."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.base import scheduling_algorithm
+from repro.core.allocation.baselines import LeastLoadScheduler, RoundRobinScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.errors import SchedulingError
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import mapreduce, montage, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert scheduling_algorithm("roundrobin").name == "RoundRobin"
+        assert scheduling_algorithm("leastload", pool_size=2).pool_size == 2
+
+
+class TestRoundRobin:
+    def test_pool_size_respected(self, platform):
+        sched = RoundRobinScheduler(pool_size=3).schedule(montage(), platform)
+        assert sched.vm_count == 3
+
+    def test_pool_capped_at_task_count(self, platform):
+        sched = RoundRobinScheduler(pool_size=50).schedule(sequential(3), platform)
+        assert sched.vm_count == 3
+
+    def test_cyclic_distribution(self, platform):
+        wf = mapreduce(mappers=4, reducers=2)  # 12 tasks
+        sched = RoundRobinScheduler(pool_size=2).schedule(wf, platform)
+        sizes = sorted(len(vm.placements) for vm in sched.vms)
+        assert sizes == [6, 6]
+
+    def test_valid_and_replayable(self, platform, paper_workflow):
+        sched = RoundRobinScheduler(pool_size=4).schedule(paper_workflow, platform)
+        sched.validate()
+        simulate_schedule(sched, check=True)
+
+    def test_invalid_pool(self):
+        with pytest.raises(SchedulingError):
+            RoundRobinScheduler(pool_size=0)
+
+
+class TestLeastLoad:
+    def test_balances_busy_time(self, platform):
+        wf = apply_model(mapreduce(), ParetoModel(), seed=3)
+        sched = LeastLoadScheduler(pool_size=4).schedule(wf, platform)
+        busy = [vm.busy_seconds for vm in sched.vms]
+        # the heaviest VM carries at most ~one extra max-task of work
+        longest = max(t.work for t in wf.tasks)
+        assert max(busy) - min(busy) <= longest + 1e-6
+
+    def test_valid_and_replayable(self, platform, paper_workflow):
+        sched = LeastLoadScheduler(pool_size=4).schedule(paper_workflow, platform)
+        sched.validate()
+        simulate_schedule(sched, check=True)
+
+
+class TestElasticityGap:
+    def test_elastic_policy_beats_fixed_pool_makespan(self, platform):
+        """The paper's motivation: elastic provisioning exploits cloud
+        elasticity a fixed pool cannot."""
+        wf = apply_model(mapreduce(mappers=16, reducers=4), ParetoModel(), seed=0)
+        fixed = RoundRobinScheduler(pool_size=4).schedule(wf, platform)
+        elastic = AllParScheduler(exceed=True).schedule(wf, platform)
+        assert elastic.makespan < fixed.makespan

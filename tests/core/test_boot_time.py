@@ -1,0 +1,81 @@
+"""Cold-start (boot time) modeling tests.
+
+The paper ignores boot time via a pre-booting strategy (static
+scheduling); the library supports both: ``prebooted=True`` (default,
+boot never delays execution) and ``prebooted=False`` (a fresh VM's first
+task waits ``boot_seconds`` after becoming ready, per Mao & Humphrey's
+observation that EC2 boots are constant ~2 min).
+"""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.baseline import reference_schedule
+from repro.simulator.executor import simulate_schedule
+
+BOOT = 120.0
+
+
+@pytest.fixture(scope="module")
+def cold_platform():
+    return CloudPlatform.ec2(boot_seconds=BOOT, prebooted=False)
+
+
+@pytest.fixture(scope="module")
+def prebooted_platform():
+    return CloudPlatform.ec2(boot_seconds=BOOT, prebooted=True)
+
+
+class TestColdStart:
+    def test_entry_task_delayed_by_boot(self, chain3, cold_platform):
+        sched = HeftScheduler("OneVMperTask").schedule(chain3, cold_platform)
+        assert sched.start("X") == pytest.approx(BOOT)
+
+    def test_every_fresh_vm_pays_boot(self, chain3, cold_platform):
+        sched = HeftScheduler("OneVMperTask").schedule(chain3, cold_platform)
+        # Y's VM is requested when X's output arrives
+        x_done = sched.finish("X")
+        assert sched.start("Y") == pytest.approx(x_done + 0.1 + BOOT)
+
+    def test_reused_vm_does_not_reboot(self, chain3, cold_platform):
+        sched = HeftScheduler("StartParExceed").schedule(chain3, cold_platform)
+        assert sched.vm_count == 1
+        # only the first task pays the boot
+        assert sched.start("X") == pytest.approx(BOOT)
+        assert sched.start("Y") == pytest.approx(sched.finish("X"))
+
+    def test_makespan_increases_vs_prebooted(
+        self, diamond, cold_platform, prebooted_platform
+    ):
+        cold = reference_schedule(diamond, cold_platform)
+        warm = reference_schedule(diamond, prebooted_platform)
+        assert cold.makespan > warm.makespan
+        # a diamond on OneVMperTask pays a boot per critical-path task
+        assert cold.makespan == pytest.approx(warm.makespan + 3 * BOOT)
+
+    def test_des_replay_matches_cold_plan(self, diamond, cold_platform):
+        for policy in ("OneVMperTask", "StartParNotExceed", "StartParExceed"):
+            sched = HeftScheduler(policy).schedule(diamond, cold_platform)
+            result = simulate_schedule(sched, check=True)
+            kinds = [e.kind for e in result.events]
+            assert "vm_boot" in kinds
+
+    def test_boot_counts_toward_rent(self, chain3, cold_platform):
+        """The rent window opens at VM request, i.e. boot is billed."""
+        sched = HeftScheduler("OneVMperTask").schedule(chain3, cold_platform)
+        vm = sched.vm_of("X")
+        assert vm.rent_start == pytest.approx(0.0)
+        assert vm.uptime_seconds == pytest.approx(BOOT + 1000.0)
+
+
+class TestPrebooted:
+    def test_boot_never_delays_execution(self, chain3, prebooted_platform):
+        sched = HeftScheduler("OneVMperTask").schedule(chain3, prebooted_platform)
+        assert sched.start("X") == 0.0
+        result = simulate_schedule(sched, check=True)
+        assert "vm_boot" not in [e.kind for e in result.events]
+
+    def test_paper_default_is_prebooted_zero_boot(self):
+        p = CloudPlatform.ec2()
+        assert p.prebooted and p.boot_seconds == 0.0

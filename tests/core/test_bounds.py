@@ -1,0 +1,70 @@
+"""Tests for the makespan/cost lower bounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.bounds import (
+    cost_lower_bound,
+    efficiency,
+    makespan_lower_bound,
+)
+from repro.experiments.config import paper_strategies
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import random_layered, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestBounds:
+    def test_makespan_bound_is_cp_on_xlarge(self, platform):
+        wf = sequential(4)  # CP = total work = 4000 s
+        assert makespan_lower_bound(wf, platform) == pytest.approx(4000.0 / 2.7)
+
+    def test_cost_bound_uses_small_rate(self, platform):
+        """On EC2 pricing small has the best $/work-second."""
+        wf = sequential(4)
+        assert cost_lower_bound(wf, platform) == pytest.approx(
+            4000.0 * 0.08 / 3600.0
+        )
+
+    def test_bounds_positive(self, platform, paper_workflow):
+        assert makespan_lower_bound(paper_workflow, platform) > 0
+        assert cost_lower_bound(paper_workflow, platform) > 0
+
+
+class TestEfficiency:
+    def test_ratios_at_least_one(self, platform, paper_workflow):
+        wf = apply_model(paper_workflow, ParetoModel(), seed=1)
+        for spec in paper_strategies():
+            report = efficiency(spec.run(wf, platform))
+            assert report.makespan_ratio >= 1.0 - 1e-9, spec.label
+            assert report.cost_ratio >= 1.0 - 1e-9, spec.label
+
+    def test_packing_approaches_cost_bound(self, platform):
+        """A long chain on one small VM wastes only the last BTU tail."""
+        from repro.core.allocation.heft import HeftScheduler
+
+        wf = sequential(36)  # 36,000 s of work = exactly 10 BTUs
+        sched = HeftScheduler("StartParExceed").schedule(wf, platform)
+        report = efficiency(sched)
+        assert report.cost_ratio == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_bounds_hold_on_random_inputs(self, seed):
+        platform = CloudPlatform.ec2()
+        wf = apply_model(
+            random_layered(layers=4, seed=seed), ParetoModel(), seed=seed
+        )
+        from repro.core.allocation.gain import GainScheduler
+        from repro.core.allocation.heft import HeftScheduler
+
+        for algo in (HeftScheduler("OneVMperTask"), GainScheduler()):
+            sched = algo.schedule(wf, platform)
+            assert sched.makespan >= makespan_lower_bound(wf, platform) - 1e-6
+            assert sched.total_cost >= cost_lower_bound(wf, platform) - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for textbook insertion-based HEFT."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.classic_heft import ClassicHeftScheduler
+from repro.core.allocation.heft import HeftScheduler
+from repro.errors import SchedulingError
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import montage, random_layered
+from repro.workflows.task import Task
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestPlacement:
+    def test_pool_bounds_vm_count(self, platform):
+        sched = ClassicHeftScheduler(pool=("small", "medium")).schedule(
+            montage(), platform
+        )
+        assert sched.vm_count <= 2
+
+    def test_eft_prefers_faster_processor_for_critical_work(self, platform):
+        """A lone task lands on the fastest pool member."""
+        wf = Workflow("w")
+        wf.add_task(Task("only", 1000.0))
+        sched = ClassicHeftScheduler(pool=("small", "large")).schedule(wf, platform)
+        assert sched.vm_of("only").itype.name == "large"
+
+    def test_transfer_aware_placement(self, platform):
+        """EFT keeps a data-heavy child on its parent's processor: the
+        free same-VM hand-off beats a faster-but-remote start."""
+        wf = Workflow("w")
+        wf.add_task(Task("x", 1000.0))
+        wf.add_task(Task("y", 1000.0))
+        wf.add_dependency("x", "y", 10.0)  # 80 s over a 1 Gb/s link
+        wf.validate()
+        sched = ClassicHeftScheduler(pool=("small", "small")).schedule(wf, platform)
+        assert sched.vm_of("y") is sched.vm_of("x")
+        assert sched.start("y") == pytest.approx(1000.0)
+
+    def test_independent_tasks_spread_across_pool(self, platform):
+        """With no dependencies EFT load-balances over the pool."""
+        wf = Workflow("w")
+        for i in range(4):
+            wf.add_task(Task(f"t{i}", 1000.0))
+        wf.validate()
+        sched = ClassicHeftScheduler(pool=("small", "small")).schedule(wf, platform)
+        sizes = sorted(len(vm.placements) for vm in sched.vms)
+        assert sizes == [2, 2]
+        assert sched.makespan == pytest.approx(2000.0)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(SchedulingError):
+            ClassicHeftScheduler(pool=())
+
+
+class TestQuality:
+    def test_valid_and_replayable(self, platform, paper_workflow):
+        sched = ClassicHeftScheduler().schedule(paper_workflow, platform)
+        sched.validate()
+        simulate_schedule(sched, check=True)
+
+    def test_replayable_on_random_dags(self, platform):
+        for seed in range(8):
+            wf = apply_model(
+                random_layered(layers=5, seed=seed), ParetoModel(), seed=seed
+            )
+            sched = ClassicHeftScheduler().schedule(wf, platform)
+            sched.validate()
+            simulate_schedule(sched, check=True)
+
+    def test_bigger_pool_never_hurts_makespan(self, platform):
+        wf = apply_model(montage(), ParetoModel(), seed=4)
+        small_pool = ClassicHeftScheduler(pool=("small",) * 2).schedule(wf, platform)
+        big_pool = ClassicHeftScheduler(pool=("small",) * 8).schedule(wf, platform)
+        assert big_pool.makespan <= small_pool.makespan + 1e-6
+
+    def test_competitive_with_paper_heft_on_equal_resources(self, platform):
+        """Classic HEFT on n small processors vs the paper's
+        HEFT+OneVMperTask (n small VMs): EFT+insertion should not be
+        dramatically worse, typically better or equal."""
+        wf = apply_model(montage(), ParetoModel(), seed=9)
+        classic = ClassicHeftScheduler(pool=("small",) * len(wf)).schedule(
+            wf, platform
+        )
+        paper = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        assert classic.makespan <= paper.makespan * 1.05

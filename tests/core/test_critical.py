@@ -1,0 +1,76 @@
+"""Tests for realized-critical-path analysis."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.core.critical import realized_critical_path
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import montage, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestPath:
+    def test_chain_critical_everywhere(self, platform):
+        sched = HeftScheduler("StartParExceed").schedule(sequential(4), platform)
+        report = realized_critical_path(sched)
+        assert report.path == tuple(f"step_{i:03d}" for i in range(4))
+        assert all(report.slack[t] == pytest.approx(0.0) for t in report.path)
+
+    def test_diamond_heavy_branch_critical(self, platform, diamond):
+        sched = HeftScheduler("OneVMperTask").schedule(diamond, platform)
+        report = realized_critical_path(sched)
+        assert report.path == ("A", "B", "D")
+        assert all(r == "dependency" for r in report.reasons)
+        # the light branch has slack: B's path is longer than C's
+        assert report.slack["C"] > 0
+
+    def test_serialized_schedule_blames_the_vm(self, platform, fan7):
+        """Packing the fan onto one VM makes machine contention, not
+        dependencies, the bottleneck."""
+        sched = HeftScheduler("StartParExceed").schedule(fan7, platform)
+        report = realized_critical_path(sched)
+        assert report.bottleneck_fraction_vm > 0.5
+
+    def test_parallel_schedule_blames_dependencies(self, platform, fan7):
+        sched = HeftScheduler("OneVMperTask").schedule(fan7, platform)
+        report = realized_critical_path(sched)
+        assert report.bottleneck_fraction_vm == 0.0
+
+    def test_path_ends_at_makespan_maker(self, platform):
+        wf = apply_model(montage(), ParetoModel(), seed=6)
+        sched = AllParScheduler(exceed=True).schedule(wf, platform)
+        report = realized_critical_path(sched)
+        assert sched.finish(report.path[-1]) == pytest.approx(sched.makespan)
+
+    def test_path_is_contiguous_blocking_chain(self, platform):
+        wf = apply_model(montage(), ParetoModel(), seed=6)
+        sched = HeftScheduler("StartParNotExceed").schedule(wf, platform)
+        report = realized_critical_path(sched)
+        for a, b, reason in zip(report.path, report.path[1:], report.reasons):
+            if reason == "vm":
+                assert sched.vm_of(a) is sched.vm_of(b)
+                assert sched.finish(a) == pytest.approx(sched.start(b))
+            else:
+                assert a in sched.workflow.predecessors(b)
+
+
+class TestSlack:
+    def test_slack_nonnegative_and_critical_zero(self, platform):
+        wf = apply_model(montage(), ParetoModel(), seed=9)
+        sched = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        report = realized_critical_path(sched)
+        assert all(s >= 0 for s in report.slack.values())
+        for tid in report.path:
+            assert report.slack[tid] == pytest.approx(0.0, abs=1e-6)
+
+    def test_slack_bounded_by_makespan(self, platform, diamond):
+        sched = HeftScheduler("OneVMperTask").schedule(diamond, platform)
+        report = realized_critical_path(sched)
+        assert all(s <= sched.makespan for s in report.slack.values())

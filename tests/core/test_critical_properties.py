@@ -1,0 +1,74 @@
+"""Hypothesis properties of realized-critical-path analysis across
+random workflows and strategy families."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.core.allocation.pch import PchScheduler
+from repro.core.critical import realized_critical_path
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import random_layered
+
+_PLATFORM = CloudPlatform.ec2()
+_FACTORIES = (
+    lambda: HeftScheduler("OneVMperTask"),
+    lambda: HeftScheduler("StartParNotExceed"),
+    lambda: AllParScheduler(exceed=True),
+    lambda: PchScheduler(),
+)
+
+
+def _schedules(seed):
+    wf = apply_model(random_layered(layers=4, seed=seed), ParetoModel(), seed=seed)
+    for factory in _FACTORIES:
+        yield factory().schedule(wf, _PLATFORM)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_path_ends_at_makespan_and_is_blocking_chain(seed):
+    for sched in _schedules(seed):
+        report = realized_critical_path(sched)
+        assert sched.finish(report.path[-1]) == pytest.approx(sched.makespan)
+        assert len(report.reasons) == len(report.path) - 1
+        for a, b, reason in zip(report.path, report.path[1:], report.reasons):
+            if reason == "vm":
+                assert sched.vm_of(a) is sched.vm_of(b)
+                assert sched.finish(a) == pytest.approx(sched.start(b), abs=1e-5)
+            else:
+                assert a in sched.workflow.predecessors(b)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_critical_tasks_have_zero_slack(seed):
+    for sched in _schedules(seed):
+        report = realized_critical_path(sched)
+        for tid in report.path:
+            assert report.slack[tid] == pytest.approx(0.0, abs=1e-5), (
+                sched.label,
+                tid,
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_slack_bounded_and_nonnegative(seed):
+    for sched in _schedules(seed):
+        report = realized_critical_path(sched)
+        for tid, s in report.slack.items():
+            assert -1e-9 <= s <= sched.makespan + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_onevm_never_machine_blocked(seed):
+    """One VM per task: the makespan chain is pure dependencies."""
+    wf = apply_model(random_layered(layers=4, seed=seed), ParetoModel(), seed=seed)
+    sched = HeftScheduler("OneVMperTask").schedule(wf, _PLATFORM)
+    report = realized_critical_path(sched)
+    assert report.bottleneck_fraction_vm == 0.0

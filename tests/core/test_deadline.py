@@ -1,0 +1,102 @@
+"""Tests for the SHEFT-style deadline-constrained scheduler."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.deadline import DeadlineScheduler
+from repro.core.baseline import reference_schedule
+from repro.errors import SchedulingError
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import montage, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return apply_model(montage(), ParetoModel(), seed=11)
+
+
+class TestDeadlineMet:
+    def test_loose_deadline_stays_small(self, workflow, platform):
+        ref = reference_schedule(workflow, platform)
+        sched = DeadlineScheduler(deadline=ref.makespan * 2).schedule(
+            workflow, platform
+        )
+        assert all(vm.itype.name == "small" for vm in sched.vms)
+        assert sched.total_cost == pytest.approx(ref.total_cost)
+
+    def test_tight_deadline_upgrades(self, workflow, platform):
+        ref = reference_schedule(workflow, platform)
+        deadline = ref.makespan * 0.7
+        sched = DeadlineScheduler(deadline=deadline).schedule(workflow, platform)
+        assert sched.makespan <= deadline + 1e-6
+        assert any(vm.itype.name != "small" for vm in sched.vms)
+        simulate_schedule(sched, check=True)
+
+    def test_tighter_deadline_costs_more(self, workflow, platform):
+        ref = reference_schedule(workflow, platform)
+        costs = [
+            DeadlineScheduler(deadline=ref.makespan * f)
+            .schedule(workflow, platform)
+            .total_cost
+            for f in (1.0, 0.8, 0.6, 0.45)
+        ]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_chain_deadline(self, platform):
+        """A chain's minimum makespan is total work / 2.7."""
+        wf = sequential(4)
+        floor = wf.total_work() / 2.7
+        sched = DeadlineScheduler(deadline=floor * 1.01).schedule(wf, platform)
+        assert sched.makespan <= floor * 1.01 + 1e-6
+        assert all(vm.itype.name == "xlarge" for vm in sched.vms)
+
+
+class TestCoolDown:
+    def test_off_path_tasks_not_upgraded(self, platform):
+        """Phase 2 strips upgrades the deadline never needed."""
+        wf = apply_model(montage(), ParetoModel(), seed=3)
+        ref = reference_schedule(wf, platform)
+        sched = DeadlineScheduler(deadline=ref.makespan * 0.75).schedule(wf, platform)
+        # at least some tasks remain on small instances
+        assert any(vm.itype.name == "small" for vm in sched.vms)
+
+    def test_cost_no_worse_than_all_xlarge(self, workflow, platform):
+        ref = reference_schedule(workflow, platform)
+        sched = DeadlineScheduler(deadline=ref.makespan * 0.5).schedule(
+            workflow, platform
+        )
+        all_xl_cost = sum(
+            platform.billing.vm_cost(
+                platform.runtime(t, platform.itype("xlarge")),
+                platform.itype("xlarge"),
+                platform.default_region,
+            )
+            for t in workflow.tasks
+        )
+        assert sched.total_cost <= all_xl_cost + 1e-9
+
+
+class TestInfeasible:
+    def test_raises_by_default(self, workflow, platform):
+        with pytest.raises(SchedulingError, match="infeasible"):
+            DeadlineScheduler(deadline=1.0).schedule(workflow, platform)
+
+    def test_best_effort_returns_fastest(self, workflow, platform):
+        sched = DeadlineScheduler(deadline=1.0, best_effort=True).schedule(
+            workflow, platform
+        )
+        # the whole critical path ends up on the fastest type
+        cp, _ = workflow.critical_path()
+        assert all(sched.vm_of(t).itype.name == "xlarge" for t in cp)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(SchedulingError):
+            DeadlineScheduler(deadline=0.0)

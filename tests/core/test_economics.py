@@ -1,0 +1,98 @@
+"""Tests for the co-rent and energy idle-time economics."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.economics import CoRentModel, EnergyModel
+from repro.errors import SchedulingError
+from repro.workflows.generators import montage, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="module")
+def wasteful(platform):
+    return HeftScheduler("OneVMperTask").schedule(montage(), platform)
+
+
+@pytest.fixture(scope="module")
+def frugal(platform):
+    return HeftScheduler("StartParExceed").schedule(montage(), platform)
+
+
+class TestCoRent:
+    def test_zero_rate_is_plain_cost(self, wasteful):
+        model = CoRentModel(reimbursement_rate=0.0)
+        assert model.effective_cost(wasteful) == wasteful.total_cost
+        assert model.reimbursement(wasteful) == 0.0
+
+    def test_reimbursement_bounded_by_cost(self, wasteful):
+        model = CoRentModel(reimbursement_rate=1.0)
+        assert 0 < model.reimbursement(wasteful) <= wasteful.total_cost
+
+    def test_more_idle_more_reimbursement(self, wasteful, frugal):
+        model = CoRentModel(reimbursement_rate=0.5)
+        assert model.reimbursement(wasteful) > model.reimbursement(frugal)
+
+    def test_rate_monotone(self, wasteful):
+        costs = [
+            CoRentModel(reimbursement_rate=r).effective_cost(wasteful)
+            for r in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_corent_narrows_the_gap(self, wasteful, frugal):
+        """Co-renting helps wasteful policies more — the paper's point."""
+        model = CoRentModel(reimbursement_rate=1.0)
+        plain_gap = wasteful.total_cost - frugal.total_cost
+        corent_gap = model.effective_cost(wasteful) - model.effective_cost(frugal)
+        assert corent_gap < plain_gap
+
+    def test_invalid_rate(self):
+        with pytest.raises(SchedulingError):
+            CoRentModel(reimbursement_rate=1.5)
+
+
+class TestEnergy:
+    def test_energy_positive_and_decomposes(self, wasteful):
+        model = EnergyModel()
+        assert 0 < model.wasted_kwh(wasteful) < model.energy_kwh(wasteful)
+
+    def test_wasteful_burns_more(self, wasteful, frugal):
+        model = EnergyModel()
+        assert model.wasted_kwh(wasteful) > model.wasted_kwh(frugal)
+        assert model.energy_kwh(wasteful) > model.energy_kwh(frugal)
+
+    def test_zero_idle_fraction_counts_busy_only(self, platform):
+        sched = HeftScheduler("StartParExceed").schedule(sequential(3), platform)
+        model = EnergyModel(idle_fraction=0.0)
+        busy_kwh = 120.0 * 3000.0 / 3.6e6
+        assert model.energy_kwh(sched) == pytest.approx(busy_kwh)
+        assert model.wasted_kwh(sched) == 0.0
+
+    def test_known_value(self, platform):
+        """One small VM, 1000 s busy, 2600 s idle tail."""
+        sched = HeftScheduler("OneVMperTask").schedule(sequential(1), platform)
+        model = EnergyModel(idle_fraction=0.5)
+        expected = (120.0 * 1000.0 + 0.5 * 120.0 * 2600.0) / 3.6e6
+        assert model.energy_kwh(sched) == pytest.approx(expected)
+
+    def test_energy_cost(self, wasteful):
+        model = EnergyModel()
+        assert model.energy_cost(wasteful, usd_per_kwh=0.2) == pytest.approx(
+            2 * model.energy_cost(wasteful, usd_per_kwh=0.1)
+        )
+
+    def test_validation(self, frugal):
+        with pytest.raises(SchedulingError):
+            EnergyModel(idle_fraction=2.0)
+        with pytest.raises(SchedulingError):
+            EnergyModel(active_watts={"small": -5.0})
+        with pytest.raises(SchedulingError):
+            EnergyModel().energy_cost(frugal, usd_per_kwh=-1.0)
+        with pytest.raises(SchedulingError, match="power rating"):
+            EnergyModel(active_watts={"xlarge": 100.0}).energy_kwh(frugal)

@@ -1,0 +1,66 @@
+"""Tests for the cost-explanation decomposition."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.explain import explain, render_explanation
+from repro.workflows.generators import montage, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestDecomposition:
+    def test_lines_cover_every_vm(self, platform):
+        sched = HeftScheduler("OneVMperTask").schedule(montage(), platform)
+        exp = explain(sched)
+        assert len(exp.lines) == sched.vm_count
+        assert exp.rent_cost == pytest.approx(sched.rent_cost)
+        assert exp.total_cost == pytest.approx(sched.total_cost)
+
+    def test_busy_gap_tail_sum_to_paid(self, platform):
+        sched = HeftScheduler("StartParNotExceed").schedule(montage(), platform)
+        billing = platform.billing
+        for line, vm in zip(explain(sched).lines, sched.vms):
+            paid = vm.paid_seconds(billing)
+            total = line.busy_seconds + line.gap_seconds + line.tail_seconds
+            assert total == pytest.approx(paid)
+
+    def test_idle_matches_schedule_metric(self, platform, paper_workflow):
+        sched = HeftScheduler("StartParExceed").schedule(paper_workflow, platform)
+        exp = explain(sched)
+        assert exp.total_gap_seconds + exp.total_tail_seconds == pytest.approx(
+            sched.total_idle_seconds
+        )
+
+    def test_single_vm_chain_has_only_tail(self, platform):
+        sched = HeftScheduler("StartParExceed").schedule(sequential(3), platform)
+        (line,) = explain(sched).lines
+        assert line.gap_seconds == pytest.approx(0.0)
+        assert line.tail_seconds == pytest.approx(600.0)  # 3600 - 3000
+        assert line.utilization == pytest.approx(3000.0 / 3600.0)
+
+    def test_worst_idlers_sorted(self, platform):
+        sched = HeftScheduler("OneVMperTask").schedule(montage(), platform)
+        worst = explain(sched).worst_idlers(top=5)
+        idles = [l.idle_seconds for l in worst]
+        assert idles == sorted(idles, reverse=True)
+        assert len(worst) == 5
+
+    def test_boot_counted_as_gap(self):
+        cold = CloudPlatform.ec2(boot_seconds=120.0, prebooted=False)
+        sched = HeftScheduler("OneVMperTask").schedule(sequential(1), cold)
+        (line,) = explain(sched).lines
+        assert line.gap_seconds == pytest.approx(120.0)
+
+
+class TestRender:
+    def test_render(self, platform):
+        sched = HeftScheduler("StartParNotExceed").schedule(montage(), platform)
+        out = render_explanation(explain(sched))
+        assert "Cost breakdown" in out
+        assert "final-BTU tails" in out
+        assert "vm0-s" in out

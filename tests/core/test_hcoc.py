@@ -1,0 +1,99 @@
+"""Tests for the HCOC-style hybrid-cloud scheduler."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.cloud.region import private_region
+from repro.core.allocation.hcoc import HcocScheduler
+from repro.errors import SchedulingError
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import mapreduce, montage
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return apply_model(mapreduce(mappers=6, reducers=2), ParetoModel(), seed=3)
+
+
+class TestPrivateRegion:
+    def test_zero_prices_allowed(self):
+        r = private_region()
+        assert r.price("small") == 0.0
+        assert r.transfer_out_per_gb == 0.0
+
+
+class TestHcoc:
+    def test_loose_deadline_stays_private_and_free(self, workflow, platform):
+        sched = HcocScheduler(deadline=float("inf"), private_pool=2).schedule(
+            workflow, platform
+        )
+        assert sched.total_cost == 0.0
+        assert {vm.region.name for vm in sched.vms} == {"private"}
+        assert sched.vm_count <= 2
+        simulate_schedule(sched, check=True)
+
+    def test_tight_deadline_bursts_to_public(self, workflow, platform):
+        free = HcocScheduler(deadline=float("inf"), private_pool=2).schedule(
+            workflow, platform
+        )
+        deadline = free.makespan * 0.55
+        sched = HcocScheduler(
+            deadline=deadline, private_pool=2, best_effort=True
+        ).schedule(workflow, platform)
+        regions = {vm.region.name for vm in sched.vms}
+        assert "us-east-virginia" in regions  # rented public capacity
+        assert sched.makespan < free.makespan
+        assert sched.total_cost > 0  # only public VMs are billed
+        simulate_schedule(sched, check=True)
+
+    def test_tighter_deadlines_cost_more(self, workflow, platform):
+        free = HcocScheduler(deadline=float("inf"), private_pool=2).schedule(
+            workflow, platform
+        )
+        costs = []
+        for factor in (1.0, 0.8, 0.6):
+            sched = HcocScheduler(
+                deadline=free.makespan * factor, private_pool=2, best_effort=True
+            ).schedule(workflow, platform)
+            costs.append(sched.total_cost)
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_infeasible_raises_unless_best_effort(self, workflow, platform):
+        with pytest.raises(SchedulingError, match="deadline"):
+            HcocScheduler(deadline=1.0, private_pool=1).schedule(workflow, platform)
+        sched = HcocScheduler(
+            deadline=1.0, private_pool=1, best_effort=True
+        ).schedule(workflow, platform)
+        # fully public fallback
+        assert all(vm.region.name != "private" for vm in sched.vms)
+
+    def test_deadline_met_when_feasible(self, workflow, platform):
+        free = HcocScheduler(deadline=float("inf"), private_pool=2).schedule(
+            workflow, platform
+        )
+        deadline = free.makespan * 0.7
+        sched = HcocScheduler(deadline=deadline, private_pool=2).schedule(
+            workflow, platform
+        )
+        assert sched.makespan <= deadline + 1e-9
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchedulingError):
+            HcocScheduler(deadline=0.0)
+        with pytest.raises(SchedulingError):
+            HcocScheduler(private_pool=0)
+
+    def test_montage_works_too(self, platform):
+        wf = apply_model(montage(), ParetoModel(), seed=5)
+        sched = HcocScheduler(
+            deadline=float("inf"), private_pool=3
+        ).schedule(wf, platform)
+        sched.validate()
+        simulate_schedule(sched, check=True)

@@ -1,0 +1,77 @@
+"""Tests for the Min-Min / Max-Min fixed-pool heuristics."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.base import scheduling_algorithm
+from repro.core.allocation.minmin import MaxMinScheduler, MinMinScheduler
+from repro.errors import SchedulingError
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import bag_of_tasks, mapreduce
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert scheduling_algorithm("minmin").name == "MinMin"
+        assert scheduling_algorithm("maxmin", pool_size=2).pool_size == 2
+
+    def test_invalid_pool(self):
+        with pytest.raises(SchedulingError):
+            MinMinScheduler(pool_size=0)
+
+
+class TestSemantics:
+    def test_minmin_clears_short_tasks_first(self, platform):
+        """On a BoT with one machine, Min-Min runs in SPT order."""
+        wf = bag_of_tasks(4).with_works(
+            {"job_000": 400.0, "job_001": 100.0, "job_002": 300.0, "job_003": 200.0}
+        )
+        sched = MinMinScheduler(pool_size=1).schedule(wf, platform)
+        order = sched.vms[0].task_ids
+        assert order == ["job_001", "job_003", "job_002", "job_000"]
+
+    def test_maxmin_starts_long_tasks_first(self, platform):
+        wf = bag_of_tasks(4).with_works(
+            {"job_000": 400.0, "job_001": 100.0, "job_002": 300.0, "job_003": 200.0}
+        )
+        sched = MaxMinScheduler(pool_size=1).schedule(wf, platform)
+        assert sched.vms[0].task_ids == [
+            "job_000",
+            "job_002",
+            "job_003",
+            "job_001",
+        ]
+
+    def test_maxmin_balances_heterogeneous_bags(self, platform):
+        """One long + many short tasks on 2 machines: Max-Min is the
+        textbook winner (long task cannot strand at the end)."""
+        works = {"job_000": 1000.0}
+        works.update({f"job_{i:03d}": 250.0 for i in range(1, 9)})
+        wf = bag_of_tasks(9).with_works(works)
+        mm = MinMinScheduler(pool_size=2).schedule(wf, platform)
+        xm = MaxMinScheduler(pool_size=2).schedule(wf, platform)
+        assert xm.makespan <= mm.makespan
+
+    def test_respects_dependencies(self, platform, paper_workflow):
+        for cls in (MinMinScheduler, MaxMinScheduler):
+            sched = cls(pool_size=3).schedule(paper_workflow, platform)
+            sched.validate()
+            simulate_schedule(sched, check=True)
+
+    def test_pool_capped(self, platform):
+        sched = MinMinScheduler(pool_size=99).schedule(bag_of_tasks(5), platform)
+        assert sched.vm_count == 5
+
+    def test_valid_on_pareto_workflows(self, platform):
+        wf = apply_model(mapreduce(), ParetoModel(), seed=4)
+        for cls in (MinMinScheduler, MaxMinScheduler):
+            sched = cls(pool_size=4).schedule(wf, platform)
+            sched.validate()
+            simulate_schedule(sched, check=True)

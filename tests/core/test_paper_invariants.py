@@ -1,0 +1,210 @@
+"""The paper's stated boundary properties and cross-cutting invariants
+(DESIGN.md Sect. 6), checked across all strategies and random shapes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.core.baseline import reference_schedule
+from repro.experiments.config import paper_strategies
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workloads.uniform import BestCaseModel, WorstCaseModel
+from repro.workflows.generators import (
+    cstem,
+    mapreduce,
+    montage,
+    random_layered,
+    sequential,
+)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+def _same_outcome(a, b):
+    assert a.makespan == pytest.approx(b.makespan)
+    assert a.total_cost == pytest.approx(b.total_cost)
+    assert a.total_idle_seconds == pytest.approx(b.total_idle_seconds)
+
+
+class TestBestCaseDegeneracies:
+    """Paper IV-B: best case => StartParNotExceed == StartParExceed and
+    AllParNotExceed == AllParExceed."""
+
+    def test_startpar_equal(self, platform, paper_workflow):
+        wf = apply_model(paper_workflow, BestCaseModel())
+        ne = HeftScheduler("StartParNotExceed").schedule(wf, platform)
+        ex = HeftScheduler("StartParExceed").schedule(wf, platform)
+        _same_outcome(ne, ex)
+
+    def test_allpar_equal(self, platform, paper_workflow):
+        wf = apply_model(paper_workflow, BestCaseModel())
+        ne = AllParScheduler(exceed=False).schedule(wf, platform)
+        ex = AllParScheduler(exceed=True).schedule(wf, platform)
+        _same_outcome(ne, ex)
+
+    def test_sequential_provisioning_costs_one_btu(self, platform):
+        """n tasks x e with n*e <= BTU: the whole chain fits 1 BTU."""
+        wf = apply_model(sequential(10), BestCaseModel())
+        sched = HeftScheduler("StartParExceed").schedule(wf, platform)
+        assert sched.total_btus == 1
+        assert sched.total_cost == pytest.approx(0.08)
+
+    def test_parallel_provisioning_costs_n_btus(self, platform):
+        wf = apply_model(mapreduce(), BestCaseModel())
+        sched = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        assert sched.total_btus == len(wf)
+
+
+class TestWorstCaseDegeneracies:
+    """Paper IV-B: worst case => StartParNotExceed == AllParNotExceed ==
+    OneVMperTask (every NotExceed rents per task)."""
+
+    def test_notexceed_policies_equal_onevm(self, platform, paper_workflow):
+        wf = apply_model(paper_workflow, WorstCaseModel())
+        one = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        spn = HeftScheduler("StartParNotExceed").schedule(wf, platform)
+        apn = AllParScheduler(exceed=False).schedule(wf, platform)
+        for other in (spn, apn):
+            assert other.vm_count == one.vm_count == len(wf)
+            assert other.total_cost == pytest.approx(one.total_cost)
+        assert spn.makespan == pytest.approx(one.makespan)
+
+    def test_sequential_provisioning_cost_formula(self, platform):
+        """cost = ceil(n*e/BTU) BTUs for sequential provisioning."""
+        import math
+
+        n, e = 4, 2.8 * 3600.0
+        wf = apply_model(sequential(n), WorstCaseModel())
+        sched = HeftScheduler("StartParExceed").schedule(wf, platform)
+        assert sched.total_btus == math.ceil(n * e / 3600.0)
+
+    def test_parallel_provisioning_cost_formula(self, platform):
+        """cost = n * ceil(e/BTU) BTUs for parallel provisioning."""
+        import math
+
+        wf = apply_model(mapreduce(mappers=4, reducers=1), WorstCaseModel())
+        sched = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        assert sched.total_btus == len(wf) * math.ceil(2.8 * 3600.0 / 3600.0)
+
+
+class TestAllStrategiesAllWorkflows:
+    """Every Figure-4 strategy yields a valid, DES-replayable schedule
+    with coherent accounting, for every paper workflow and scenario."""
+
+    @pytest.mark.parametrize("spec", paper_strategies(), ids=lambda s: s.label)
+    def test_pareto_scenario(self, spec, platform, paper_workflow):
+        wf = apply_model(paper_workflow, ParetoModel(), seed=42)
+        sched = spec.run(wf, platform)
+        sched.validate()
+        simulate_schedule(sched, check=True)
+        billing = platform.billing
+        # accounting coherence
+        assert sched.total_idle_seconds >= -1e-6
+        paid = sum(vm.paid_seconds(billing) for vm in sched.vms)
+        busy = sum(vm.busy_seconds for vm in sched.vms)
+        assert paid >= busy - 1e-6
+        assert sched.total_idle_seconds == pytest.approx(paid - busy)
+        assert sched.rent_cost > 0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [s for s in paper_strategies() if s.label.endswith("-s")],
+        ids=lambda s: s.label,
+    )
+    def test_small_strategies_never_cost_more_than_reference(
+        self, spec, platform, paper_workflow
+    ):
+        """On small instances every reuse policy is at most as expensive
+        as OneVMperTask-small (reuse only merges BTUs)."""
+        wf = apply_model(paper_workflow, ParetoModel(), seed=7)
+        ref = reference_schedule(wf, platform)
+        sched = spec.run(wf, platform)
+        assert sched.total_cost <= ref.total_cost + 1e-9
+
+
+class TestRandomWorkflowProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), wf_seed=st.integers(0, 10_000))
+    def test_all_policies_valid_on_random_dags(self, seed, wf_seed, ):
+        platform = CloudPlatform.ec2()
+        shape = random_layered(layers=4, seed=wf_seed)
+        wf = apply_model(shape, ParetoModel(), seed=seed)
+        for policy in ("OneVMperTask", "StartParNotExceed", "StartParExceed"):
+            sched = HeftScheduler(policy).schedule(wf, platform)
+            sched.validate()
+            simulate_schedule(sched, check=True)
+        for exceed in (True, False):
+            sched = AllParScheduler(exceed=exceed).schedule(wf, platform)
+            sched.validate()
+            simulate_schedule(sched, check=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(wf_seed=st.integers(0, 10_000))
+    def test_startpar_exceed_uses_fewer_or_equal_vms(self, wf_seed):
+        """The paper's explicit claim: StartParNotExceed "allocates more
+        VMs" than StartParExceed. (The analogous ordering does NOT hold
+        universally for the AllPar pair under BTU-boundary liveness:
+        NotExceed's later rentals can stay alive for downstream reuse
+        and end up with a *smaller* fleet on adversarial shapes.)"""
+        platform = CloudPlatform.ec2()
+        wf = apply_model(
+            random_layered(layers=4, seed=wf_seed), ParetoModel(), seed=wf_seed
+        )
+        spn = HeftScheduler("StartParNotExceed").schedule(wf, platform)
+        spx = HeftScheduler("StartParExceed").schedule(wf, platform)
+        assert spx.vm_count <= spn.vm_count
+
+    @settings(max_examples=10, deadline=None)
+    @given(wf_seed=st.integers(0, 10_000))
+    def test_makespan_at_least_critical_path(self, wf_seed):
+        """No schedule can beat the critical path on the fastest type."""
+        platform = CloudPlatform.ec2()
+        wf = apply_model(
+            random_layered(layers=4, seed=wf_seed), ParetoModel(), seed=wf_seed
+        )
+        _, cp = wf.critical_path()
+        lower_bound = cp / 2.7  # everything on xlarge, no transfers
+        for spec in paper_strategies():
+            sched = spec.run(wf, platform)
+            assert sched.makespan >= lower_bound - 1e-6
+
+
+class TestFigure1Narrative:
+    """Sect. III-A's qualitative comparison on the Fig. 1 sub-workflow."""
+
+    def test_onevm_most_expensive_most_idle(self, platform, fan7):
+        one = HeftScheduler("OneVMperTask").schedule(fan7, platform)
+        spx = HeftScheduler("StartParExceed").schedule(fan7, platform)
+        apx = AllParScheduler(exceed=True).schedule(fan7, platform)
+        assert one.total_cost >= max(spx.total_cost, apx.total_cost)
+        assert one.total_idle_seconds >= spx.total_idle_seconds
+        assert one.total_idle_seconds >= apx.total_idle_seconds
+
+    def test_startparexceed_cheapest(self, platform, fan7):
+        """StartParExceed minimizes cost (paper Table I narrative)."""
+        spx = HeftScheduler("StartParExceed").schedule(fan7, platform)
+        others = [
+            HeftScheduler("OneVMperTask").schedule(fan7, platform),
+            HeftScheduler("StartParNotExceed").schedule(fan7, platform),
+            AllParScheduler(exceed=True).schedule(fan7, platform),
+            AllParScheduler(exceed=False).schedule(fan7, platform),
+        ]
+        assert spx.total_cost <= min(o.total_cost for o in others) + 1e-9
+
+    def test_allpar_exploits_parallelism(self, platform, fan7):
+        apx = AllParScheduler(exceed=True).schedule(fan7, platform)
+        spx = HeftScheduler("StartParExceed").schedule(fan7, platform)
+        assert apx.makespan < spx.makespan
+
+    def test_startparnotexceed_not_slower_than_exceed(self, platform, fan7):
+        ne = HeftScheduler("StartParNotExceed").schedule(fan7, platform)
+        ex = HeftScheduler("StartParExceed").schedule(fan7, platform)
+        assert ne.makespan <= ex.makespan + 1e-9
+        assert ne.vm_count >= ex.vm_count

@@ -1,0 +1,96 @@
+"""Tests for the Path Clustering Heuristic scheduler."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.pch import PchScheduler, pch_clusters
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import montage, random_layered, sequential
+from repro.workflows.task import Task
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="module")
+def small(platform):
+    return platform.itype("small")
+
+
+class TestClusters:
+    def test_chain_is_one_cluster(self, platform, small):
+        clusters = pch_clusters(sequential(5), platform, small)
+        assert len(clusters) == 1
+        assert clusters[0] == [f"step_{i:03d}" for i in range(5)]
+
+    def test_clusters_partition_tasks(self, platform, small):
+        wf = montage()
+        clusters = pch_clusters(wf, platform, small)
+        flat = [t for c in clusters for t in c]
+        assert sorted(flat) == sorted(wf.task_ids)
+
+    def test_clusters_are_paths(self, platform, small):
+        wf = montage()
+        for cluster in pch_clusters(wf, platform, small):
+            for u, v in zip(cluster, cluster[1:]):
+                assert v in wf.successors(u), (u, v)
+
+    def test_first_cluster_follows_critical_priorities(self, platform, small):
+        """The head cluster starts from the highest-rank task."""
+        from repro.core.allocation.ranking import upward_rank
+
+        wf = apply_model(montage(), ParetoModel(), seed=1)
+        ranks = upward_rank(wf, platform, small)
+        clusters = pch_clusters(wf, platform, small)
+        assert clusters[0][0] == max(wf.task_ids, key=lambda t: (ranks[t], t))
+
+    def test_diamond_clustering(self, platform, small, diamond):
+        """A joins its heavier child B and D; C stands alone."""
+        clusters = pch_clusters(diamond, platform, small)
+        assert clusters[0] == ["A", "B", "D"]
+        assert ["C"] in clusters
+
+
+class TestSchedule:
+    def test_one_vm_per_cluster(self, platform, small):
+        wf = montage()
+        sched = PchScheduler().schedule(wf, platform)
+        assert sched.vm_count == len(pch_clusters(wf, platform, small))
+
+    def test_valid_and_replayable(self, platform, paper_workflow):
+        sched = PchScheduler().schedule(paper_workflow, platform)
+        sched.validate()
+        simulate_schedule(sched, check=True)
+
+    def test_random_dags(self, platform):
+        for seed in range(6):
+            wf = apply_model(
+                random_layered(layers=4, seed=seed), ParetoModel(), seed=seed
+            )
+            sched = PchScheduler().schedule(wf, platform)
+            sched.validate()
+            simulate_schedule(sched, check=True)
+
+    def test_clustering_kills_heavy_edge_transfers(self, platform):
+        """The defining PCH win: a heavy edge inside a cluster costs no
+        transfer time, unlike OneVMperTask."""
+        wf = Workflow("w")
+        wf.add_task(Task("a", 1000.0))
+        wf.add_task(Task("b", 1000.0))
+        wf.add_dependency("a", "b", 10.0)  # 80 s on the wire
+        wf.validate()
+        pch = PchScheduler().schedule(wf, platform)
+        spread = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        assert pch.vm_of("a") is pch.vm_of("b")
+        assert pch.makespan < spread.makespan - 70.0
+
+    def test_sequential_equals_single_vm(self, platform):
+        sched = PchScheduler().schedule(sequential(4), platform)
+        assert sched.vm_count == 1
+        assert sched.makespan == pytest.approx(4000.0)

@@ -1,0 +1,113 @@
+"""Hypothesis property tests over complete schedules: independent
+recomputation of cost/idle, the VM-liveness (deprovision-at-BTU-
+boundary) invariant, and DES equivalence — across random shapes, random
+runtimes and every strategy family."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.allpar1lns import AllPar1LnSScheduler
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.experiments.config import paper_strategies
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import random_layered
+
+_PLATFORM = CloudPlatform.ec2()
+
+_STRATEGIES = [
+    lambda: HeftScheduler("OneVMperTask"),
+    lambda: HeftScheduler("StartParNotExceed"),
+    lambda: HeftScheduler("StartParExceed"),
+    lambda: AllParScheduler(exceed=True),
+    lambda: AllParScheduler(exceed=False),
+    lambda: AllPar1LnSScheduler(),
+]
+
+
+def _random_schedules(seed):
+    wf = apply_model(
+        random_layered(layers=4, seed=seed), ParetoModel(), seed=seed
+    )
+    for factory in _STRATEGIES:
+        yield factory().schedule(wf, _PLATFORM)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_cost_recomputes_from_first_principles(seed):
+    """Schedule.total_cost == sum over VMs of ceil(uptime/BTU) * price,
+    recomputed here without the billing module."""
+    for sched in _random_schedules(seed):
+        expected = 0.0
+        for vm in sched.vms:
+            uptime = vm.rent_end - vm.rent_start
+            btus = max(1, math.ceil(uptime / 3600.0 - 1e-9))
+            expected += btus * vm.region.prices[vm.itype.name]
+        assert sched.rent_cost == pytest.approx(expected)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_idle_recomputes_from_first_principles(seed):
+    for sched in _random_schedules(seed):
+        expected = 0.0
+        for vm in sched.vms:
+            uptime = vm.rent_end - vm.rent_start
+            paid = max(1, math.ceil(uptime / 3600.0 - 1e-9)) * 3600.0
+            expected += paid - sum(p.duration for p in vm.placements)
+        assert sched.total_idle_seconds == pytest.approx(expected)
+        assert sched.total_idle_seconds >= -1e-9
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_vm_liveness_invariant(seed):
+    """No placement may start after the VM's BTU horizon had expired:
+    an idle VM is deprovisioned at the end of its last started BTU, so
+    every next placement must begin before that boundary."""
+    for sched in _random_schedules(seed):
+        for vm in sched.vms:
+            ordered = sorted(vm.placements, key=lambda p: p.start)
+            start0 = ordered[0].start
+            for i in range(1, len(ordered)):
+                uptime_so_far = ordered[i - 1].end - start0
+                horizon = start0 + math.ceil(uptime_so_far / 3600.0 - 1e-9) * 3600.0
+                assert ordered[i].start <= horizon + 1e-6, (
+                    f"{sched.label}/{vm.name}: {ordered[i].task_id} starts "
+                    f"at {ordered[i].start:.1f} past horizon {horizon:.1f}"
+                )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_des_equivalence_on_random_inputs(seed):
+    for sched in _random_schedules(seed):
+        simulate_schedule(sched, check=True)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_makespan_bounds(seed):
+    """Every schedule's makespan sits between the critical path (on its
+    fastest used type) and the fully-serialized total work plus
+    transfer slack."""
+    wf = apply_model(
+        random_layered(layers=4, seed=seed), ParetoModel(), seed=seed
+    )
+    _, cp = wf.critical_path()
+    for factory in _STRATEGIES:
+        sched = factory().schedule(wf, _PLATFORM)
+        fastest = max(vm.itype.speedup for vm in sched.vms)
+        assert sched.makespan >= cp / fastest - 1e-6
+        # loose upper bound: serialize everything + a transfer per edge
+        slack = sum(
+            _PLATFORM.transfer_time(gb, _PLATFORM.itype("small"), _PLATFORM.itype("small"))
+            for _, _, gb in wf.edges()
+        )
+        assert sched.makespan <= wf.total_work() + slack + 1e-6

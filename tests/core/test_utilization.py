@@ -1,0 +1,76 @@
+"""Tests for utilization and parallelism profiles."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.core.utilization import parallelism_profile, utilization
+from repro.workflows.generators import mapreduce, montage, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestParallelismProfile:
+    def test_chain_profile_is_flat_one(self, platform):
+        sched = HeftScheduler("StartParExceed").schedule(sequential(4), platform)
+        profile = parallelism_profile(sched)
+        counts = {c for _, c in profile[:-1]}
+        assert counts == {1}
+        assert profile[-1][1] == 0  # closes at zero
+
+    def test_fan_profile_peaks_at_width(self, platform, fan7):
+        sched = HeftScheduler("OneVMperTask").schedule(fan7, platform)
+        profile = parallelism_profile(sched)
+        assert max(c for _, c in profile) == 6
+
+    def test_profile_times_monotone(self, platform):
+        sched = AllParScheduler(exceed=True).schedule(mapreduce(), platform)
+        profile = parallelism_profile(sched)
+        times = [t for t, _ in profile]
+        assert times == sorted(times)
+
+    def test_counts_never_negative(self, platform, paper_workflow):
+        sched = AllParScheduler(exceed=False).schedule(paper_workflow, platform)
+        assert all(c >= 0 for _, c in parallelism_profile(sched))
+
+
+class TestUtilization:
+    def test_bounds(self, platform, paper_workflow):
+        for policy in ("OneVMperTask", "StartParExceed"):
+            rep = utilization(HeftScheduler(policy).schedule(paper_workflow, platform))
+            assert 0 < rep.utilization <= 1.0
+            assert all(0 < u <= 1.0 for u in rep.per_vm)
+            assert rep.min_vm_utilization <= rep.max_vm_utilization
+
+    def test_packing_beats_spreading(self, platform):
+        wf = montage()
+        packed = utilization(HeftScheduler("StartParExceed").schedule(wf, platform))
+        spread = utilization(HeftScheduler("OneVMperTask").schedule(wf, platform))
+        assert packed.utilization > spread.utilization
+
+    def test_known_values_single_vm(self, platform):
+        """3 x 1000 s back-to-back on one small VM: 3000/3600 busy."""
+        sched = HeftScheduler("StartParExceed").schedule(sequential(3), platform)
+        rep = utilization(sched)
+        assert rep.utilization == pytest.approx(3000.0 / 3600.0)
+        assert rep.peak_parallelism == 1
+        assert rep.mean_parallelism == pytest.approx(1.0)
+
+    def test_peak_matches_vm_demand(self, platform):
+        wf = mapreduce(mappers=6, reducers=2)
+        rep = utilization(HeftScheduler("OneVMperTask").schedule(wf, platform))
+        assert rep.peak_parallelism == 6
+
+    def test_idle_consistency_with_schedule(self, platform, paper_workflow):
+        """1 - utilization recomputes the schedule's idle fraction."""
+        sched = AllParScheduler(exceed=True).schedule(paper_workflow, platform)
+        rep = utilization(sched)
+        billing = platform.billing
+        paid = sum(vm.paid_seconds(billing) for vm in sched.vms)
+        assert (1 - rep.utilization) * paid == pytest.approx(
+            sched.total_idle_seconds
+        )

@@ -1,0 +1,76 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.artifact == "all"
+        assert args.seed == 2013
+        assert args.scenario == "pareto"
+
+    def test_artifact_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+
+class TestMain:
+    def test_static_artifacts_to_stdout(self, capsys):
+        for artifact in ("table1", "table2", "table5", "figure1", "figure2"):
+            assert main([artifact]) == 0
+            out = capsys.readouterr().out
+            assert out.strip()
+
+    def test_figure3_with_seed(self, capsys):
+        assert main(["figure3", "--seed", "7"]) == 0
+        assert "CDF" in capsys.readouterr().out
+
+    def test_out_file(self, tmp_path):
+        target = tmp_path / "t2.txt"
+        assert main(["table2", "--out", str(target)]) == 0
+        assert "sa-sao-paulo" in target.read_text()
+
+    def test_profile_subcommand(self, capsys):
+        assert main(["profile", "--workflow", "cybershake"]) == 0
+        out = capsys.readouterr().out
+        assert "cybershake" in out and "max width" in out
+
+    def test_gantt_subcommand(self, capsys):
+        assert main(
+            ["gantt", "--workflow", "sequential", "--strategy", "StartParExceed-s"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BTU boundary" in out
+
+    def test_quick_sweep_figure4(self, capsys):
+        assert main(["figure4", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "montage" in out and "sequential" in out
+        assert "cstem" not in out
+
+    def test_quick_sweep_table3(self, capsys):
+        assert main(["table3", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto/montage" in out
+        assert "best/" not in out
+
+    def test_unknown_workflow_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--workflow", "nope"])
+
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "AllPar1LnSDyn" in out
+        assert "provisioning policies:" in out
+        assert "bag_of_tasks" in out
+
+    def test_explain_subcommand(self, capsys):
+        assert main(
+            ["explain", "--workflow", "montage", "--strategy", "AllParExceed-s"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cost breakdown" in out and "final-BTU tails" in out

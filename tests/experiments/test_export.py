@@ -1,0 +1,68 @@
+"""Tests for the one-call artifact export."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.cli import main
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.export import export_all
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+from repro.experiments.store import load_sweep
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    platform = CloudPlatform.ec2()
+    wfs = paper_workflows()
+    return run_sweep(
+        platform=platform,
+        workflows={"montage": wfs["montage"], "sequential": wfs["sequential"]},
+        scenarios=[scenario("pareto", platform)],
+        strategies=[
+            strategy("OneVMperTask-s"),
+            strategy("AllParExceed-s"),
+            strategy("GAIN"),
+        ],
+        seed=21,
+    )
+
+
+class TestExportAll:
+    def test_writes_full_bundle(self, mini_sweep, tmp_path):
+        written = export_all(tmp_path / "bundle", sweep=mini_sweep)
+        names = {p.name for p in written}
+        for expected in (
+            "table1.txt",
+            "table3.txt",
+            "figure4.txt",
+            "figure4_montage.svg",
+            "figure5_sequential.svg",
+            "summary.txt",
+            "pareto_front.txt",
+            "sweep.json",
+            "report.html",
+        ):
+            assert expected in names, expected
+        for p in written:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_sweep_json_loads_back(self, mini_sweep, tmp_path):
+        export_all(tmp_path / "bundle", sweep=mini_sweep)
+        loaded = load_sweep(tmp_path / "bundle" / "sweep.json")
+        assert loaded.get("pareto", "montage", "GAIN").cost == pytest.approx(
+            mini_sweep.get("pareto", "montage", "GAIN").cost
+        )
+
+    def test_creates_nested_directories(self, mini_sweep, tmp_path):
+        target = tmp_path / "a" / "b" / "c"
+        export_all(target, sweep=mini_sweep)
+        assert (target / "table1.txt").exists()
+
+    def test_cli_export_quick(self, tmp_path, capsys):
+        assert main(
+            ["export", "--quick", "--seed", "3", "--out-dir", str(tmp_path / "x")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "x" / "figure4_montage.svg").exists()

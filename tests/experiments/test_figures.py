@@ -1,0 +1,103 @@
+"""Tests for the figure regenerators."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments import figures
+from repro.experiments.config import strategy
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+from repro.workflows.generators import sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="module")
+def mini_sweep(platform):
+    return run_sweep(
+        platform=platform,
+        workflows={"seq": sequential(6)},
+        scenarios=[scenario("pareto", platform)],
+        strategies=[strategy("OneVMperTask-s"), strategy("StartParExceed-s")],
+        seed=3,
+    )
+
+
+class TestFigure1:
+    def test_subworkflow_shape(self):
+        wf = figures.figure1_subworkflow()
+        assert len(wf) == 7
+        assert wf.entry_tasks() == ["t0"]
+        assert len(wf.exit_tasks()) == 6
+
+    def test_rows_cover_five_policies(self, platform):
+        rows = figures.figure1_rows(platform)
+        assert [r[0] for r in rows] == [
+            "OneVMperTask",
+            "StartParNotExceed",
+            "StartParExceed",
+            "AllParNotExceed",
+            "AllParExceed",
+        ]
+
+    def test_narrative_relations(self, platform):
+        """OneVMperTask max VMs/idle; StartParExceed min VMs."""
+        rows = {r[0]: r for r in figures.figure1_rows(platform)}
+        assert rows["OneVMperTask"][1] == 7  # one VM per task
+        assert rows["StartParExceed"][1] == 1  # single entry task
+        idle = {name: r[5] for name, r in rows.items()}
+        assert idle["OneVMperTask"] == max(idle.values())
+
+    def test_render(self, platform):
+        out = figures.render_figure1(platform)
+        assert "OneVMperTask" in out and "idle" in out
+
+
+class TestFigure2:
+    def test_summaries(self):
+        names = [s["name"] for s in figures.figure2_summaries()]
+        assert names == ["montage", "cstem", "mapreduce", "sequential"]
+
+    def test_render(self):
+        out = figures.render_figure2()
+        assert "montage" in out and "max par" in out
+
+
+class TestFigure3:
+    def test_empirical_matches_analytic(self):
+        x, emp, ana = figures.figure3_cdf(n_samples=50_000, seed=1)
+        assert np.max(np.abs(emp - ana)) < 0.02
+
+    def test_range_matches_paper_axis(self):
+        x, _, _ = figures.figure3_cdf(n_samples=1000, seed=1)
+        assert x[0] == 500.0 and x[-1] == 4000.0
+
+    def test_render(self):
+        out = figures.render_figure3(n_samples=10_000, seed=1)
+        assert "CDF" in out
+
+
+class TestFigure4:
+    def test_points(self, mini_sweep):
+        pts = figures.figure4_points(mini_sweep, "seq")
+        assert pts["OneVMperTask-s"] == (0.0, 0.0)
+        gain, loss = pts["StartParExceed-s"]
+        assert loss < 0  # packing a chain saves money
+
+    def test_render(self, mini_sweep):
+        out = figures.render_figure4(mini_sweep)
+        assert "Figure 4" in out and "legend" in out
+
+
+class TestFigure5:
+    def test_idle_values(self, mini_sweep):
+        idle = figures.figure5_idle(mini_sweep, "seq")
+        assert idle["OneVMperTask-s"] > idle["StartParExceed-s"]
+
+    def test_render(self, mini_sweep):
+        out = figures.render_figure5(mini_sweep)
+        assert "idle" in out

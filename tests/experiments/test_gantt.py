@@ -1,0 +1,52 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.experiments.gantt import gantt
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestGantt:
+    def test_one_row_per_vm(self, diamond, platform):
+        sched = HeftScheduler("OneVMperTask").schedule(diamond, platform)
+        out = gantt(sched)
+        for vm in sched.vms:
+            assert vm.name in out
+
+    def test_header_has_metrics(self, diamond, platform):
+        sched = HeftScheduler("StartParExceed").schedule(diamond, platform)
+        out = gantt(sched)
+        assert f"${sched.total_cost:.2f}" in out
+        assert "makespan" in out
+
+    def test_busy_and_idle_marks(self, chain3, platform):
+        sched = HeftScheduler("StartParExceed").schedule(chain3, platform)
+        out = gantt(sched, label_tasks=False)
+        assert "#" in out and "." in out
+
+    def test_task_labels_when_wide(self, chain3, platform):
+        sched = HeftScheduler("StartParExceed").schedule(chain3, platform)
+        out = gantt(sched, width=120)
+        assert "X" in out and "Y" in out
+
+    def test_btu_boundary_ticks(self, platform):
+        """A VM busy across a BTU boundary shows a | tick."""
+        from repro.workflows.generators import sequential
+
+        wf = sequential(5)  # 5000 s on one VM crosses one boundary
+        sched = HeftScheduler("StartParExceed").schedule(wf, platform)
+        out = gantt(sched, label_tasks=False)
+        assert "|" in out
+
+    def test_respects_width(self, diamond, platform):
+        sched = HeftScheduler("OneVMperTask").schedule(diamond, platform)
+        out = gantt(sched, width=40)
+        label_w = max(len(vm.name) for vm in sched.vms)
+        for line in out.splitlines()[1:-2]:
+            assert len(line) <= label_w + 1 + 40

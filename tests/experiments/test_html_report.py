@@ -1,0 +1,57 @@
+"""Tests for the self-contained HTML report."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.html_report import html_report, write_html_report
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    platform = CloudPlatform.ec2()
+    wfs = paper_workflows()
+    return run_sweep(
+        platform=platform,
+        workflows={"montage": wfs["montage"]},
+        scenarios=[scenario("pareto", platform)],
+        strategies=[strategy("OneVMperTask-s"), strategy("AllParExceed-s")],
+        seed=13,
+    )
+
+
+class TestHtmlReport:
+    def test_contains_every_section(self, mini_sweep):
+        html = html_report(mini_sweep)
+        for marker in (
+            "Table I",
+            "Table II",
+            "Figure 1",
+            "Figure 3",
+            "Figures 4 &amp; 5",
+            "Table V",
+            "Pareto frontiers",
+        ):
+            assert marker in html, marker
+
+    def test_svgs_inlined(self, mini_sweep):
+        html = html_report(mini_sweep)
+        assert html.count("<svg") == 2  # figure 4 + figure 5 for montage
+        assert "</svg>" in html
+
+    def test_is_one_self_contained_document(self, mini_sweep):
+        html = html_report(mini_sweep)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<link" not in html and "src=" not in html  # no external refs
+
+    def test_text_escaped(self, mini_sweep):
+        html = html_report(mini_sweep)
+        # pre-block content must not terminate the document early
+        assert html.rstrip().endswith("</body></html>")
+
+    def test_write(self, mini_sweep, tmp_path):
+        out = write_html_report(tmp_path / "r" / "report.html", mini_sweep)
+        assert out.exists()
+        assert "<svg" in out.read_text()

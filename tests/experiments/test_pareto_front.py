@@ -1,0 +1,97 @@
+"""Tests for Pareto-front analysis."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.metrics import ScheduleMetrics
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.pareto_front import (
+    dominates,
+    pareto_front,
+    pareto_fronts,
+    render_pareto,
+)
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+
+
+def _m(label, makespan, cost):
+    return ScheduleMetrics(label, makespan, cost, 0.0, 1, 1)
+
+
+class TestDominates:
+    def test_strictly_better_both(self):
+        assert dominates(_m("a", 10, 1), _m("b", 20, 2))
+
+    def test_better_one_equal_other(self):
+        assert dominates(_m("a", 10, 1), _m("b", 10, 2))
+        assert dominates(_m("a", 10, 1), _m("b", 20, 1))
+
+    def test_equal_points_dont_dominate(self):
+        assert not dominates(_m("a", 10, 1), _m("b", 10, 1))
+
+    def test_tradeoff_is_incomparable(self):
+        assert not dominates(_m("a", 10, 5), _m("b", 20, 1))
+        assert not dominates(_m("b", 20, 1), _m("a", 10, 5))
+
+
+class TestParetoFront:
+    def test_frontier_and_dominated(self):
+        cell = {
+            "fast": _m("fast", 10, 10),
+            "cheap": _m("cheap", 100, 1),
+            "both-bad": _m("both-bad", 200, 20),
+            "middle": _m("middle", 50, 5),
+        }
+        front = pareto_front(cell)
+        assert front.frontier == ("fast", "middle", "cheap")
+        assert front.dominated == ("both-bad",)
+        assert "fast" in front and "both-bad" not in front
+
+    def test_frontier_sorted_by_makespan(self):
+        cell = {
+            "a": _m("a", 30, 1),
+            "b": _m("b", 10, 3),
+            "c": _m("c", 20, 2),
+        }
+        assert pareto_front(cell).frontier == ("b", "c", "a")
+
+    def test_single_strategy(self):
+        front = pareto_front({"only": _m("only", 1, 1)})
+        assert front.frontier == ("only",)
+
+
+class TestOnSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        platform = CloudPlatform.ec2()
+        return run_sweep(
+            platform=platform,
+            workflows={"montage": paper_workflows()["montage"]},
+            scenarios=[scenario("pareto", platform)],
+            strategies=[
+                strategy("OneVMperTask-s"),
+                strategy("StartParExceed-s"),
+                strategy("OneVMperTask-l"),
+                strategy("GAIN"),
+                strategy("AllParExceed-s"),
+            ],
+            seed=12,
+        )
+
+    def test_allpar_small_dominates_reference(self, sweep):
+        """AllParExceed-s is as fast and much cheaper than the reference
+        on Montage/Pareto — the reference is never on the frontier."""
+        front = pareto_fronts(sweep)[("pareto", "montage")]
+        assert "AllParExceed-s" in front.frontier
+        assert "OneVMperTask-s" in front.dominated
+
+    def test_extremes_non_dominated(self, sweep):
+        """The cheapest (StartParExceed-s) and strategies buying speed
+        with money are trade-offs, not dominated."""
+        front = pareto_fronts(sweep)[("pareto", "montage")]
+        assert "StartParExceed-s" in front.frontier
+
+    def test_render(self, sweep):
+        out = render_pareto(sweep)
+        assert "pareto/montage" in out and "frontier" in out

@@ -1,0 +1,46 @@
+"""Tests for the all-in-one report builder."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.report import full_report
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    platform = CloudPlatform.ec2()
+    wfs = paper_workflows()
+    return run_sweep(
+        platform=platform,
+        workflows={"montage": wfs["montage"]},
+        scenarios=[scenario("pareto", platform)],
+        strategies=[strategy("OneVMperTask-s"), strategy("AllParExceed-s")],
+        seed=4,
+    )
+
+
+class TestFullReport:
+    def test_contains_every_artifact(self, mini_sweep):
+        text = full_report(mini_sweep)
+        for marker in (
+            "Table I ",
+            "Table II ",
+            "Figure 1 ",
+            "Figure 2 ",
+            "Figure 3 ",
+            "Figure 4 ",
+            "Figure 5 ",
+            "Table III ",
+            "Table IV ",
+            "Table V ",
+        ):
+            assert marker in text, f"report missing {marker!r}"
+
+    def test_uses_given_sweep(self, mini_sweep):
+        text = full_report(mini_sweep)
+        # only the reduced sweep's strategies appear in the figure 4 legend
+        assert "AllParExceed-s" in text
+        assert "Figure 4 (montage, pareto)" in text

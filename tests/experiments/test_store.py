@@ -1,0 +1,93 @@
+"""Tests for sweep persistence and diffing."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.errors import ExperimentError
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+from repro.experiments.store import diff_sweeps, load_sweep, save_sweep
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="module")
+def sweep(platform):
+    wfs = paper_workflows()
+    return run_sweep(
+        platform=platform,
+        workflows={"montage": wfs["montage"]},
+        scenarios=[scenario("pareto", platform), scenario("best", platform)],
+        strategies=[strategy("OneVMperTask-s"), strategy("AllParExceed-s")],
+        seed=17,
+    )
+
+
+class TestRoundTrip:
+    def test_metrics_survive(self, sweep, tmp_path, platform):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path, platform)
+        assert loaded.scenarios() == sweep.scenarios()
+        for sc, wf, label, m in sweep.rows():
+            got = loaded.get(sc, wf, label)
+            assert got.makespan == pytest.approx(m.makespan)
+            assert got.cost == pytest.approx(m.cost)
+            assert got.gain_pct == pytest.approx(m.gain_pct)
+
+    def test_references_survive(self, sweep, tmp_path, platform):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path, platform)
+        ref = loaded.references["pareto"]["montage"]
+        assert ref.gain_pct == 0.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_sweep(tmp_path / "nope.json")
+
+    def test_bad_format_version(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"format": 99, "metrics": {}}')
+        with pytest.raises(ExperimentError, match="format"):
+            load_sweep(p)
+
+    def test_malformed_record(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(
+            '{"format": 1, "metrics": {"s": {"w": {"x": {"label": "x"}}}}}'
+        )
+        with pytest.raises(ExperimentError, match="malformed"):
+            load_sweep(p)
+
+
+class TestDiff:
+    def test_identical_sweeps(self, sweep):
+        d = diff_sweeps(sweep, sweep)
+        assert d == {"added": [], "removed": [], "changed": []}
+
+    def test_seed_change_detected(self, platform):
+        wfs = {"montage": paper_workflows()["montage"]}
+        scs = [scenario("pareto", platform)]
+        strats = [strategy("OneVMperTask-s")]
+        a = run_sweep(platform=platform, workflows=wfs, scenarios=scs,
+                      strategies=strats, seed=1)
+        b = run_sweep(platform=platform, workflows=wfs, scenarios=scs,
+                      strategies=strats, seed=2)
+        d = diff_sweeps(a, b)
+        assert d["changed"] == ["pareto/montage/OneVMperTask-s"]
+
+    def test_added_and_removed(self, platform):
+        wfs = {"montage": paper_workflows()["montage"]}
+        scs = [scenario("pareto", platform)]
+        a = run_sweep(platform=platform, workflows=wfs, scenarios=scs,
+                      strategies=[strategy("OneVMperTask-s")], seed=1)
+        b = run_sweep(platform=platform, workflows=wfs, scenarios=scs,
+                      strategies=[strategy("AllParExceed-s")], seed=1)
+        d = diff_sweeps(a, b)
+        assert d["added"] == ["pareto/montage/AllParExceed-s"]
+        assert d["removed"] == ["pareto/montage/OneVMperTask-s"]

@@ -1,0 +1,79 @@
+"""Tests for the strategy-stability summaries."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.config import paper_workflows, strategy
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import paper_scenarios
+from repro.experiments.summary import most_stable, render_summary, summarize
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    platform = CloudPlatform.ec2()
+    wfs = paper_workflows()
+    return run_sweep(
+        platform=platform,
+        workflows={"montage": wfs["montage"], "sequential": wfs["sequential"]},
+        scenarios=paper_scenarios(platform),
+        strategies=[
+            strategy("OneVMperTask-s"),
+            strategy("OneVMperTask-m"),
+            strategy("AllParExceed-s"),
+            strategy("GAIN"),
+            strategy("CPA-Eager"),
+        ],
+        seed=8,
+    )
+
+
+class TestSummarize:
+    def test_covers_every_strategy(self, sweep):
+        s = summarize(sweep)
+        assert set(s) == {
+            "OneVMperTask-s",
+            "OneVMperTask-m",
+            "AllParExceed-s",
+            "GAIN",
+            "CPA-Eager",
+        }
+        assert all(v.cells == 6 for v in s.values())  # 3 scenarios x 2 wfs
+
+    def test_reference_is_perfectly_stable(self, sweep):
+        ref = summarize(sweep)["OneVMperTask-s"]
+        assert ref.mean_gain_pct == 0.0
+        assert ref.gain_spread_pct == 0.0
+        assert ref.stable_gain and ref.stable_loss
+        assert ref.in_square_fraction == 1.0
+
+    def test_onevm_medium_has_stable_gain(self, sweep):
+        """Uniform 1.6x speed-up => gain is the speed-up identity in
+        every cell (Table IV's 'stable gain')."""
+        s = summarize(sweep)["OneVMperTask-m"]
+        assert s.mean_gain_pct == pytest.approx(37.5, abs=1.0)
+        assert s.stable_gain
+
+    def test_dynamic_upgraders_stable_loss(self, sweep):
+        """'Gain and CPA-Eager produce stable results throughout' —
+        they saturate the same budget everywhere."""
+        for label in ("GAIN", "CPA-Eager"):
+            assert summarize(sweep)[label].loss_spread_pct <= 60.0
+
+
+class TestMostStable:
+    def test_ranked_and_bounded(self, sweep):
+        top = most_stable(sweep, top=3)
+        assert len(top) == 3
+        spreads = [s.gain_spread_pct + s.loss_spread_pct for s in top]
+        assert spreads == sorted(spreads)
+
+    def test_reference_is_most_stable(self, sweep):
+        assert most_stable(sweep, top=1)[0].label == "OneVMperTask-s"
+
+
+class TestRender:
+    def test_table_renders(self, sweep):
+        out = render_summary(sweep)
+        assert "in square %" in out
+        assert "GAIN" in out

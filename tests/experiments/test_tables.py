@@ -1,0 +1,128 @@
+"""Tests for the table regenerators (Tables I-V)."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.metrics import ScheduleMetrics
+from repro.experiments import tables
+from repro.experiments.config import strategy
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import paper_scenarios
+from repro.workflows.generators import mapreduce, sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+@pytest.fixture(scope="module")
+def allpar_sweep(platform):
+    """Sweep with the AllPar strategies Table IV studies."""
+    labels = [
+        f"{p}-{s}"
+        for p in ("AllParExceed", "AllParNotExceed")
+        for s in ("s", "m", "l")
+    ]
+    return run_sweep(
+        platform=platform,
+        workflows={"mapreduce": mapreduce(mappers=4), "seq": sequential(5)},
+        scenarios=paper_scenarios(platform),
+        strategies=[strategy(l) for l in labels],
+        seed=11,
+    )
+
+
+def _m(label, gain, loss):
+    return ScheduleMetrics(label, 1.0, 1.0, 0.0, 1, 1, gain_pct=gain, loss_pct=loss)
+
+
+class TestStaticTables:
+    def test_table1(self):
+        out = tables.render_table1()
+        assert "OneVMperTask" in out and "AllPar1LnSDyn" in out
+
+    def test_table2_matches_paper(self, platform):
+        rows = tables.table2_rows(platform)
+        assert len(rows) == 7
+        sp = [r for r in rows if r[0] == "sa-sao-paulo"][0]
+        assert sp[1:] == (0.115, 0.230, 0.460, 0.920, 0.25)
+
+    def test_table2_render(self, platform):
+        assert "eu-dublin" in tables.render_table2(platform)
+
+
+class TestClassifyCell:
+    def test_buckets(self):
+        cell = {
+            "saver": _m("saver", 5.0, -50.0),
+            "gainer": _m("gainer", 50.0, -5.0),
+            "balanced": _m("balanced", 20.0, -22.0),
+            "loser": _m("loser", -10.0, 40.0),
+        }
+        cls = tables.classify_cell(cell)
+        assert cls.savings_dominant == ["saver"]
+        assert cls.gain_dominant == ["gainer"]
+        assert cls.balanced == ["balanced"]
+
+    def test_out_of_square_excluded(self):
+        cell = {"fast-but-dear": _m("fast-but-dear", 60.0, 100.0)}
+        cls = tables.classify_cell(cell)
+        assert not (cls.savings_dominant or cls.gain_dominant or cls.balanced)
+
+    def test_zero_point_is_balanced(self):
+        cls = tables.classify_cell({"ref": _m("ref", 0.0, 0.0)})
+        assert cls.balanced == ["ref"]
+
+    def test_tolerance(self):
+        cell = {"near": _m("near", 10.0, -17.0)}
+        assert tables.classify_cell(cell, tolerance_pp=5.0).savings_dominant == [
+            "near"
+        ]
+        assert tables.classify_cell(cell, tolerance_pp=10.0).balanced == ["near"]
+
+
+class TestTable3:
+    def test_every_cell_classified(self, allpar_sweep):
+        t3 = tables.table3(allpar_sweep)
+        assert len(t3) == 3 * 2
+
+    def test_render(self, allpar_sweep):
+        out = tables.render_table3(allpar_sweep)
+        assert "pareto/mapreduce" in out
+
+
+class TestTable4:
+    def test_three_size_rows(self, allpar_sweep):
+        t4 = tables.table4(allpar_sweep)
+        assert [e["size"] for e in t4] == ["s", "m", "l"]
+
+    def test_small_never_loses(self, allpar_sweep):
+        """Paper: 'small is the only case in which savings are positive'
+        — its loss interval never goes above zero."""
+        t4 = {e["size"]: e for e in tables.table4(allpar_sweep)}
+        lo, hi = t4["s"]["loss_interval"]
+        assert hi <= 1e-6
+
+    def test_gain_interval_ordered_by_speed(self, allpar_sweep):
+        t4 = {e["size"]: e for e in tables.table4(allpar_sweep)}
+        assert t4["m"]["gain_interval"][1] >= t4["s"]["gain_interval"][1]
+
+    def test_render(self, allpar_sweep):
+        out = tables.render_table4(allpar_sweep)
+        assert "max loss interval" in out
+
+
+class TestTable5:
+    def test_rows_cover_paper_workflows(self, platform):
+        rows = tables.table5_rows(platform)
+        assert [r[0] for r in rows] == ["montage", "cstem", "mapreduce", "sequential"]
+        assert all(len(r) == 4 for r in rows)
+
+    def test_savings_column_is_dyn_or_small(self, platform):
+        for row in tables.table5_rows(platform):
+            assert "AllPar1LnSDyn" in row[1] or row[1].endswith("-s")
+
+    def test_render(self, platform):
+        out = tables.render_table5(platform)
+        assert "savings" in out and "balance" in out

@@ -1,0 +1,91 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Simulator
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.at(2.0, lambda: times.append(sim.now))
+        sim.at(5.0, lambda: times.append(sim.now))
+        end = sim.run()
+        assert times == [2.0, 5.0]
+        assert end == 5.0
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.after(3.0, lambda: seen.append(sim.now))
+
+        sim.at(1.0, first)
+        sim.run()
+        assert seen == [4.0]
+
+    def test_chained_events(self):
+        """Events scheduled during processing run in the same pass."""
+        sim = Simulator()
+        hops = []
+
+        def hop(n):
+            hops.append((sim.now, n))
+            if n < 3:
+                sim.after(1.0, lambda: hop(n + 1))
+
+        sim.at(0.0, lambda: hop(0))
+        sim.run()
+        assert hops == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_past_event_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: sim.at(1.0, lambda: None))
+        with pytest.raises(SimulationError, match="clock"):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+    def test_event_budget(self):
+        sim = Simulator(max_events=10)
+
+        def forever():
+            sim.after(1.0, forever)
+
+        sim.at(0.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run()
+
+    def test_processed_events_counted(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        sim.at(0.0, lambda: sim.run())
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+
+    def test_invalid_budget(self):
+        with pytest.raises(SimulationError):
+            Simulator(max_events=0)

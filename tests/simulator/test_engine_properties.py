@@ -1,0 +1,54 @@
+"""Hypothesis fuzzing of the discrete-event engine's ordering contract:
+events fire in (time, insertion sequence) order regardless of how they
+were scheduled, including events scheduled from inside other events."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.engine import Simulator
+
+_times = st.lists(st.floats(0.0, 1000.0, allow_nan=False), min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_times)
+def test_events_fire_in_time_then_fifo_order(times):
+    sim = Simulator()
+    fired = []
+    for i, t in enumerate(times):
+        sim.at(t, lambda t=t, i=i: fired.append((t, i)))
+    sim.run()
+    assert fired == sorted(fired)  # time, then insertion order
+
+
+@settings(max_examples=40, deadline=None)
+@given(_times, st.floats(0.0, 50.0))
+def test_nested_scheduling_preserves_order(times, delay):
+    sim = Simulator()
+    fired = []
+
+    def make(t):
+        def action():
+            fired.append(("outer", sim.now))
+            sim.after(delay, lambda: fired.append(("inner", sim.now)))
+
+        return action
+
+    for t in times:
+        sim.at(t, make(t))
+    sim.run()
+    stamps = [s for _, s in fired]
+    assert stamps == sorted(stamps)
+    assert sum(1 for k, _ in fired if k == "inner") == len(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_times)
+def test_clock_monotone_and_counts(times):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.at(t, lambda: seen.append(sim.now))
+    end = sim.run()
+    assert sim.processed_events == len(times)
+    assert end == max(times)
+    assert all(a <= b for a, b in zip(seen, seen[1:]))

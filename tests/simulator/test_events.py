@@ -1,0 +1,50 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(5.0, lambda: fired.append("late"))
+        q.push(1.0, lambda: fired.append("early"))
+        while q:
+            q.pop().action()
+        assert fired == ["early", "late"]
+
+    def test_fifo_for_simultaneous(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: fired.append(i))
+        while q:
+            q.pop().action()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(3.0, lambda: None)
+        assert q.peek_time() == 3.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, lambda: None)
+        assert q and len(q) == 1
+
+    def test_pop_empty(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)

@@ -1,0 +1,91 @@
+"""Hypothesis properties of the online scheduling mode, across random
+shapes, all five policies, and runtime noise."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.platform import CloudPlatform
+from repro.simulator.online import run_online
+from repro.simulator.perturb import lognormal_jitter
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import random_layered
+
+_PLATFORM = CloudPlatform.ec2()
+_POLICIES = (
+    "OneVMperTask",
+    "StartParNotExceed",
+    "StartParExceed",
+    "AllParNotExceed",
+    "AllParExceed",
+)
+
+
+def _wf(seed):
+    return apply_model(random_layered(layers=4, seed=seed), ParetoModel(), seed=seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_online_completes_and_respects_dependencies(seed):
+    wf = _wf(seed)
+    for policy in _POLICIES:
+        result = run_online(wf, _PLATFORM, policy=policy)
+        assert set(result.task_finish) == set(wf.task_ids)
+        for u, v, _ in wf.edges():
+            assert result.task_start[v] >= result.task_finish[u] - 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000), noise_seed=st.integers(0, 1000))
+def test_online_feasible_under_noise(seed, noise_seed):
+    wf = _wf(seed)
+    result = run_online(
+        wf,
+        _PLATFORM,
+        policy="StartParNotExceed",
+        runtime_fn=lognormal_jitter(0.5, seed=noise_seed),
+    )
+    # per-VM serialization
+    by_vm = {}
+    for tid, vm in result.task_vm.items():
+        by_vm.setdefault(vm, []).append(tid)
+    for tasks in by_vm.values():
+        spans = sorted((result.task_start[t], result.task_finish[t]) for t in tasks)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2 + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_online_accounting_consistent(seed):
+    """Rent recomputes from realized VM windows; idle is non-negative
+    and bounded by paid time."""
+    wf = _wf(seed)
+    for policy in ("OneVMperTask", "AllParExceed"):
+        result = run_online(wf, _PLATFORM, policy=policy)
+        # group realized spans per VM and recompute the bill
+        by_vm = {}
+        for tid, vm in result.task_vm.items():
+            by_vm.setdefault(vm, []).append(tid)
+        rent = 0.0
+        for tasks in by_vm.values():
+            start = min(result.task_start[t] for t in tasks)
+            end = max(result.task_finish[t] for t in tasks)
+            btus = max(1, math.ceil((end - start) / 3600.0 - 1e-9))
+            rent += btus * 0.08
+        assert result.rent_cost == pytest.approx(rent)
+        assert 0 <= result.idle_seconds
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_online_deterministic_without_noise(seed):
+    wf = _wf(seed)
+    a = run_online(wf, _PLATFORM, policy="AllParNotExceed")
+    b = run_online(wf, _PLATFORM, policy="AllParNotExceed")
+    assert a.task_start == b.task_start
+    assert a.task_vm == b.task_vm
+    assert a.rent_cost == b.rent_cost

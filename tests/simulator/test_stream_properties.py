@@ -1,0 +1,80 @@
+"""Hypothesis properties of multi-workflow stream execution."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.platform import CloudPlatform
+from repro.simulator.stream import Submission, poisson_stream, run_stream
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workflows.generators import random_layered
+
+_PLATFORM = CloudPlatform.ec2()
+
+
+def _stream(seed, count, gap):
+    shape = random_layered(layers=3, seed=seed)
+    wf = apply_model(shape, ParetoModel(), seed=seed)
+    return wf, poisson_stream(wf, count, gap, seed=seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    count=st.integers(1, 4),
+    gap=st.floats(0.0, 10_000.0),
+    policy=st.sampled_from(["OneVMperTask", "StartParNotExceed", "AllParExceed"]),
+)
+def test_stream_respects_arrivals_and_dependencies(seed, count, gap, policy):
+    wf, subs = _stream(seed, count, gap)
+    result = run_stream(subs, _PLATFORM, policy=policy)
+    assert len(result.per_instance) == count
+    for i, (arrival, finish, response) in enumerate(result.per_instance):
+        assert finish >= arrival
+        assert response >= 0
+        # no task of instance i starts before its arrival
+        for tid, start in result.online.task_start.items():
+            if tid.startswith(f"w{i}:"):
+                assert start >= arrival - 1e-6
+    # dependencies hold instance-locally
+    for u, v, _gb in wf.edges():
+        for i in range(count):
+            assert (
+                result.online.task_start[f"w{i}:{v}"]
+                >= result.online.task_finish[f"w{i}:{u}"] - 1e-6
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), count=st.integers(1, 3))
+def test_stream_billing_recomputes(seed, count):
+    wf, subs = _stream(seed, count, 2000.0)
+    result = run_stream(subs, _PLATFORM, policy="StartParExceed")
+    by_vm = {}
+    for tid, vm in result.online.task_vm.items():
+        by_vm.setdefault(vm, []).append(tid)
+    rent = 0.0
+    for tasks in by_vm.values():
+        start = min(result.online.task_start[t] for t in tasks)
+        end = max(result.online.task_finish[t] for t in tasks)
+        rent += max(1, math.ceil((end - start) / 3600.0 - 1e-9)) * 0.08
+    assert result.total_cost == pytest.approx(rent)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_single_submission_equals_online_run(seed):
+    """A one-element stream is exactly an online run (modulo prefixes)."""
+    from repro.simulator.online import run_online
+
+    wf, _ = _stream(seed, 1, 0.0)
+    stream_result = run_stream([Submission(wf, 0.0)], _PLATFORM, policy="AllParExceed")
+    online_result = run_online(wf, _PLATFORM, policy="AllParExceed")
+    assert stream_result.online.makespan == pytest.approx(online_result.makespan)
+    assert stream_result.total_cost == pytest.approx(online_result.rent_cost)
+    for tid in wf.task_ids:
+        assert stream_result.online.task_start[f"w0:{tid}"] == pytest.approx(
+            online_result.task_start[tid]
+        )

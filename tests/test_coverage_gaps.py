@@ -1,0 +1,130 @@
+"""Directed tests for branches the structured suites don't reach:
+registry error paths, trace divergence variants, renderer options, and
+defensive guards."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.base import (
+    SchedulingAlgorithm,
+    register_algorithm,
+    scheduling_algorithm,
+)
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.provisioning.base import ProvisioningPolicy, register_policy
+from repro.errors import SchedulingError, SimulationError
+from repro.simulator.executor import simulate_schedule
+from repro.util.tables import format_table
+from repro.workflows.generators import sequential
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestRegistryErrorPaths:
+    def test_duplicate_policy_rejected(self):
+        class Dup(ProvisioningPolicy):
+            name = "OneVMperTask"  # already registered
+
+            def select_vm(self, task_id, builder):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(SchedulingError, match="duplicate"):
+            register_policy(Dup)
+
+    def test_unnamed_policy_rejected(self):
+        class NoName(ProvisioningPolicy):
+            def select_vm(self, task_id, builder):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(SchedulingError, match="unique name"):
+            register_policy(NoName)
+
+    def test_duplicate_algorithm_rejected(self):
+        class DupAlgo(SchedulingAlgorithm):
+            name = "HEFT"
+
+            def schedule(self, *a, **k):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(SchedulingError, match="duplicate"):
+            register_algorithm(DupAlgo)
+
+    def test_algorithm_params_forwarded(self):
+        algo = scheduling_algorithm("HEFT", provisioning="StartParExceed")
+        assert algo.provisioning.name == "StartParExceed"
+
+
+class TestTraceDivergenceVariants:
+    def test_finish_mismatch_detected(self, platform, chain3):
+        sched = HeftScheduler("StartParExceed").schedule(chain3, platform)
+        result = simulate_schedule(sched, check=False)
+        result.task_finish["Z"] += 50.0
+        with pytest.raises(SimulationError, match="finish"):
+            result.check_against(sched)
+
+
+class TestTableRendererOptions:
+    def test_align_right_false(self):
+        out = format_table(
+            ["k", "v"], [("a", "x"), ("b", "yy")], align_right=False
+        )
+        data_rows = out.splitlines()[2:]
+        assert data_rows[0].startswith("a  x")
+
+    def test_title_underline_width(self):
+        out = format_table(["k"], [("v",)], title="T")
+        lines = out.splitlines()
+        assert lines[1] == "="
+
+
+class TestPlatformExtras:
+    def test_cheapest_region_per_itype(self, platform):
+        xl = platform.itype("xlarge")
+        assert platform.cheapest_region(xl).name == "us-east-virginia"
+
+    def test_vm_repr_and_schedule_repr(self, platform):
+        sched = HeftScheduler("StartParExceed").schedule(sequential(2), platform)
+        assert "vm0-s" in repr(sched.vms[0])
+        assert "makespan" in repr(sched)
+
+
+class TestDeadlineGuards:
+    def test_best_effort_never_raises_on_feasible(self, platform):
+        from repro.core.allocation.deadline import DeadlineScheduler
+
+        wf = sequential(3)
+        sched = DeadlineScheduler(
+            deadline=wf.total_work() * 2, best_effort=True
+        ).schedule(wf, platform)
+        assert sched.makespan <= wf.total_work() * 2
+
+
+class TestOnlineReap:
+    def test_vm_stop_events_emitted(self, platform):
+        from repro.simulator.online import run_online
+        from repro.workflows.dag import Workflow
+        from repro.workflows.task import Task
+
+        # two sequential phases separated by > 1 BTU of work elsewhere:
+        # the first VM dies and a vm_stop event is recorded
+        wf = Workflow("w")
+        wf.add_task(Task("a", 500.0))
+        wf.add_task(Task("b", 4000.0))
+        wf.add_task(Task("c", 500.0))
+        wf.add_dependency("a", "c")
+        wf.add_dependency("b", "c")
+        wf.validate()
+        result = run_online(wf, platform, policy="AllParExceed")
+        kinds = [e.kind for e in result.events]
+        assert "vm_stop" in kinds
+
+
+class TestProvisioningRepr:
+    def test_reprs(self):
+        from repro.core.provisioning.one_vm_per_task import OneVMperTask
+
+        assert "OneVMperTask" in repr(OneVMperTask())
+        assert "HeftScheduler" in repr(HeftScheduler())

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run cleanly and produce its
+headline output — examples are documentation and must never rot."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+_EXPECTED_MARKER = {
+    "quickstart.py": "All schedules validated",
+    "adaptive_scheduling.py": "Table-V recommendations",
+    "mapreduce_scaling.py": "width sweep",
+    "region_pricing.py": "Two-region pipeline",
+    "dax_import.py": "DOT export",
+    "deadline_scheduling.py": "SHEFT-style deadline",
+    "gantt_walkthrough.py": "BTU boundary",
+    "workflow_gallery.py": "savings advice",
+    "trace_replay.py": "lower bounds",
+    "instance_intensive.py": "shared fleet",
+    "diagnose_schedule.py": "realized critical path",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTED_MARKER))
+def test_example_runs(name):
+    script = EXAMPLES / name
+    assert script.exists(), f"example {name} missing"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert _EXPECTED_MARKER[name] in result.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(_EXPECTED_MARKER), (
+        "examples and smoke-test markers out of sync"
+    )

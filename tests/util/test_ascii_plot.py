@@ -1,0 +1,58 @@
+"""Tests for the ASCII scatter/bar renderers."""
+
+from repro.util.ascii_plot import ascii_bars, ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_legend_lists_every_series(self):
+        pts = {"alpha": (1.0, 2.0), "beta": (-1.0, -2.0)}
+        out = ascii_scatter(pts)
+        assert "a = alpha" in out
+        assert "b = beta" in out
+
+    def test_origin_axes_drawn(self):
+        out = ascii_scatter({"p": (5.0, 5.0)}, mark_origin=True)
+        assert "+" in out
+        assert "|" in out and "-" in out
+
+    def test_no_origin(self):
+        out = ascii_scatter({"p": (5.0, 5.0)}, mark_origin=False)
+        grid = "\n".join(out.splitlines()[1:-2])  # drop header and legend
+        assert "+" not in grid and "|" not in grid
+
+    def test_empty(self):
+        assert ascii_scatter({}) == "(no points)"
+
+    def test_identical_points_dont_crash(self):
+        out = ascii_scatter({"a": (1.0, 1.0), "b": (1.0, 1.0)})
+        assert "b = b" in out
+
+    def test_coordinates_in_legend(self):
+        out = ascii_scatter({"x": (12.34, -5.6)})
+        assert "(+12.3, -5.6)" in out
+
+    def test_grid_dimensions(self):
+        out = ascii_scatter({"a": (0.0, 0.0)}, width=40, height=10)
+        grid_lines = out.splitlines()[1:11]
+        assert len(grid_lines) == 10
+        assert all(len(l) <= 40 for l in grid_lines)
+
+
+class TestAsciiBars:
+    def test_labels_and_values(self):
+        out = ascii_bars({"one": 10.0, "two": 20.0}, unit="s")
+        assert "one" in out and "two" in out
+        assert "10s" in out and "20s" in out
+
+    def test_longest_bar_is_max(self):
+        out = ascii_bars({"small": 1.0, "big": 100.0}, width=50)
+        lines = {l.split()[0]: l.count("#") for l in out.splitlines()}
+        assert lines["big"] == 50
+        assert lines["small"] <= 1
+
+    def test_all_zero(self):
+        out = ascii_bars({"z": 0.0})
+        assert "#" not in out
+
+    def test_empty(self):
+        assert ascii_bars({}) == "(no bars)"

@@ -1,0 +1,63 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).random(8)
+        b = ensure_rng(42).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert ensure_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(11)
+        a = ensure_rng(ss).random(4)
+        b = ensure_rng(np.random.SeedSequence(11)).random(4)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(5)).random(4)
+        b = ensure_rng(5).random(4)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_rngs(123, 2)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_stable_under_sibling_count(self):
+        first_of_two = spawn_rngs(9, 2)[0].random(8)
+        first_of_five = spawn_rngs(9, 5)[0].random(8)
+        assert np.array_equal(first_of_two, first_of_five)
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_rejects_generator_seed(self):
+        with pytest.raises(TypeError):
+            spawn_rngs(np.random.default_rng(), 2)

@@ -1,0 +1,89 @@
+"""Tests for the SVG chart writers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.util.svg_plot import svg_bars, svg_scatter
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgScatter:
+    def test_well_formed_xml(self):
+        root = _parse(svg_scatter({"a": (1.0, 2.0), "b": (-3.0, 4.0)}))
+        assert root.tag.endswith("svg")
+
+    def test_one_marker_per_point_plus_legend(self):
+        svg = svg_scatter({"a": (1.0, 2.0), "b": (3.0, 4.0)})
+        root = _parse(svg)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        assert len(circles) == 4  # 2 data + 2 legend
+
+    def test_labels_escaped(self):
+        svg = svg_scatter({"a<b>&c": (0.0, 0.0)}, title="t<i>tle")
+        _parse(svg)  # would raise on unescaped markup
+        assert "a<b>&c" not in svg
+
+    def test_origin_lines_present(self):
+        svg = svg_scatter({"a": (-5.0, -5.0), "b": (5.0, 5.0)})
+        assert svg.count("stroke-dasharray") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_scatter({})
+
+    def test_axis_labels(self):
+        svg = svg_scatter({"a": (1.0, 1.0)}, xlabel="gain", ylabel="loss")
+        assert ">gain<" in svg and ">loss<" in svg
+
+
+class TestSvgBars:
+    def test_well_formed_and_one_rect_per_bar(self):
+        svg = svg_bars({"x": 10.0, "y": 20.0, "z": 0.0})
+        root = _parse(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) == 3
+
+    def test_longest_bar_spans_plot(self):
+        svg = svg_bars({"small": 1.0, "big": 100.0}, width=720)
+        root = _parse(svg)
+        widths = sorted(
+            float(r.get("width")) for r in
+            root.findall(".//{http://www.w3.org/2000/svg}rect")
+        )
+        assert widths[-1] == pytest.approx(720 - 200 - 90)
+        assert widths[0] == pytest.approx(widths[-1] / 100, rel=0.01)
+
+    def test_unit_rendered(self):
+        assert "3,600s" in svg_bars({"x": 3600.0}, unit="s")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_bars({})
+
+
+class TestFigureSvgIntegration:
+    def test_figure_svgs_from_sweep(self):
+        from repro.cloud.platform import CloudPlatform
+        from repro.experiments.config import paper_workflows, strategy
+        from repro.experiments.figures import figure4_svg, figure5_svg
+        from repro.experiments.runner import run_sweep
+        from repro.experiments.scenarios import scenario
+
+        platform = CloudPlatform.ec2()
+        sweep = run_sweep(
+            platform=platform,
+            workflows={"montage": paper_workflows()["montage"]},
+            scenarios=[scenario("pareto", platform)],
+            strategies=[strategy("OneVMperTask-s"), strategy("GAIN")],
+            seed=2,
+        )
+        for svg in (
+            figure4_svg(sweep, "montage"),
+            figure5_svg(sweep, "montage"),
+        ):
+            _parse(svg)
+            assert "GAIN" in svg

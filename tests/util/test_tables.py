@@ -1,0 +1,51 @@
+"""Tests for the monospace table renderer."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "v"], [("a", 1.0), ("bb", 22.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.00" in text and "22.50" in text
+        # all rows share the header width
+        assert len(set(len(l) for l in lines[:2])) <= 2
+
+    def test_title(self):
+        text = format_table(["x"], [("y",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_none_renders_empty(self):
+        text = format_table(["a", "b"], [("x", None)])
+        assert "None" not in text
+
+    def test_float_format(self):
+        text = format_table(["a", "b"], [("x", 1.23456)], float_fmt=".4f")
+        assert "1.2346" in text
+
+    def test_int_not_float_formatted(self):
+        text = format_table(["a", "n"], [("x", 7)])
+        assert "7" in text and "7.00" not in text
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_first_column_left_aligned(self):
+        text = format_table(["name", "v"], [("x", 1.0), ("longer", 2.0)])
+        row = text.splitlines()[2]
+        assert row.startswith("x ")
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["name", "v"], [("a", 1.0), ("b", 100.0)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1.00")
+        assert rows[1].endswith("100.00")

@@ -1,0 +1,86 @@
+"""Tests for the workflow profiling module."""
+
+import pytest
+
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import ParetoModel
+from repro.workloads.uniform import ConstantModel
+from repro.workflows.analysis import compare_profiles, profile
+from repro.workflows.generators import cstem, mapreduce, montage, sequential
+
+
+class TestProfileBasics:
+    def test_counts(self):
+        p = profile(montage())
+        assert p.tasks == 24
+        assert p.levels == 9
+        assert p.max_width == 6
+        assert p.avg_width == pytest.approx(24 / 9)
+
+    def test_sequential_is_fully_serial(self):
+        p = profile(sequential(8))
+        assert p.serial_fraction == 1.0
+        assert p.max_width == 1
+        assert p.critical_path_seconds == pytest.approx(p.total_work)
+
+    def test_montage_skips_levels(self):
+        assert profile(montage()).level_skip_fraction > 0.1
+
+    def test_mapreduce_does_not_skip(self):
+        assert profile(mapreduce()).level_skip_fraction == 0.0
+
+    def test_cstem_mostly_serial(self):
+        p = profile(cstem())
+        assert p.serial_fraction >= 0.5
+
+
+class TestRuntimeStats:
+    def test_constant_runtimes_cv_zero(self):
+        wf = apply_model(montage(), ConstantModel(500.0))
+        p = profile(wf)
+        assert p.runtime_cv == 0.0
+        assert p.mean_runtime == 500.0
+
+    def test_pareto_runtimes_heterogeneous(self):
+        wf = apply_model(montage(), ParetoModel(), seed=0)
+        assert profile(wf).runtime_cv > 0.2
+
+
+class TestCcr:
+    def test_zero_data_means_zero_ccr(self):
+        wf = sequential(4).with_data_sizes(
+            {(u, v): 0.0 for u, v, _ in sequential(4).edges()}
+        )
+        assert profile(wf).ccr == 0.0
+
+    def test_ccr_scales_with_data(self):
+        base = profile(montage())
+        heavy = profile(
+            montage().with_data_sizes(
+                {(u, v): 10.0 for u, v, _ in montage().edges()}
+            )
+        )
+        assert heavy.ccr > base.ccr
+        assert heavy.total_data_gb > base.total_data_gb
+
+    def test_faster_link_lowers_ccr(self):
+        assert profile(montage(), link_gbps=10.0).ccr == pytest.approx(
+            profile(montage(), link_gbps=1.0).ccr / 10.0
+        )
+
+
+class TestParallelEfficiency:
+    def test_bounded(self):
+        for wf in (montage(), cstem(), mapreduce(), sequential()):
+            eff = profile(wf).parallel_efficiency
+            assert 0.0 < eff <= 1.0 + 1e-9
+
+    def test_chain_is_perfectly_efficient(self):
+        assert profile(sequential(5)).parallel_efficiency == pytest.approx(1.0)
+
+
+class TestCompare:
+    def test_keys_preserved(self):
+        out = compare_profiles({"a": montage(), "b": cstem()})
+        assert set(out) == {"a", "b"}
+        assert out["a"].name == "montage"

@@ -1,0 +1,61 @@
+"""Tests for the bag-of-tasks shape and its policy degeneracies."""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.core.allocation.level import AllParScheduler
+from repro.errors import WorkflowError
+from repro.workflows.generators import bag_of_tasks
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+class TestShape:
+    def test_edgeless(self):
+        wf = bag_of_tasks(10)
+        assert len(wf) == 10
+        assert wf.edges() == []
+        assert wf.entry_tasks() == wf.task_ids
+
+    def test_single_level(self):
+        assert len(bag_of_tasks(7).levels()) == 1
+        assert bag_of_tasks(7).max_parallelism() == 7
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            bag_of_tasks(0)
+        with pytest.raises(WorkflowError):
+            bag_of_tasks(5, work=0.0)
+
+
+class TestPolicyDegeneracies:
+    def test_startpar_degenerates_to_onevm(self, platform):
+        """Every BoT task is an initial task, so StartPar* rents per
+        task exactly like OneVMperTask."""
+        wf = bag_of_tasks(12)
+        one = HeftScheduler("OneVMperTask").schedule(wf, platform)
+        for policy in ("StartParNotExceed", "StartParExceed"):
+            sched = HeftScheduler(policy).schedule(wf, platform)
+            assert sched.vm_count == one.vm_count == 12
+            assert sched.total_cost == pytest.approx(one.total_cost)
+            assert sched.makespan == pytest.approx(one.makespan)
+
+    def test_allpar_also_spreads_single_level(self, platform):
+        """One level of 12 parallel tasks: AllPar rents one VM each, but
+        packing is impossible — the provisioning choice only matters once
+        dependencies exist (the paper's BoT-vs-workflow contrast)."""
+        wf = bag_of_tasks(12)
+        sched = AllParScheduler(exceed=True).schedule(wf, platform)
+        assert sched.vm_count == 12
+
+    def test_short_bot_fits_single_btu_when_packed(self, platform):
+        """With a second level added (a sink), AllPar can pack; without
+        it, cost is n BTUs no matter the policy."""
+        wf = bag_of_tasks(10, work=300.0)
+        for policy in ("OneVMperTask", "StartParExceed"):
+            sched = HeftScheduler(policy).schedule(wf, platform)
+            assert sched.total_btus == 10

@@ -1,0 +1,88 @@
+"""Hypothesis property tests on the DAG model, driven by random layered
+workflows (a superset of the paper's shapes)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workflows.generators import random_layered
+
+
+workflows = st.builds(
+    random_layered,
+    layers=st.integers(1, 6),
+    width_range=st.tuples(st.integers(1, 3), st.integers(3, 5)).map(
+        lambda t: (t[0], max(t))
+    ),
+    edge_density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 10_000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workflows)
+def test_levels_partition_tasks(wf):
+    levels = wf.levels()
+    flat = [t for lvl in levels for t in lvl]
+    assert sorted(flat) == sorted(wf.task_ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workflows)
+def test_levels_are_antichains(wf):
+    """No dependency can connect two tasks of the same level."""
+    level = wf.level_of()
+    for u, v, _ in wf.edges():
+        assert level[u] < level[v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(workflows)
+def test_topological_order_respects_edges(wf):
+    order = {t: i for i, t in enumerate(wf.topological_order())}
+    for u, v, _ in wf.edges():
+        assert order[u] < order[v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(workflows)
+def test_critical_path_bounds(wf):
+    path, length = wf.critical_path()
+    # the path is a real chain
+    for u, v in zip(path, path[1:]):
+        assert v in wf.successors(u)
+    # its length is the path's work and bounded by the total work
+    assert length <= wf.total_work() + 1e-9
+    assert abs(length - sum(wf.task(t).work for t in path)) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(workflows)
+def test_critical_path_at_least_any_chain(wf):
+    """CP length dominates the heaviest entry-to-exit greedy chain."""
+    _, length = wf.critical_path()
+    # greedy heaviest successor walk from the heaviest entry
+    cur = max(wf.entry_tasks(), key=lambda t: wf.task(t).work)
+    total = wf.task(cur).work
+    while wf.successors(cur):
+        cur = max(wf.successors(cur), key=lambda t: wf.task(t).work)
+        total += wf.task(cur).work
+    assert length >= total - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(workflows)
+def test_entry_and_exit_tasks_consistent(wf):
+    for t in wf.entry_tasks():
+        assert wf.predecessors(t) == []
+    for t in wf.exit_tasks():
+        assert wf.successors(t) == []
+    assert wf.entry_tasks() and wf.exit_tasks()
+
+
+@settings(max_examples=40, deadline=None)
+@given(workflows, st.floats(1.1, 10.0))
+def test_with_works_scales_critical_path(wf, factor):
+    """Scaling all runtimes scales the CP length linearly."""
+    _, base = wf.critical_path()
+    scaled = wf.with_works({t.id: t.work * factor for t in wf.tasks})
+    _, longer = scaled.critical_path()
+    assert abs(longer - base * factor) < 1e-6 * max(1.0, longer)

@@ -1,0 +1,33 @@
+"""Tests for the DOT exporter."""
+
+from repro.workflows.dag import Workflow
+from repro.workflows.dot import to_dot
+from repro.workflows.generators import sequential
+from repro.workflows.task import Task
+
+
+class TestToDot:
+    def test_contains_every_task_and_edge(self):
+        wf = sequential(4)
+        dot = to_dot(wf)
+        for tid in wf.task_ids:
+            assert f'"{tid}"' in dot
+        assert dot.count("->") == 3
+
+    def test_digraph_header(self):
+        dot = to_dot(sequential(2))
+        assert dot.startswith('digraph "sequential"')
+        assert dot.rstrip().endswith("}")
+
+    def test_data_labels_on_edges(self):
+        wf = Workflow("w")
+        wf.add_task(Task("a", 1.0))
+        wf.add_task(Task("b", 1.0))
+        wf.add_dependency("a", "b", 2.5)
+        assert '2.5GB' in to_dot(wf)
+
+    def test_quoting_special_characters(self):
+        wf = Workflow('has "quotes"')
+        wf.add_task(Task("a", 1.0))
+        dot = to_dot(wf)
+        assert '\\"quotes\\"' in dot

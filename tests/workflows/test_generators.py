@@ -1,0 +1,181 @@
+"""Tests for the paper's workflow generators (Fig. 2 shapes)."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflows.generators import (
+    cstem,
+    fork_join,
+    mapreduce,
+    montage,
+    random_layered,
+    sequential,
+)
+
+
+class TestMontage:
+    def test_default_is_papers_24_tasks(self):
+        assert len(montage()) == 24
+
+    def test_size_formula(self):
+        for p in (2, 4, 6, 10):
+            assert len(montage(p)) == 3 * p + 6
+
+    def test_entry_tasks_are_projections(self):
+        wf = montage(6)
+        assert wf.entry_tasks() == [f"mProject_{i}" for i in range(6)]
+
+    def test_single_exit(self):
+        assert montage().exit_tasks() == ["mJPEG"]
+
+    def test_cross_level_dependencies_exist(self):
+        # mProject -> mBackground skips the diff/concat/bgmodel levels:
+        # the "intermingled" structure the paper highlights.
+        wf = montage()
+        levels = wf.level_of()
+        skips = [
+            (u, v) for u, v, _ in wf.edges() if levels[v] - levels[u] > 1
+        ]
+        assert skips, "montage must have level-skipping edges"
+
+    def test_diffs_overlap_adjacent_projections(self):
+        wf = montage(4)
+        assert wf.predecessors("mDiffFit_0") == ["mProject_0", "mProject_1"]
+        # cyclic wrap-around on the last diff
+        assert wf.predecessors("mDiffFit_3") == ["mProject_0", "mProject_3"]
+
+    def test_max_parallelism_equals_projections(self):
+        assert montage(6).max_parallelism() == 6
+
+    def test_too_few_projections(self):
+        with pytest.raises(WorkflowError):
+            montage(1)
+
+    def test_edges_carry_data(self):
+        wf = montage()
+        assert wf.data_gb("mAdd", "mShrink") > 0
+
+
+class TestCstem:
+    def test_single_entry(self):
+        assert cstem().entry_tasks() == ["init"]
+
+    def test_several_final_tasks(self):
+        wf = cstem(finals=3)
+        assert len(wf.exit_tasks()) == 3
+
+    def test_mostly_sequential(self):
+        wf = cstem()
+        # "relative sequential nature": most levels are singletons
+        singleton_levels = sum(1 for lvl in wf.levels() if len(lvl) == 1)
+        assert singleton_levels >= len(wf.levels()) / 2
+
+    def test_widest_stage_is_fanout(self):
+        assert cstem(fanout=6).max_parallelism() == 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkflowError):
+            cstem(fanout=0)
+        with pytest.raises(WorkflowError):
+            cstem(backbone=0)
+        with pytest.raises(WorkflowError):
+            cstem(finals=0)
+
+
+class TestMapReduce:
+    def test_default_size(self):
+        assert len(mapreduce()) == 24  # 1 + 10 + 10 + 2 + 1
+
+    def test_two_sequential_map_phases(self):
+        wf = mapreduce(mappers=4, reducers=1)
+        assert wf.predecessors("map2_2") == ["map1_2"]
+
+    def test_shuffle_is_complete_bipartite(self):
+        wf = mapreduce(mappers=3, reducers=2)
+        for j in range(2):
+            assert wf.predecessors(f"reduce_{j}") == [f"map2_{i}" for i in range(3)]
+
+    def test_single_entry_and_exit(self):
+        wf = mapreduce()
+        assert wf.entry_tasks() == ["split"]
+        assert wf.exit_tasks() == ["merge"]
+
+    def test_parallelism_is_mapper_count(self):
+        assert mapreduce(mappers=7).max_parallelism() == 7
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkflowError):
+            mapreduce(mappers=0)
+        with pytest.raises(WorkflowError):
+            mapreduce(reducers=0)
+
+
+class TestSequential:
+    def test_length(self):
+        assert len(sequential(5)) == 5
+
+    def test_pure_chain(self):
+        wf = sequential(6)
+        assert wf.max_parallelism() == 1
+        assert len(wf.levels()) == 6
+
+    def test_single_task_chain(self):
+        wf = sequential(1)
+        assert wf.entry_tasks() == wf.exit_tasks() == ["step_000"]
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(WorkflowError):
+            sequential(0)
+
+
+class TestForkJoin:
+    def test_task_count(self):
+        # source + stages*(width + join)
+        assert len(fork_join(width=4, stages=2)) == 1 + 2 * 5
+
+    def test_width(self):
+        assert fork_join(width=8, stages=1).max_parallelism() == 8
+
+    def test_joins_serialize_stages(self):
+        wf = fork_join(width=2, stages=2)
+        assert wf.predecessors("stage1_task0") == ["join_0"]
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            fork_join(width=0)
+
+
+class TestRandomLayered:
+    def test_reproducible(self):
+        a = random_layered(seed=5)
+        b = random_layered(seed=5)
+        assert a.task_ids == b.task_ids
+        assert a.edges() == b.edges()
+        assert [t.work for t in a.tasks] == [t.work for t in b.tasks]
+
+    def test_different_seeds_differ(self):
+        a = random_layered(seed=1)
+        b = random_layered(seed=2)
+        assert a.edges() != b.edges() or [t.work for t in a.tasks] != [
+            t.work for t in b.tasks
+        ]
+
+    def test_is_dag_and_connected_layers(self):
+        wf = random_layered(layers=6, seed=3)
+        wf.validate()
+        # every non-entry task has at least one predecessor
+        for tid in wf.task_ids:
+            if tid not in wf.entry_tasks():
+                assert wf.predecessors(tid)
+
+    def test_layer_count(self):
+        wf = random_layered(layers=4, width_range=(2, 2), seed=0)
+        assert len(wf.levels()) == 4
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            random_layered(layers=0)
+        with pytest.raises(WorkflowError):
+            random_layered(width_range=(3, 1))
+        with pytest.raises(WorkflowError):
+            random_layered(edge_density=1.5)

@@ -1,0 +1,76 @@
+"""Tests for the JSON interchange."""
+
+import json
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation.heft import HeftScheduler
+from repro.errors import WorkflowParseError
+from repro.simulator.executor import simulate_schedule
+from repro.workflows.generators import montage
+from repro.workflows.json_io import (
+    schedule_to_dict,
+    schedule_to_json,
+    trace_to_dict,
+    workflow_from_json,
+    workflow_to_json,
+)
+
+
+class TestWorkflowRoundTrip:
+    def test_montage_round_trips(self):
+        original = montage()
+        back = workflow_from_json(workflow_to_json(original))
+        assert back.name == original.name
+        assert back.task_ids == original.task_ids
+        assert back.edges() == original.edges()
+        for t in original.tasks:
+            assert back.task(t.id).work == t.work
+            assert back.task(t.id).category == t.category
+
+    def test_invalid_json(self):
+        with pytest.raises(WorkflowParseError):
+            workflow_from_json("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(WorkflowParseError):
+            workflow_from_json("[1, 2]")
+
+    def test_missing_fields(self):
+        with pytest.raises(WorkflowParseError):
+            workflow_from_json('{"name": "x", "tasks": [{"id": "a"}]}')
+
+    def test_unknown_edge_target(self):
+        bad = (
+            '{"name": "x", "tasks": [{"id": "a", "work": 1.0}],'
+            ' "edges": [{"from": "a", "to": "ghost"}]}'
+        )
+        with pytest.raises(WorkflowParseError):
+            workflow_from_json(bad)
+
+
+class TestScheduleExport:
+    @pytest.fixture(scope="class")
+    def sched(self):
+        platform = CloudPlatform.ec2()
+        return HeftScheduler("StartParNotExceed").schedule(montage(), platform)
+
+    def test_dict_shape(self, sched):
+        d = schedule_to_dict(sched)
+        assert d["workflow"] == "montage"
+        assert d["makespan"] == pytest.approx(sched.makespan)
+        assert len(d["vms"]) == sched.vm_count
+        placements = [p for vm in d["vms"] for p in vm["placements"]]
+        assert len(placements) == 24
+
+    def test_json_parses(self, sched):
+        parsed = json.loads(schedule_to_json(sched))
+        assert parsed["total_cost"] == pytest.approx(sched.total_cost)
+
+    def test_trace_export(self, sched):
+        result = simulate_schedule(sched)
+        d = trace_to_dict(result)
+        assert d["makespan"] == pytest.approx(sched.makespan)
+        kinds = {e["kind"] for e in d["events"]}
+        assert {"task_start", "task_end", "vm_start"} <= kinds

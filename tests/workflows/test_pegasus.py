@@ -1,0 +1,139 @@
+"""Tests for the Pegasus workflow-gallery generators."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflows.analysis import profile
+from repro.workflows.generators import cybershake, epigenomics, ligo, sipht
+
+
+class TestEpigenomics:
+    def test_task_count(self):
+        # per lane: split + merge + 4*width; global: merge + index + pileup
+        wf = epigenomics(lanes=2, width=4)
+        assert len(wf) == 2 * (2 + 16) + 3
+
+    def test_pipelined_chains(self):
+        wf = epigenomics(lanes=1, width=2)
+        assert wf.predecessors("sol2sanger_0_0") == ["filterContams_0_0"]
+        assert wf.predecessors("map_0_1") == ["fastq2bfq_0_1"]
+
+    def test_lane_merge_joins_all_chains(self):
+        wf = epigenomics(lanes=1, width=3)
+        assert wf.predecessors("mapMerge_0") == [f"map_0_{i}" for i in range(3)]
+
+    def test_single_sink(self):
+        assert epigenomics().exit_tasks() == ["pileup"]
+
+    def test_width_bounded_parallelism(self):
+        wf = epigenomics(lanes=2, width=4)
+        assert wf.max_parallelism() == 8  # lanes * width
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            epigenomics(lanes=0)
+        with pytest.raises(WorkflowError):
+            epigenomics(width=0)
+
+
+class TestCybershake:
+    def test_task_count(self):
+        # sites * (1 + 2*variations) + 2 zips
+        wf = cybershake(sites=3, variations=2)
+        assert len(wf) == 3 * 5 + 2
+
+    def test_wide_and_shallow(self):
+        p = profile(cybershake(sites=5, variations=5))
+        # 25 peak-value tasks share a level with zipSeis
+        assert p.max_width == 26
+        assert p.levels == 4
+
+    def test_zips_gather_everything(self):
+        wf = cybershake(sites=2, variations=2)
+        assert len(wf.predecessors("zipSeis")) == 4  # every seismogram
+        assert len(wf.predecessors("zipPSA")) == 4  # every peak value
+
+    def test_two_sinks(self):
+        assert cybershake().exit_tasks() == ["zipPSA", "zipSeis"]
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            cybershake(sites=0)
+
+
+class TestLigo:
+    def test_task_count(self):
+        # groups * (2*size + 3) + global thinca
+        wf = ligo(groups=2, group_size=3)
+        assert len(wf) == 2 * 9 + 1
+
+    def test_group_structure(self):
+        wf = ligo(groups=1, group_size=2)
+        assert wf.predecessors("thinca_0") == ["inspiral_0_0", "inspiral_0_1"]
+        assert wf.predecessors("inspiral2_0") == ["trigbank_0"]
+
+    def test_single_sink(self):
+        assert ligo().exit_tasks() == ["thinca2_global"]
+
+    def test_groups_independent_until_final(self):
+        wf = ligo(groups=2, group_size=2)
+        assert "inspiral_1_0" not in wf.ancestors("thinca_0")
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            ligo(groups=0)
+
+
+class TestSipht:
+    def test_task_count(self):
+        # patser_jobs + concat + 4 preps + srna + ffn + 4 blasts + annotate
+        assert len(sipht(patser_jobs=8)) == 8 + 12
+
+    def test_srna_is_the_bottleneck(self):
+        wf = sipht()
+        preds = wf.predecessors("srna")
+        assert "patserConcate" in preds
+        assert "transterm" in preds and "rnamotif" in preds
+
+    def test_blasts_parallel_after_ffn(self):
+        wf = sipht()
+        for blast in ("blastSynteny", "blastParalogues", "blastQRNA", "blastSRNA"):
+            assert wf.predecessors(blast) == ["ffnParse"]
+
+    def test_single_sink(self):
+        assert sipht().exit_tasks() == ["srnaAnnotate"]
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            sipht(patser_jobs=0)
+
+
+class TestGalleryProperties:
+    @pytest.mark.parametrize(
+        "gen", [epigenomics, cybershake, ligo, sipht], ids=lambda g: g.__name__
+    )
+    def test_valid_dags_with_positive_work(self, gen):
+        wf = gen()
+        wf.validate()
+        assert all(t.work > 0 for t in wf.tasks)
+        assert all(gb >= 0 for _, _, gb in wf.edges())
+
+    @pytest.mark.parametrize(
+        "gen", [epigenomics, cybershake, ligo, sipht], ids=lambda g: g.__name__
+    )
+    def test_schedulable_by_every_policy(self, gen):
+        from repro.cloud.platform import CloudPlatform
+        from repro.core.allocation.heft import HeftScheduler
+        from repro.core.allocation.level import AllParScheduler
+        from repro.simulator.executor import simulate_schedule
+
+        platform = CloudPlatform.ec2()
+        wf = gen()
+        for algo in (
+            HeftScheduler("OneVMperTask"),
+            HeftScheduler("StartParNotExceed"),
+            AllParScheduler(exceed=True),
+        ):
+            sched = algo.schedule(wf, platform)
+            sched.validate()
+            simulate_schedule(sched, check=True)

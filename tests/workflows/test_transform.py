@@ -1,0 +1,146 @@
+"""Tests for DAG transformations (transitive reduction, chain merge)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import montage, random_layered, sequential
+from repro.workflows.task import Task
+from repro.workflows.transform import (
+    chain_decomposition,
+    expand_merged_schedule_order,
+    merge_chains,
+    transitive_reduction,
+)
+
+
+def _triangle(data_on_shortcut: float = 0.0) -> Workflow:
+    """a -> b -> c with a redundant a -> c shortcut."""
+    wf = Workflow("tri")
+    for t in "abc":
+        wf.add_task(Task(t, 100.0))
+    wf.add_dependency("a", "b", 1.0)
+    wf.add_dependency("b", "c", 1.0)
+    wf.add_dependency("a", "c", data_on_shortcut)
+    return wf.validate()
+
+
+class TestTransitiveReduction:
+    def test_dataless_shortcut_removed(self):
+        out = transitive_reduction(_triangle(0.0))
+        assert len(out.edges()) == 2
+        with pytest.raises(WorkflowError):
+            out.data_gb("a", "c")
+
+    def test_data_bearing_shortcut_kept(self):
+        out = transitive_reduction(_triangle(2.0))
+        assert out.data_gb("a", "c") == 2.0
+
+    def test_critical_path_unchanged(self):
+        wf = _triangle(0.0)
+        _, before = wf.critical_path()
+        _, after = transitive_reduction(wf).critical_path()
+        assert before == after
+
+    def test_montage_idempotent(self):
+        """Montage has no dataless transitive edges: nothing changes."""
+        wf = montage()
+        out = transitive_reduction(wf)
+        assert len(out.edges()) == len(wf.edges())
+
+
+class TestChainDecomposition:
+    def test_pure_chain_is_one_chain(self):
+        chains = chain_decomposition(sequential(5))
+        assert len(chains) == 1
+        assert len(chains[0]) == 5
+
+    def test_diamond_has_no_mergeable_interior(self, diamond):
+        chains = chain_decomposition(diamond)
+        assert sorted(len(c) for c in chains) == [1, 1, 1, 1]
+
+    def test_montage_tail_chain_found(self):
+        """mAdd -> mShrink -> mJPEG is a linear tail."""
+        chains = {tuple(c) for c in chain_decomposition(montage())}
+        assert ("mAdd", "mShrink", "mJPEG") in chains
+
+    def test_partition(self):
+        wf = montage()
+        chains = chain_decomposition(wf)
+        flat = [t for c in chains for t in c]
+        assert sorted(flat) == sorted(wf.task_ids)
+
+
+class TestMergeChains:
+    def test_chain_collapses_to_one_task(self):
+        out = merge_chains(sequential(4))
+        assert len(out) == 1
+        (task,) = out.tasks
+        assert task.work == 4000.0
+        assert expand_merged_schedule_order(out, task.id) == [
+            f"step_{i:03d}" for i in range(4)
+        ]
+
+    def test_total_work_preserved(self):
+        wf = montage()
+        assert merge_chains(wf).total_work() == pytest.approx(wf.total_work())
+
+    def test_critical_path_length_preserved(self):
+        """Merging chains never changes the zero-communication CP."""
+        wf = montage()
+        _, before = wf.critical_path()
+        _, after = merge_chains(wf).critical_path()
+        assert after == pytest.approx(before)
+
+    def test_boundary_edges_keep_volume(self, diamond):
+        out = merge_chains(diamond)  # nothing merges; volumes intact
+        for u, v, gb in diamond.edges():
+            assert out.data_gb(u, v) == gb
+
+    def test_expand_rejects_plain_tasks(self, diamond):
+        with pytest.raises(WorkflowError):
+            expand_merged_schedule_order(diamond, "A")
+
+    def test_merged_workflow_schedulable(self):
+        from repro.cloud.platform import CloudPlatform
+        from repro.core.allocation.heft import HeftScheduler
+
+        platform = CloudPlatform.ec2()
+        wf = merge_chains(montage())
+        sched = HeftScheduler("StartParNotExceed").schedule(wf, platform)
+        sched.validate()
+
+    def test_merging_never_raises_cost(self):
+        """Merged chains run on one VM: the packed policies' cost can
+        only improve or stay equal."""
+        from repro.cloud.platform import CloudPlatform
+        from repro.core.allocation.heft import HeftScheduler
+
+        platform = CloudPlatform.ec2()
+        wf = montage()
+        base = HeftScheduler("StartParExceed").schedule(wf, platform)
+        merged = HeftScheduler("StartParExceed").schedule(
+            merge_chains(wf), platform
+        )
+        assert merged.total_cost <= base.total_cost + 1e-9
+
+
+class TestTransformProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_merge_preserves_work_and_cp(self, seed):
+        wf = random_layered(layers=5, seed=seed)
+        merged = merge_chains(wf)
+        assert merged.total_work() == pytest.approx(wf.total_work())
+        _, cp_a = wf.critical_path()
+        _, cp_b = merged.critical_path()
+        assert cp_b == pytest.approx(cp_a)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_reduction_preserves_reachability(self, seed):
+        wf = random_layered(layers=5, seed=seed, edge_density=0.8)
+        out = transitive_reduction(wf)
+        for tid in wf.task_ids:
+            assert set(out.descendants(tid)) == set(wf.descendants(tid))

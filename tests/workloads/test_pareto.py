@@ -1,0 +1,168 @@
+"""Tests for the Feitelson Pareto workload model (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import ensure_rng
+from repro.workloads.base import apply_model
+from repro.workloads.pareto import (
+    FEITELSON_RUNTIME_SHAPE,
+    FEITELSON_SCALE,
+    ParetoDataModel,
+    ParetoModel,
+    pareto_cdf,
+    pareto_sample,
+)
+from repro.workflows.generators import montage
+
+
+class TestParetoCdf:
+    def test_at_scale_is_zero(self):
+        assert pareto_cdf(FEITELSON_SCALE) == 0.0
+
+    def test_below_scale_clamped_to_zero(self):
+        assert pareto_cdf(100.0) == 0.0
+
+    def test_closed_form(self):
+        # F(x) = 1 - (500/x)^2
+        assert pareto_cdf(1000.0) == pytest.approx(0.75)
+        assert pareto_cdf(4000.0) == pytest.approx(1 - (1 / 8) ** 2)
+
+    def test_figure3_shape(self):
+        """The paper's Fig. 3: CDF rises steeply and is ~0.98 at 3500-4000."""
+        assert 0.97 < pareto_cdf(3500.0) < 1.0
+        assert pareto_cdf(1500.0) > 0.85
+
+    def test_array_input(self):
+        out = pareto_cdf(np.array([500.0, 1000.0]))
+        assert out.shape == (2,)
+        assert out[0] == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            pareto_cdf(1000.0, shape=0.0)
+        with pytest.raises(ValueError):
+            pareto_cdf(1000.0, scale=-1.0)
+
+
+class TestParetoSample:
+    def test_support_starts_at_scale(self):
+        draws = pareto_sample(ensure_rng(0), 10_000, 2.0, 500.0)
+        assert draws.min() >= 500.0
+
+    def test_empirical_cdf_matches_closed_form(self):
+        """Kolmogorov-Smirnov style check at a handful of quantiles."""
+        draws = pareto_sample(ensure_rng(1), 200_000, 2.0, 500.0)
+        for x in (600.0, 1000.0, 2000.0, 4000.0):
+            emp = (draws <= x).mean()
+            assert emp == pytest.approx(pareto_cdf(x), abs=0.01)
+
+    def test_heavier_tail_for_smaller_shape(self):
+        rng_a, rng_b = ensure_rng(2), ensure_rng(2)
+        light = pareto_sample(rng_a, 100_000, 2.0, 500.0)
+        heavy = pareto_sample(rng_b, 100_000, 1.3, 500.0)
+        assert np.quantile(heavy, 0.99) > np.quantile(light, 0.99)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            pareto_sample(ensure_rng(0), -1, 2.0, 500.0)
+
+
+class TestParetoModel:
+    def test_covers_every_task(self):
+        wf = montage()
+        works = ParetoModel().runtimes(wf, seed=3)
+        assert set(works) == set(wf.task_ids)
+        assert all(w >= FEITELSON_SCALE for w in works.values())
+
+    def test_reproducible(self):
+        wf = montage()
+        assert ParetoModel().runtimes(wf, seed=7) == ParetoModel().runtimes(wf, seed=7)
+
+    def test_seed_changes_draws(self):
+        wf = montage()
+        assert ParetoModel().runtimes(wf, seed=1) != ParetoModel().runtimes(wf, seed=2)
+
+    def test_cap(self):
+        wf = montage()
+        works = ParetoModel(cap=600.0).runtimes(wf, seed=0)
+        assert max(works.values()) <= 600.0
+
+    def test_apply_model_preserves_shape(self):
+        wf = montage()
+        out = apply_model(wf, ParetoModel(), seed=5)
+        assert out.task_ids == wf.task_ids
+        assert [(u, v) for u, v, _ in out.edges()] == [
+            (u, v) for u, v, _ in wf.edges()
+        ]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ParetoModel(shape=0)
+        with pytest.raises(ValueError):
+            ParetoModel(scale=-5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_any_seed_yields_valid_workflow(self, seed):
+        out = apply_model(montage(), ParetoModel(), seed=seed)
+        out.validate()
+        assert all(t.work > 0 for t in out.tasks)
+
+
+class TestParetoDataModel:
+    def test_sizes_cover_every_edge(self):
+        wf = montage()
+        sizes = ParetoDataModel().data_sizes(wf, seed=4)
+        assert set(sizes) == {(u, v) for u, v, _ in wf.edges()}
+        assert all(gb > 0 for gb in sizes.values())
+
+    def test_scale_is_500_mb(self):
+        wf = montage()
+        sizes = ParetoDataModel().data_sizes(wf, seed=4)
+        assert min(sizes.values()) >= 500.0 / 1024.0
+
+    def test_apply_replaces_edge_volumes(self):
+        wf = montage()
+        out = apply_model(wf, ParetoDataModel(), seed=4)
+        changed = sum(
+            1
+            for u, v, gb in out.edges()
+            if abs(gb - wf.data_gb(u, v)) > 1e-12
+        )
+        assert changed == len(out.edges())
+
+    def test_runtime_and_size_streams_independent(self):
+        """Same seed: runtimes identical to the runtime-only model."""
+        wf = montage()
+        assert ParetoDataModel().runtimes(wf, seed=9) == ParetoModel().runtimes(
+            wf, seed=9
+        )
+
+    def test_sizes_stable_across_processes(self):
+        """The size stream's seed derivation must not involve Python's
+        per-process hash salt: a fresh interpreter draws identically."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.workloads.pareto import ParetoDataModel;"
+            "from repro.workflows.generators import montage;"
+            "s = ParetoDataModel().data_sizes(montage(), seed=9);"
+            "print(sum(sorted(s.values())))"
+        )
+        outs = {
+            float(
+                subprocess.run(
+                    [sys.executable, "-c", code],
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                ).stdout.strip()
+            )
+            for _ in range(2)
+        }
+        local = sum(sorted(ParetoDataModel().data_sizes(montage(), seed=9).values()))
+        assert len(outs) == 1
+        assert next(iter(outs)) == pytest.approx(local, rel=1e-12)

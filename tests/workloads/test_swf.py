@@ -1,0 +1,112 @@
+"""Tests for the SWF trace reader and trace-driven workload model."""
+
+import pytest
+
+from repro.errors import WorkflowParseError
+from repro.workloads.base import apply_model
+from repro.workloads.swf import (
+    SwfTraceModel,
+    bag_from_swf,
+    parse_swf,
+    parse_swf_file,
+    runtimes_from_swf,
+)
+from repro.workflows.generators import montage
+
+# 18-field SWF lines: id submit wait RUNTIME procs cpu mem reqprocs
+# reqtime reqmem STATUS user group app queue partition prev think
+_SAMPLE = """\
+; SWF header comment
+; MaxJobs: 4
+1 0 10 3600 4 -1 -1 4 7200 -1 1 1 1 1 1 -1 -1 -1
+2 5 0 1800 2 -1 -1 2 3600 -1 1 1 1 1 1 -1 -1 -1
+3 9 0 0 1 -1 -1 1 60 -1 5 1 1 1 1 -1 -1 -1
+4 12 2 900 1 -1 -1 1 1800 -1 -1 1 1 1 1 -1 -1 -1
+"""
+
+
+class TestParse:
+    def test_jobs_parsed(self):
+        jobs = parse_swf(_SAMPLE)
+        assert len(jobs) == 4
+        assert jobs[0].job_id == 1
+        assert jobs[0].runtime == 3600.0
+        assert jobs[0].status == 1
+
+    def test_comments_skipped(self):
+        assert len(parse_swf("; only a comment\n")) == 0
+
+    def test_short_line_rejected(self):
+        with pytest.raises(WorkflowParseError, match="fields"):
+            parse_swf("1 2 3\n")
+
+    def test_non_numeric_rejected(self):
+        bad = _SAMPLE.replace("3600", "fast", 1)
+        with pytest.raises(WorkflowParseError):
+            parse_swf(bad)
+
+    def test_file_roundtrip(self, tmp_path):
+        p = tmp_path / "trace.swf"
+        p.write_text(_SAMPLE)
+        assert len(parse_swf_file(p)) == 4
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkflowParseError):
+            parse_swf_file(tmp_path / "none.swf")
+
+
+class TestRuntimes:
+    def test_filters_failed_and_zero(self):
+        jobs = parse_swf(_SAMPLE)
+        # job 3: zero runtime; job 3 status 5 (failed) — both dropped;
+        # job 4 status -1 (unknown) kept
+        assert runtimes_from_swf(jobs) == [3600.0, 1800.0, 900.0]
+
+
+class TestTraceModel:
+    def test_samples_from_trace_values(self):
+        model = SwfTraceModel(parse_swf(_SAMPLE))
+        wf = apply_model(montage(), model, seed=0)
+        values = {t.work for t in wf.tasks}
+        assert values <= {3600.0, 1800.0, 900.0}
+
+    def test_reproducible(self):
+        model = SwfTraceModel(parse_swf(_SAMPLE))
+        a = model.runtimes(montage(), seed=1)
+        b = model.runtimes(montage(), seed=1)
+        assert a == b
+
+    def test_from_file(self, tmp_path):
+        p = tmp_path / "trace.swf"
+        p.write_text(_SAMPLE)
+        model = SwfTraceModel.from_file(p)
+        assert model.runtimes(montage(), seed=0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkflowParseError):
+            SwfTraceModel([])
+
+
+class TestBagFromSwf:
+    def test_bag_structure(self):
+        wf = bag_from_swf(parse_swf(_SAMPLE))
+        assert wf.task_ids == ["swf_1", "swf_2", "swf_4"]
+        assert wf.edges() == []
+        assert wf.task("swf_1").work == 3600.0
+
+    def test_n_limits(self):
+        wf = bag_from_swf(parse_swf(_SAMPLE), n=2)
+        assert len(wf) == 2
+
+    def test_unusable_trace(self):
+        only_failed = "9 0 0 100 1 -1 -1 1 60 -1 0 1 1 1 1 -1 -1 -1\n"
+        with pytest.raises(WorkflowParseError):
+            bag_from_swf(parse_swf(only_failed))
+
+    def test_schedulable(self):
+        from repro.cloud.platform import CloudPlatform
+        from repro.core.allocation.level import AllParScheduler
+
+        wf = bag_from_swf(parse_swf(_SAMPLE))
+        sched = AllParScheduler(exceed=True).schedule(wf, CloudPlatform.ec2())
+        sched.validate()

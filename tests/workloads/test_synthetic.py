@@ -1,0 +1,49 @@
+"""Tests for the category-scaled and table workload models."""
+
+import pytest
+
+from repro.workloads.synthetic import CategoryScaledModel, TableModel
+from repro.workflows.generators import mapreduce
+
+
+class TestCategoryScaledModel:
+    def test_scales_by_category(self):
+        wf = mapreduce(mappers=2, reducers=1)
+        works = CategoryScaledModel({"map": 10.0}).runtimes(wf)
+        assert works["map1_0"] == wf.task("map1_0").work * 10.0
+        assert works["reduce_0"] == wf.task("reduce_0").work
+
+    def test_default_scale(self):
+        wf = mapreduce(mappers=2, reducers=1)
+        works = CategoryScaledModel({}, default_scale=2.0).runtimes(wf)
+        assert works["split"] == wf.task("split").work * 2.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CategoryScaledModel({"map": 0.0})
+        with pytest.raises(ValueError):
+            CategoryScaledModel({}, default_scale=-1.0)
+
+
+class TestTableModel:
+    def test_exact_lookup(self):
+        wf = mapreduce(mappers=1, reducers=1)
+        table = {tid: 42.0 for tid in wf.task_ids}
+        assert TableModel(table).runtimes(wf) == table
+
+    def test_default_fills_gaps(self):
+        wf = mapreduce(mappers=1, reducers=1)
+        works = TableModel({"split": 9.0}, default=5.0).runtimes(wf)
+        assert works["split"] == 9.0
+        assert works["merge"] == 5.0
+
+    def test_missing_without_default_raises(self):
+        wf = mapreduce(mappers=1, reducers=1)
+        with pytest.raises(KeyError):
+            TableModel({"split": 9.0}).runtimes(wf)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TableModel({"a": -1.0})
+        with pytest.raises(ValueError):
+            TableModel({}, default=0.0)

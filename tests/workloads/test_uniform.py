@@ -1,0 +1,67 @@
+"""Tests for the best/worst boundary scenarios (paper Sect. IV-B)."""
+
+import pytest
+
+from repro.workloads.base import apply_model
+from repro.workloads.uniform import BestCaseModel, ConstantModel, WorstCaseModel
+from repro.workflows.generators import montage, sequential
+
+
+class TestConstantModel:
+    def test_every_task_equal(self):
+        works = ConstantModel(123.0).runtimes(montage())
+        assert set(works.values()) == {123.0}
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantModel(0.0)
+
+
+class TestBestCaseModel:
+    def test_paper_property_ne_le_btu(self):
+        """n * e <= BTU: the whole workflow fits one BTU sequentially."""
+        wf = montage()
+        model = BestCaseModel(btu_seconds=3600.0)
+        works = model.runtimes(wf)
+        total = sum(works.values())
+        assert total <= 3600.0 + 1e-9
+        assert len(set(works.values())) == 1
+
+    def test_slack(self):
+        wf = sequential(10)
+        works = BestCaseModel(btu_seconds=3600.0, slack=0.5).runtimes(wf)
+        assert sum(works.values()) == pytest.approx(1800.0)
+
+    def test_adapts_to_workflow_size(self):
+        small_wf = sequential(2)
+        big_wf = sequential(20)
+        model = BestCaseModel()
+        e_small = next(iter(model.runtimes(small_wf).values()))
+        e_big = next(iter(model.runtimes(big_wf).values()))
+        assert e_small == 10 * e_big
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BestCaseModel(btu_seconds=0)
+        with pytest.raises(ValueError):
+            BestCaseModel(slack=0.0)
+        with pytest.raises(ValueError):
+            BestCaseModel(slack=1.5)
+
+
+class TestWorstCaseModel:
+    def test_paper_property_exceeds_btu_even_on_fastest(self):
+        """BTU < e / max_speedup: one task overruns a BTU on any VM."""
+        model = WorstCaseModel(btu_seconds=3600.0, max_speedup=2.7, factor=2.8)
+        works = model.runtimes(montage())
+        e = next(iter(works.values()))
+        assert e / 2.7 > 3600.0
+        assert len(set(works.values())) == 1
+
+    def test_factor_must_exceed_speedup(self):
+        with pytest.raises(ValueError, match="exceed"):
+            WorstCaseModel(factor=2.0, max_speedup=2.7)
+
+    def test_apply(self):
+        out = apply_model(montage(), WorstCaseModel())
+        assert all(t.work == 2.8 * 3600.0 for t in out.tasks)
