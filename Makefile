@@ -10,8 +10,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Refreshes BENCH_sweep.json (serial vs parallel sweep baseline) so
+# future PRs have a perf trajectory to compare against.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_scheduler_performance.py --benchmark-only
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py
+
+bench-all:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 report:
 	$(PYTHON) -m repro.experiments.cli all

@@ -1,0 +1,131 @@
+"""Sweep throughput benchmark: serial vs parallel full paper grid.
+
+Times ``run_sweep`` over the complete evaluation grid (4 workflows x 3
+scenarios x 19 strategies) with the serial backend and with a parallel
+one, checks the two produce identical metrics, and persists the numbers
+to ``BENCH_sweep.json`` at the repo root so the performance trajectory
+is tracked across PRs (``make bench`` refreshes it).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform as platform_module
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import paper_strategies, paper_workflows
+from repro.experiments.parallel import make_backend
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import paper_scenarios
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_sweep.json"
+SWEEP_SEED = 2013
+
+
+def _flatten(sweep):
+    return {
+        (sc, wf, label): dataclasses.asdict(m)
+        for sc, wf, label, m in sweep.rows()
+    }
+
+
+def _best_of(repeats: int, fn):
+    """Best (minimum) wall-clock of *repeats* runs, plus the last result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench(jobs: int, backend_name: str, repeats: int, seed: int) -> dict:
+    serial_s, serial_sweep = _best_of(
+        repeats, lambda: run_sweep(seed=seed, backend="serial")
+    )
+    backend = make_backend(backend_name, jobs)
+    parallel_s, parallel_sweep = _best_of(
+        repeats, lambda: run_sweep(seed=seed, backend=backend)
+    )
+    identical = _flatten(serial_sweep) == _flatten(parallel_sweep)
+
+    platform = serial_sweep.platform
+    return {
+        "benchmark": "full paper sweep (run_sweep, default grid)",
+        "seed": seed,
+        "grid": {
+            "scenarios": len(paper_scenarios(platform)),
+            "workflows": len(paper_workflows()),
+            "strategies": len(paper_strategies()),
+            "cells": len(paper_scenarios(platform)) * len(paper_workflows()),
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform_module.python_version(),
+            "platform": platform_module.platform(),
+        },
+        "repeats_best_of": repeats,
+        "serial_seconds": round(serial_s, 4),
+        "parallel": {
+            "backend": backend.describe(),
+            "jobs": jobs,
+            "seconds": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 3),
+        },
+        "parallel_identical_to_serial": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        # at least 2 so the pool path is really exercised even on a
+        # single-core box (where the speedup column then honestly
+        # records the fan-out overhead)
+        default=max(2, min(4, os.cpu_count() or 1)),
+        help="parallel worker count (default clamp(cpu_count, 2, 4))",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="process",
+        help="parallel backend to benchmark against serial",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--seed", type=int, default=SWEEP_SEED)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    record = bench(args.jobs, args.backend, args.repeats, args.seed)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    par = record["parallel"]
+    print(
+        f"serial {record['serial_seconds']:.2f}s | "
+        f"{par['backend']} {par['seconds']:.2f}s | "
+        f"speedup {par['speedup']:.2f}x on {record['machine']['cpu_count']} cpu(s) | "
+        f"identical={record['parallel_identical_to_serial']}"
+    )
+    print(f"wrote {args.out}")
+    return 0 if record["parallel_identical_to_serial"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

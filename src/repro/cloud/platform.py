@@ -5,7 +5,7 @@ network — the single object schedulers and the simulator consult.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Dict, Mapping, Tuple
 
 from repro.cloud.billing import BillingModel
 from repro.cloud.instance import INSTANCE_TYPES, InstanceType, instance_type
@@ -49,6 +49,19 @@ class CloudPlatform:
         for r in self.regions.values():
             for itype in self.catalog.values():
                 r.price(itype)  # raises if a price is missing
+        # Memoized runtime/transfer lookups.  Schedulers call these
+        # O(V·E) times per run with a handful of distinct keys, so the
+        # caches stay small while removing the dispatch overhead from
+        # the hot path.  The dataclass is frozen, hence the
+        # object.__setattr__; both inputs and the platform itself are
+        # immutable, so entries never go stale.  Keys identify instance
+        # types by *name* — the catalog convention (names are unique
+        # identifiers, see ``itype``) — because CPython caches string
+        # hashes while hashing the frozen dataclass re-hashes all five
+        # fields per call, which profiles slower than the lookups the
+        # cache is meant to save.
+        object.__setattr__(self, "_runtime_cache", {})
+        object.__setattr__(self, "_transfer_cache", {})
 
     @classmethod
     def ec2(cls, **overrides) -> "CloudPlatform":
@@ -73,8 +86,17 @@ class CloudPlatform:
             raise PlatformError(f"unknown region {name!r}") from None
 
     def runtime(self, task: Task, itype: InstanceType) -> float:
-        """Execution time of *task* on *itype* (reference work / speedup)."""
-        return itype.runtime(task.work)
+        """Execution time of *task* on *itype* (reference work / speedup).
+
+        Memoized on ``(work, itype)``; see ``__post_init__``.
+        """
+        cache: Dict[Tuple[float, str], float] = self._runtime_cache
+        key = (task.work, itype.name)
+        try:
+            return cache[key]
+        except KeyError:
+            value = cache[key] = itype.runtime(task.work)
+            return value
 
     def transfer_time(
         self,
@@ -86,16 +108,26 @@ class CloudPlatform:
         src_region: Region | None = None,
         dst_region: Region | None = None,
     ) -> float:
-        """Data-shipping time between two placements on this platform."""
+        """Data-shipping time between two placements on this platform.
+
+        Memoized on ``(size, flavors, locality)``; see ``__post_init__``.
+        """
         src_region = src_region or self.default_region
         dst_region = dst_region or self.default_region
-        return self.network.transfer_time(
-            size_gb,
-            src,
-            dst,
-            same_vm=same_vm,
-            same_region=src_region.name == dst_region.name,
-        )
+        same_region = src_region.name == dst_region.name
+        cache = self._transfer_cache
+        key = (size_gb, src.name, dst.name, same_vm, same_region)
+        try:
+            return cache[key]
+        except KeyError:
+            value = cache[key] = self.network.transfer_time(
+                size_gb,
+                src,
+                dst,
+                same_vm=same_vm,
+                same_region=same_region,
+            )
+            return value
 
     def cheapest_region(self, itype: InstanceType | None = None) -> Region:
         """Region with the lowest price for *itype* (small by default)."""

@@ -32,7 +32,8 @@ def upward_rank(
     transfer times between two VMs of that flavor in the default region;
     pass ``include_transfers=False`` for the pure-CPU variant.
     """
-    workflow.validate()
+    if not workflow.validated:
+        workflow.validate()
     ranks: Dict[str, float] = {}
     for tid in reversed(workflow.topological_order()):
         w = platform.runtime(workflow.task(tid), itype)

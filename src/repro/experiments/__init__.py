@@ -8,6 +8,13 @@ from repro.experiments.config import (
     strategy,
 )
 from repro.experiments.scenarios import Scenario, paper_scenarios, scenario
+from repro.experiments.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.experiments.runner import SweepResult, run_strategy, run_sweep
 from repro.experiments import figures, tables
 from repro.experiments.gantt import gantt
@@ -27,6 +34,11 @@ __all__ = [
     "Scenario",
     "paper_scenarios",
     "scenario",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
     "SweepResult",
     "run_strategy",
     "run_sweep",

@@ -4,10 +4,17 @@ Regenerates the paper's figures/tables as text, profiles workflows, and
 draws schedules::
 
     repro-experiments all --seed 2013
+    repro-experiments all --jobs 4
     repro-experiments figure4 --scenario best --quick
     repro-experiments table3 --out results.txt
+    repro-experiments replicate --seeds 10 --jobs 4
     repro-experiments profile --workflow cybershake
     repro-experiments gantt --workflow montage --strategy AllParExceed-m
+
+``--jobs N`` fans the sweep's (scenario, workflow) cells — and
+``replicate``'s seeds — out over N workers; the default (``--jobs 1``)
+runs serially.  Results, and therefore every artifact byte, are
+identical either way.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ _SWEEP_ARTIFACTS = {"figure4", "figure5", "table3", "table4", "all", "export"}
 _ARTIFACTS = [
     "all",
     "export",
+    "replicate",
     "figure1",
     "figure2",
     "figure3",
@@ -78,6 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("artifact", choices=_ARTIFACTS, nargs="?", default="all")
     parser.add_argument("--seed", type=int, default=2013, help="sweep RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel workers for sweep/replicate (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend (default: serial for --jobs 1, "
+        "process pool otherwise)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        help="number of replication seeds for the replicate artifact",
+    )
     parser.add_argument(
         "--scenario",
         choices=["pareto", "best", "worst"],
@@ -159,9 +186,17 @@ def main(argv=None) -> int:
                 scenarios=[scenario("pareto", platform)],
                 seed=args.seed,
                 verify=args.verify,
+                jobs=args.jobs,
+                backend=args.backend,
             )
         else:
-            sweep = run_sweep(platform=platform, seed=args.seed, verify=args.verify)
+            sweep = run_sweep(
+                platform=platform,
+                seed=args.seed,
+                verify=args.verify,
+                jobs=args.jobs,
+                backend=args.backend,
+            )
 
     if args.artifact == "export":
         from repro.experiments.export import export_all
@@ -172,7 +207,17 @@ def main(argv=None) -> int:
             + f"\nwrote {len(written)} artifacts to {args.out_dir}\n"
         )
         return 0
-    if args.artifact == "all":
+    if args.artifact == "replicate":
+        from repro.experiments.replication import render_replication, replicate
+
+        results = replicate(
+            range(args.seed, args.seed + args.seeds),
+            platform=platform,
+            jobs=args.jobs,
+            backend=args.backend,
+        )
+        text = render_replication(results)
+    elif args.artifact == "all":
         text = full_report(sweep)
     elif args.artifact == "figure1":
         text = figures.render_figure1(platform)

@@ -9,6 +9,7 @@ upgraders), plus CPA-Eager, GAIN, AllPar1LnS and AllPar1LnSDyn.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List
 
 from repro.cloud.instance import InstanceType
@@ -55,34 +56,38 @@ _SUFFIX = {"small": "s", "medium": "m", "large": "l"}
 
 
 def _homogeneous_specs() -> List[StrategySpec]:
+    # functools.partial instead of lambdas so a StrategySpec pickles
+    # across process-pool workers (repro.experiments.parallel).
     specs: List[StrategySpec] = []
     for size in _SIZES:
         sfx = _SUFFIX[size]
         specs.append(
             StrategySpec(
                 f"StartParNotExceed-{sfx}",
-                lambda: HeftScheduler("StartParNotExceed"),
+                partial(HeftScheduler, "StartParNotExceed"),
                 size,
             )
         )
         specs.append(
             StrategySpec(
-                f"StartParExceed-{sfx}", lambda: HeftScheduler("StartParExceed"), size
+                f"StartParExceed-{sfx}",
+                partial(HeftScheduler, "StartParExceed"),
+                size,
             )
         )
         specs.append(
             StrategySpec(
-                f"AllParExceed-{sfx}", lambda: AllParScheduler(exceed=True), size
+                f"AllParExceed-{sfx}", partial(AllParScheduler, exceed=True), size
             )
         )
         specs.append(
             StrategySpec(
-                f"AllParNotExceed-{sfx}", lambda: AllParScheduler(exceed=False), size
+                f"AllParNotExceed-{sfx}", partial(AllParScheduler, exceed=False), size
             )
         )
         specs.append(
             StrategySpec(
-                f"OneVMperTask-{sfx}", lambda: HeftScheduler("OneVMperTask"), size
+                f"OneVMperTask-{sfx}", partial(HeftScheduler, "OneVMperTask"), size
             )
         )
     return specs

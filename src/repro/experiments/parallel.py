@@ -1,0 +1,215 @@
+"""Parallel execution backends for the experiment layer.
+
+The paper's evaluation grid (scenarios x workflows x strategies) and the
+multi-seed replication layer are embarrassingly parallel: every
+(scenario, workflow) cell and every replication seed is an independent
+unit of work.  This module provides the :class:`ExecutionBackend`
+abstraction — serial, thread pool, or process pool on top of
+:mod:`concurrent.futures` — that ``run_sweep`` fans out over cells and
+``replicate`` fans out over seeds.
+
+Determinism contract
+--------------------
+Parallel results are *identical* to serial ones, not merely
+statistically equivalent:
+
+* each work unit gets its own child :class:`numpy.random.SeedSequence`
+  spawned up front by index (``spawn_seeds``), so the draws depend only
+  on the unit's position in the grid, never on scheduling order;
+* ``ExecutionBackend.map`` preserves input order, so the merge is
+  order-independent by construction.
+
+The process backend requires every object shipped to a worker to be
+picklable.  The paper's scenarios and strategies are (their factories
+are classes or :func:`functools.partial` objects); custom specs built
+from lambdas or closures only work with the ``serial`` and ``thread``
+backends.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.cloud.platform import CloudPlatform
+from repro.core.baseline import reference_schedule
+from repro.core.metrics import ScheduleMetrics, compare_to_reference
+from repro.errors import ExperimentError
+from repro.experiments.config import StrategySpec
+from repro.experiments.scenarios import Scenario
+from repro.simulator.executor import simulate_schedule
+from repro.workflows.dag import Workflow
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: label the runner attaches to the reference row of every cell
+REFERENCE_LABEL = "OneVMperTask-s (reference)"
+
+
+def default_jobs() -> int:
+    """Worker count used when a parallel backend is built without one."""
+    return os.cpu_count() or 1
+
+
+class ExecutionBackend(ABC):
+    """Strategy object deciding *where* independent work units run."""
+
+    #: registry name; also what ``describe()`` and the CLI report
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> List[R]:  # pragma: no cover - interface
+        """Apply *fn* to every item, returning results in input order."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run everything in the calling thread (the historical behavior)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared plumbing for the concurrent.futures-based backends."""
+
+    _executor_cls: type
+
+    def __init__(self, jobs: int | None = None) -> None:
+        jobs = default_jobs() if jobs is None else int(jobs)
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def describe(self) -> str:
+        return f"{self.name}({self.jobs})"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with self._executor_cls(max_workers=min(self.jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread pool: zero pickling constraints, but the GIL caps the
+    speedup of the pure-python scheduling hot path."""
+
+    name = "thread"
+    _executor_cls = ThreadPoolExecutor
+
+
+class ProcessBackend(_PoolBackend):
+    """Process pool: true multi-core execution; work units must pickle."""
+
+    name = "process"
+    _executor_cls = ProcessPoolExecutor
+
+
+BACKENDS: Dict[str, type] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(
+    backend: "str | ExecutionBackend | None" = None, jobs: int | None = None
+) -> ExecutionBackend:
+    """Resolve the (backend, jobs) pair every experiment entry point takes.
+
+    ``backend`` may be an :class:`ExecutionBackend` instance (returned
+    as-is), a registry name (``"serial"``, ``"thread"``, ``"process"``),
+    or ``None``, which picks serial for ``jobs`` in (None, 0, 1) and a
+    process pool otherwise — processes, not threads, because scheduling
+    is CPU-bound python code.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        if jobs is None or jobs <= 1:
+            return SerialBackend()
+        return ProcessBackend(jobs)
+    name = str(backend).lower()
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
+        ) from None
+    if cls is SerialBackend:
+        return SerialBackend()
+    return cls(jobs)
+
+
+# ----------------------------------------------------------------------
+# sweep fan-out: one unit per (scenario, workflow) cell
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent (scenario, workflow) cell of the evaluation grid."""
+
+    scenario: Scenario
+    workflow_name: str
+    shape: Workflow
+    strategies: Sequence[StrategySpec]
+    platform: CloudPlatform
+    seed: np.random.SeedSequence
+    verify: bool = False
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything ``run_sweep`` merges back from one cell."""
+
+    scenario: str
+    workflow: str
+    reference: ScheduleMetrics
+    metrics: Dict[str, ScheduleMetrics] = field(default_factory=dict)
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Evaluate every strategy of one grid cell (worker entry point).
+
+    Reconstructs the cell RNG from its :class:`~numpy.random.SeedSequence`
+    exactly as the serial runner would, so results are identical no
+    matter which worker (or machine) runs the cell.
+    """
+    from repro.experiments.runner import run_strategy
+
+    rng = np.random.default_rng(cell.seed)
+    concrete = cell.scenario.apply(cell.shape, rng)
+    ref = reference_schedule(concrete, cell.platform)
+    if cell.verify:
+        simulate_schedule(ref, check=True)
+    reference = compare_to_reference(ref, ref, label=REFERENCE_LABEL)
+    row: Dict[str, ScheduleMetrics] = {}
+    for spec in cell.strategies:
+        row[spec.label] = run_strategy(
+            spec, concrete, cell.platform, reference=ref, verify=cell.verify
+        )
+    return CellResult(
+        scenario=cell.scenario.name,
+        workflow=cell.workflow_name,
+        reference=reference,
+        metrics=row,
+    )

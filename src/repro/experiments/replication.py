@@ -10,14 +10,15 @@ sample — the statistical hardening a reproduction owes the original.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.platform import CloudPlatform
 from repro.errors import ExperimentError
 from repro.experiments.config import StrategySpec, paper_strategies, paper_workflows
-from repro.experiments.runner import run_sweep
+from repro.experiments.parallel import ExecutionBackend, make_backend
+from repro.experiments.runner import SweepResult, run_sweep
 from repro.experiments.scenarios import Scenario, scenario
 from repro.util.rng import ensure_rng
 from repro.util.tables import format_table
@@ -71,16 +72,45 @@ def _bootstrap_ci(values: Sequence[float], level: float, resamples: int, seed: i
     return float(lo), float(hi)
 
 
+@dataclass(frozen=True)
+class _SeedJob:
+    """One replication unit: a full single-scenario sweep at one seed."""
+
+    seed: int
+    platform: CloudPlatform
+    workflows: Tuple[Tuple[str, Workflow], ...]
+    strategies: Tuple[StrategySpec, ...]
+    scenario: Scenario
+
+
+def _run_seed(job: _SeedJob) -> SweepResult:
+    """Worker entry point: each seed's sweep runs serially inside it."""
+    return run_sweep(
+        platform=job.platform,
+        workflows=dict(job.workflows),
+        scenarios=[job.scenario],
+        strategies=list(job.strategies),
+        seed=job.seed,
+    )
+
+
 def replicate(
     seeds: Iterable[int],
     platform: CloudPlatform | None = None,
     workflows: Mapping[str, Workflow] | None = None,
     strategies: List[StrategySpec] | None = None,
     scenario_name: str = "pareto",
+    jobs: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
 ) -> Dict[tuple, ReplicatedMetric]:
     """Run the Pareto sweep once per seed and aggregate.
 
     Returns ``{(workflow, strategy_label): ReplicatedMetric}``.
+
+    ``jobs``/``backend`` fan the seeds out over an
+    :class:`~repro.experiments.parallel.ExecutionBackend`; each seed's
+    sweep is already independently seeded and the aggregation walks
+    seeds in input order, so results match the serial run exactly.
     """
     seeds = list(seeds)
     if not seeds:
@@ -90,16 +120,24 @@ def replicate(
     strategies = strategies if strategies is not None else paper_strategies()
     sc: Scenario = scenario(scenario_name, platform)
 
+    exec_backend = make_backend(backend, jobs)
+    sweeps = exec_backend.map(
+        _run_seed,
+        [
+            _SeedJob(
+                seed=seed,
+                platform=platform,
+                workflows=tuple(workflows.items()),
+                strategies=tuple(strategies),
+                scenario=sc,
+            )
+            for seed in seeds
+        ],
+    )
+
     gains: Dict[tuple, List[float]] = {}
     losses: Dict[tuple, List[float]] = {}
-    for seed in seeds:
-        sweep = run_sweep(
-            platform=platform,
-            workflows=workflows,
-            scenarios=[sc],
-            strategies=strategies,
-            seed=seed,
-        )
+    for sweep in sweeps:
         for wf_name in workflows:
             for spec in strategies:
                 m = sweep.get(sc.name, wf_name, spec.label)

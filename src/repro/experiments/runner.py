@@ -1,5 +1,11 @@
 """Sweep runner: every strategy x workflow x scenario, against the
-reference, with optional DES cross-validation of every schedule."""
+reference, with optional DES cross-validation of every schedule.
+
+The grid's (scenario, workflow) cells are independent, so ``run_sweep``
+can fan them out over an :class:`~repro.experiments.parallel.ExecutionBackend`
+(``jobs``/``backend`` arguments).  Per-cell RNG streams are spawned up
+front by grid position, and the merge walks cells in grid order, so the
+parallel result is identical to the serial one."""
 
 from __future__ import annotations
 
@@ -12,9 +18,15 @@ from repro.core.metrics import ScheduleMetrics, compare_to_reference
 from repro.core.schedule import Schedule
 from repro.errors import ExperimentError
 from repro.experiments.config import StrategySpec, paper_strategies, paper_workflows
+from repro.experiments.parallel import (
+    ExecutionBackend,
+    SweepCell,
+    make_backend,
+    run_cell,
+)
 from repro.experiments.scenarios import Scenario, paper_scenarios
 from repro.simulator.executor import simulate_schedule
-from repro.util.rng import spawn_rngs
+from repro.util.rng import spawn_seeds
 from repro.workflows.dag import Workflow
 
 
@@ -83,6 +95,8 @@ def run_sweep(
     strategies: Iterable[StrategySpec] | None = None,
     seed: int = 2013,
     verify: bool = False,
+    jobs: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
 ) -> SweepResult:
     """Run the paper's full evaluation grid.
 
@@ -90,6 +104,11 @@ def run_sweep(
     workflows x three scenarios x nineteen strategies, seeded so the
     Pareto draws are identical across strategies within one (scenario,
     workflow) cell.
+
+    ``jobs``/``backend`` fan the grid's cells out over an
+    :class:`~repro.experiments.parallel.ExecutionBackend`; any setting
+    produces metrics identical to the serial run (see the determinism
+    contract in :mod:`repro.experiments.parallel`).
     """
     platform = platform or CloudPlatform.ec2()
     workflows = workflows if workflows is not None else paper_workflows()
@@ -100,26 +119,27 @@ def run_sweep(
     if not workflows or not scenarios or not strategies:
         raise ExperimentError("sweep needs at least one of each axis")
 
+    exec_backend = make_backend(backend, jobs)
+    seeds = spawn_seeds(seed, len(scenarios) * len(workflows))
+    cells = [
+        SweepCell(
+            scenario=sc,
+            workflow_name=wf_name,
+            shape=shape,
+            strategies=tuple(strategies),
+            platform=platform,
+            seed=seeds[i * len(workflows) + j],
+            verify=verify,
+        )
+        for i, sc in enumerate(scenarios)
+        for j, (wf_name, shape) in enumerate(workflows.items())
+    ]
+    cell_results = exec_backend.map(run_cell, cells)
+
+    # Merge in grid order — backend.map preserves input order, so the
+    # result layout is independent of completion order.
     result = SweepResult(platform=platform)
-    rngs = spawn_rngs(seed, len(scenarios) * len(workflows))
-    i = 0
-    for sc in scenarios:
-        result.metrics[sc.name] = {}
-        result.references[sc.name] = {}
-        for wf_name, shape in workflows.items():
-            cell_seed = rngs[i]
-            i += 1
-            concrete = sc.apply(shape, cell_seed)
-            ref = reference_schedule(concrete, platform)
-            if verify:
-                simulate_schedule(ref, check=True)
-            result.references[sc.name][wf_name] = compare_to_reference(
-                ref, ref, label="OneVMperTask-s (reference)"
-            )
-            row: Dict[str, ScheduleMetrics] = {}
-            for spec in strategies:
-                row[spec.label] = run_strategy(
-                    spec, concrete, platform, reference=ref, verify=verify
-                )
-            result.metrics[sc.name][wf_name] = row
+    for cr in cell_results:
+        result.metrics.setdefault(cr.scenario, {})[cr.workflow] = dict(cr.metrics)
+        result.references.setdefault(cr.scenario, {})[cr.workflow] = cr.reference
     return result

@@ -9,6 +9,7 @@ pure function of ``(workflow shape, seed)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List
 
 from repro.cloud.platform import CloudPlatform
@@ -39,12 +40,15 @@ def paper_scenarios(platform: CloudPlatform | None = None) -> List[Scenario]:
     platform = platform or CloudPlatform.ec2()
     btu = platform.btu_seconds
     max_speedup = max(t.speedup for t in platform.catalog.values())
+    # functools.partial instead of lambdas so a Scenario pickles across
+    # process-pool workers (repro.experiments.parallel).
     return [
         Scenario("pareto", ParetoModel, stochastic=True),
-        Scenario("best", lambda: BestCaseModel(btu_seconds=btu)),
+        Scenario("best", partial(BestCaseModel, btu_seconds=btu)),
         Scenario(
             "worst",
-            lambda: WorstCaseModel(
+            partial(
+                WorstCaseModel,
                 btu_seconds=btu,
                 max_speedup=max_speedup,
                 factor=max_speedup + 0.1,

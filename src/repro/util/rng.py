@@ -32,11 +32,14 @@ def ensure_rng(seed=None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
 
 
-def spawn_rngs(seed, n: int) -> Sequence[np.random.Generator]:
-    """Spawn *n* statistically independent generators from one seed.
+def spawn_seeds(seed, n: int) -> Sequence[np.random.SeedSequence]:
+    """Spawn *n* independent child :class:`~numpy.random.SeedSequence`\\ s.
 
-    Uses :class:`numpy.random.SeedSequence` spawning, so each child stream
-    is stable under insertion/removal of sibling streams drawn later.
+    The cheap, picklable form of :func:`spawn_rngs`: experiment runners
+    ship one child per work unit to (possibly remote) workers, and
+    ``np.random.default_rng(child)`` there yields exactly the generator
+    :func:`spawn_rngs` would have built locally — execution order cannot
+    change the draws.
     """
     if n < 0:
         raise ValueError("n must be >= 0")
@@ -45,5 +48,18 @@ def spawn_rngs(seed, n: int) -> Sequence[np.random.Generator]:
     elif seed is None or isinstance(seed, (int, np.integer)):
         ss = np.random.SeedSequence(seed)
     else:
-        raise TypeError("spawn_rngs needs an int, SeedSequence or None seed")
-    return [np.random.default_rng(child) for child in ss.spawn(n)]
+        raise TypeError("spawn_seeds needs an int, SeedSequence or None seed")
+    return ss.spawn(n)
+
+
+def spawn_rngs(seed, n: int) -> Sequence[np.random.Generator]:
+    """Spawn *n* statistically independent generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so each child stream
+    is stable under insertion/removal of sibling streams drawn later.
+    """
+    try:
+        children = spawn_seeds(seed, n)
+    except TypeError:
+        raise TypeError("spawn_rngs needs an int, SeedSequence or None seed") from None
+    return [np.random.default_rng(child) for child in children]

@@ -5,6 +5,13 @@ edges carry the size (GB) of the data the parent ships to the child.
 Provides the graph queries every scheduler in the paper needs: entry and
 exit tasks, topological order, *levels* (the paper's level-ranking unit
 of parallelism), and the critical path (the backbone of CPA-Eager).
+
+Structural queries are memoized: schedulers call ``topological_order``,
+``levels``, ``predecessors``/``successors`` O(V·E) times per run, so
+each is computed once and served from a cache that ``add_task`` and
+``add_dependency`` invalidate (the *cached-DAG contract*, see
+DESIGN.md).  Cached collections are copied on the way out, so callers
+may mutate the returned lists freely.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ class Workflow:
         self._graph = nx.DiGraph()
         self._tasks: Dict[str, Task] = {}
         self._validated = False
+        #: memoized structural queries; cleared on any mutation
+        self._cache: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -43,7 +52,7 @@ class Workflow:
             raise WorkflowError(f"duplicate task id {task.id!r} in {self.name!r}")
         self._tasks[task.id] = task
         self._graph.add_node(task.id)
-        self._validated = False
+        self._invalidate()
         return task
 
     def add_dependency(self, parent: str, child: str, data_gb: float = 0.0) -> None:
@@ -56,11 +65,30 @@ class Workflow:
         if data_gb < 0:
             raise WorkflowError(f"negative data size on {parent!r}->{child!r}")
         self._graph.add_edge(parent, child, data_gb=float(data_gb))
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop every memoized query after a structural mutation."""
         self._validated = False
+        self._cache.clear()
+
+    @property
+    def validated(self) -> bool:
+        """True when the structure has been checked since the last
+        mutation (the cached validated flag)."""
+        return self._validated
 
     def validate(self) -> "Workflow":
         """Check the structure; raises :class:`WorkflowError` on cycles or
-        an empty workflow. Returns ``self`` for chaining."""
+        an empty workflow. Returns ``self`` for chaining.
+
+        The check is O(V+E) but memoized: mutations reset the validated
+        flag, and only add nodes/edges, so a workflow that passed once
+        and has not been mutated is still acyclic and returns
+        immediately.
+        """
+        if self._validated:
+            return self
         if not self._tasks:
             raise WorkflowError(f"workflow {self.name!r} has no tasks")
         if not nx.is_directed_acyclic_graph(self._graph):
@@ -72,6 +100,14 @@ class Workflow:
     def _require_valid(self) -> None:
         if not self._validated:
             self.validate()
+
+    def _memo(self, key: str, compute: Callable[[], object]) -> object:
+        """Return the cached value for *key*, computing it on a miss."""
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = self._cache[key] = compute()
+            return value
 
     # ------------------------------------------------------------------
     # basic queries
@@ -101,37 +137,84 @@ class Workflow:
 
     def edges(self) -> List[Tuple[str, str, float]]:
         """All dependencies as ``(parent, child, data_gb)`` triples."""
-        return [
-            (u, v, d.get("data_gb", 0.0)) for u, v, d in self._graph.edges(data=True)
-        ]
+        cached = self._memo(
+            "edges",
+            lambda: [
+                (u, v, d.get("data_gb", 0.0))
+                for u, v, d in self._graph.edges(data=True)
+            ],
+        )
+        return list(cached)
+
+    def _edge_data(self) -> Dict[Tuple[str, str], float]:
+        """Memoized ``{(parent, child): data_gb}`` — schedulers query
+        edge volumes millions of times per run, and the networkx edge
+        view is far slower than a plain dict."""
+        return self._memo(
+            "edge_data",
+            lambda: {
+                (u, v): d.get("data_gb", 0.0)
+                for u, v, d in self._graph.edges(data=True)
+            },
+        )  # type: ignore[return-value]
 
     def data_gb(self, parent: str, child: str) -> float:
         try:
-            return self._graph.edges[parent, child].get("data_gb", 0.0)
+            return self._edge_data()[parent, child]
         except KeyError:
             raise WorkflowError(f"no dependency {parent!r}->{child!r}") from None
 
+    def _adjacency(self) -> Dict[str, Dict[str, List[str]]]:
+        """Memoized ``{"pred": {task: [...]}, "succ": {task: [...]}}``."""
+        def build():
+            return {
+                "pred": {
+                    t: sorted(self._graph.predecessors(t)) for t in self._tasks
+                },
+                "succ": {
+                    t: sorted(self._graph.successors(t)) for t in self._tasks
+                },
+            }
+
+        return self._memo("adjacency", build)  # type: ignore[return-value]
+
     def predecessors(self, task_id: str) -> List[str]:
         self.task(task_id)
-        return sorted(self._graph.predecessors(task_id))
+        return list(self._adjacency()["pred"][task_id])
 
     def successors(self, task_id: str) -> List[str]:
         self.task(task_id)
-        return sorted(self._graph.successors(task_id))
+        return list(self._adjacency()["succ"][task_id])
 
     def entry_tasks(self) -> List[str]:
         """Tasks with no predecessors (the paper's *initial* tasks)."""
         self._require_valid()
-        return sorted(t for t in self._tasks if self._graph.in_degree(t) == 0)
+        cached = self._memo(
+            "entry_tasks",
+            lambda: sorted(
+                t for t in self._tasks if self._graph.in_degree(t) == 0
+            ),
+        )
+        return list(cached)
 
     def exit_tasks(self) -> List[str]:
         self._require_valid()
-        return sorted(t for t in self._tasks if self._graph.out_degree(t) == 0)
+        cached = self._memo(
+            "exit_tasks",
+            lambda: sorted(
+                t for t in self._tasks if self._graph.out_degree(t) == 0
+            ),
+        )
+        return list(cached)
 
     def topological_order(self) -> List[str]:
         """A deterministic topological order (lexicographic tie-break)."""
         self._require_valid()
-        return list(nx.lexicographical_topological_sort(self._graph))
+        cached = self._memo(
+            "topological_order",
+            lambda: list(nx.lexicographical_topological_sort(self._graph)),
+        )
+        return list(cached)
 
     # ------------------------------------------------------------------
     # structure used by the schedulers
@@ -143,18 +226,27 @@ class Workflow:
         mutually independent and may run in parallel.
         """
         self._require_valid()
-        levels: Dict[str, int] = {}
-        for tid in nx.topological_sort(self._graph):
-            preds = list(self._graph.predecessors(tid))
-            levels[tid] = 0 if not preds else 1 + max(levels[p] for p in preds)
-        return levels
+
+        def build():
+            levels: Dict[str, int] = {}
+            for tid in nx.topological_sort(self._graph):
+                preds = list(self._graph.predecessors(tid))
+                levels[tid] = 0 if not preds else 1 + max(levels[p] for p in preds)
+            return levels
+
+        return dict(self._memo("level_of", build))  # type: ignore[arg-type]
 
     def levels(self) -> List[List[str]]:
         """Tasks grouped by level, each group sorted by id."""
-        by_level: Dict[int, List[str]] = {}
-        for tid, lvl in self.level_of().items():
-            by_level.setdefault(lvl, []).append(tid)
-        return [sorted(by_level[k]) for k in sorted(by_level)]
+
+        def build():
+            by_level: Dict[int, List[str]] = {}
+            for tid, lvl in self.level_of().items():
+                by_level.setdefault(lvl, []).append(tid)
+            return [sorted(by_level[k]) for k in sorted(by_level)]
+
+        cached = self._memo("levels", build)
+        return [list(level) for level in cached]
 
     def max_parallelism(self) -> int:
         """Width of the widest level."""

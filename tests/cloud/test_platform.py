@@ -70,3 +70,41 @@ class TestQueries:
     def test_cheapest_region(self):
         p = CloudPlatform.ec2()
         assert p.cheapest_region().price("small") == pytest.approx(0.08)
+
+
+class TestHotPathCaches:
+    """runtime/transfer_time are memoized per platform instance."""
+
+    def test_runtime_cache_hit_matches_miss(self):
+        p = CloudPlatform.ec2()
+        t = Task("t", 2100.0)
+        first = p.runtime(t, LARGE)
+        assert (2100.0, "large") in p._runtime_cache
+        assert p.runtime(t, LARGE) == first == pytest.approx(1000.0)
+        # a same-work different task shares the cache entry
+        assert p.runtime(Task("u", 2100.0), LARGE) == first
+        assert len(p._runtime_cache) == 1
+
+    def test_transfer_cache_distinguishes_locality(self):
+        p = CloudPlatform.ec2()
+        local = p.transfer_time(1.0, SMALL, SMALL)
+        same_vm = p.transfer_time(1.0, SMALL, SMALL, same_vm=True)
+        remote = p.transfer_time(
+            1.0,
+            SMALL,
+            SMALL,
+            src_region=p.region("us-east-virginia"),
+            dst_region=p.region("eu-dublin"),
+        )
+        assert same_vm == 0.0
+        assert remote > local
+        assert len(p._transfer_cache) == 3
+        # cached replays give the same numbers
+        assert p.transfer_time(1.0, SMALL, SMALL) == local
+        assert p.transfer_time(1.0, SMALL, SMALL, same_vm=True) == same_vm
+        assert len(p._transfer_cache) == 3
+
+    def test_caches_are_per_instance(self):
+        a, b = CloudPlatform.ec2(), CloudPlatform.ec2()
+        a.runtime(Task("t", 100.0), SMALL)
+        assert b._runtime_cache == {}

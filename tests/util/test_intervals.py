@@ -142,4 +142,9 @@ class TestIntervalSetProperties:
         s.add(extra)
         if not extra.empty:
             assert s.covers(extra.start)
-            assert s.covers((extra.start + extra.end) / 2)
+            mid = (extra.start + extra.end) / 2
+            # for tiny intervals the float midpoint can round up onto
+            # the (excluded) end bound; only probe genuinely interior
+            # points of the closed-open interval
+            if mid < extra.end:
+                assert s.covers(mid)

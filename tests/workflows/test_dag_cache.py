@@ -1,0 +1,98 @@
+"""The cached-DAG contract: structural queries are memoized, mutations
+invalidate, and callers can't corrupt the cache through returned lists."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflows.dag import Workflow
+from repro.workflows.task import Task
+
+
+@pytest.fixture
+def chain() -> Workflow:
+    wf = Workflow("chain")
+    for i in range(3):
+        wf.add_task(Task(f"t{i}", work=10.0 * (i + 1)))
+    wf.add_dependency("t0", "t1", 1.0)
+    wf.add_dependency("t1", "t2", 1.0)
+    return wf
+
+
+class TestMemoization:
+    def test_queries_are_cached(self, chain):
+        assert chain.topological_order() == ["t0", "t1", "t2"]
+        assert "topological_order" in chain._cache
+        chain.levels()
+        chain.entry_tasks()
+        chain.exit_tasks()
+        chain.edges()
+        chain.predecessors("t1")
+        for key in ("levels", "entry_tasks", "exit_tasks", "edges", "adjacency"):
+            assert key in chain._cache
+
+    def test_cached_queries_stay_correct(self, chain):
+        assert chain.topological_order() == chain.topological_order()
+        assert chain.levels() == chain.levels()
+        assert chain.level_of() == {"t0": 0, "t1": 1, "t2": 2}
+
+    def test_validate_short_circuits(self, chain):
+        chain.validate()
+        assert chain.validated
+        # second call must be the cached no-op path
+        assert chain.validate() is chain
+
+    def test_returned_lists_are_copies(self, chain):
+        chain.topological_order().append("bogus")
+        assert "bogus" not in chain.topological_order()
+        chain.levels()[0].append("bogus")
+        assert "bogus" not in chain.levels()[0]
+        chain.successors("t0").append("bogus")
+        assert chain.successors("t0") == ["t1"]
+        chain.entry_tasks().clear()
+        assert chain.entry_tasks() == ["t0"]
+
+
+class TestInvalidation:
+    def test_add_task_invalidates(self, chain):
+        before = chain.topological_order()
+        assert chain.validated
+        chain.add_task(Task("t3", work=5.0))
+        # the mutation must drop the memo and the validated flag...
+        assert not chain.validated
+        assert chain._cache == {}
+        # ...so the next query reflects the new node, not a stale memo
+        after = chain.topological_order()
+        assert after != before
+        assert "t3" in after
+
+    def test_add_dependency_invalidates(self, chain):
+        assert chain.levels() == [["t0"], ["t1"], ["t2"]]
+        chain.add_task(Task("t3", work=5.0))
+        chain.add_dependency("t0", "t3", 0.0)
+        assert not chain.validated
+        assert chain._cache == {}
+        assert chain.levels() == [["t0"], ["t1", "t3"], ["t2"]]
+        assert chain.successors("t0") == ["t1", "t3"]
+        assert chain.exit_tasks() == ["t2", "t3"]
+
+    def test_cycle_detected_after_cached_validation(self, chain):
+        chain.validate()
+        chain.add_dependency("t2", "t0", 0.0)
+        with pytest.raises(WorkflowError, match="cycle"):
+            chain.validate()
+
+    def test_edge_data_refreshed(self, chain):
+        assert ("t0", "t1", 1.0) in chain.edges()
+        chain.add_dependency("t0", "t2", 2.5)
+        assert ("t0", "t2", 2.5) in chain.edges()
+
+
+def test_workflow_pickles_with_cache(chain):
+    import pickle
+
+    chain.topological_order()
+    clone = pickle.loads(pickle.dumps(chain))
+    assert clone.topological_order() == chain.topological_order()
+    assert clone.level_of() == chain.level_of()
