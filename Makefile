@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report artifacts examples clean
+.PHONY: install test bench report artifacts examples faults-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,12 @@ artifacts:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+# Fast end-to-end check of the fault-injection pipeline: the five
+# provisioning policies under a reduced fault grid, through the CLI.
+faults-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli faults --quick \
+	  --workflow montage --recovery retry
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \

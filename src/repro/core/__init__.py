@@ -51,6 +51,16 @@ from repro.core.explain import CostExplanation, explain, render_explanation
 from repro.core.critical import CriticalReport, realized_critical_path
 from repro.core.utilization import UtilizationReport, utilization, parallelism_profile
 from repro.core.adaptive import AdaptiveSelector, Goal, recommend
+from repro.core.recovery import (
+    FailureEvent,
+    RecoveryAction,
+    RecoveryPolicy,
+    RetrySameVM,
+    ResubmitFresh,
+    ReplanRemaining,
+    RECOVERY_POLICIES,
+    recovery_policy,
+)
 
 __all__ = [
     "Schedule",
@@ -105,4 +115,12 @@ __all__ = [
     "AdaptiveSelector",
     "Goal",
     "recommend",
+    "FailureEvent",
+    "RecoveryAction",
+    "RecoveryPolicy",
+    "RetrySameVM",
+    "ResubmitFresh",
+    "ReplanRemaining",
+    "RECOVERY_POLICIES",
+    "recovery_policy",
 ]

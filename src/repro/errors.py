@@ -51,5 +51,11 @@ class SimulationError(ReproError):
     (event in the past, deadlock with pending tasks...)."""
 
 
+class FaultError(SimulationError):
+    """A fault-injected run could not recover: a task exhausted its
+    recovery policy's attempt budget, or a replan was requested for a
+    schedule whose provisioning policy is unknown."""
+
+
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or a sweep failed."""

@@ -10,6 +10,7 @@ draws schedules::
     repro-experiments replicate --seeds 10 --jobs 4
     repro-experiments profile --workflow cybershake
     repro-experiments gantt --workflow montage --strategy AllParExceed-m
+    repro-experiments faults --workflow montage --recovery replan --jobs 4
 
 ``--jobs N`` fans the sweep's (scenario, workflow) cells — and
 ``replicate``'s seeds — out over N workers; the default (``--jobs 1``)
@@ -59,6 +60,7 @@ _ARTIFACTS = [
     "table3",
     "table4",
     "table5",
+    "faults",
     "profile",
     "gantt",
     "explain",
@@ -131,6 +133,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy",
         default="StartParNotExceed-s",
         help="Figure-4 strategy label for the gantt artifact",
+    )
+    parser.add_argument(
+        "--fault-intensities",
+        default="0,0.5,1,2",
+        help="comma-separated intensity grid for the faults artifact",
+    )
+    parser.add_argument(
+        "--fault-seeds",
+        type=int,
+        default=3,
+        help="fault-sample replications per (strategy, intensity) cell",
+    )
+    parser.add_argument(
+        "--recovery",
+        choices=["retry", "resubmit", "replan"],
+        default="retry",
+        help="recovery policy for the faults artifact",
+    )
+    parser.add_argument(
+        "--fault-task-prob",
+        type=float,
+        default=0.1,
+        help="per-attempt transient task failure probability (base plan)",
+    )
+    parser.add_argument(
+        "--fault-crash-mtbf",
+        type=float,
+        default=28800.0,
+        help="mean VM uptime before a crash, seconds (base plan; 0 disables)",
+    )
+    parser.add_argument(
+        "--fault-boot-prob",
+        type=float,
+        default=0.05,
+        help="per-attempt VM boot failure probability (base plan)",
     )
     parser.add_argument("--out", help="write the report to a file instead of stdout")
     parser.add_argument(
@@ -239,6 +276,34 @@ def main(argv=None) -> int:
         text = tables.render_table4(sweep)
     elif args.artifact == "table5":
         text = tables.render_table5(platform)
+    elif args.artifact == "faults":
+        from repro.experiments.faults import render_fault_sweep, run_fault_sweep
+        from repro.simulator.faults import FaultPlan
+
+        base_plan = FaultPlan(
+            task_fail_prob=args.fault_task_prob,
+            vm_crash_rate=(
+                1.0 / args.fault_crash_mtbf if args.fault_crash_mtbf > 0 else 0.0
+            ),
+            boot_fail_prob=args.fault_boot_prob,
+        )
+        intensities = [
+            float(x) for x in args.fault_intensities.split(",") if x.strip()
+        ]
+        if args.quick:
+            intensities = intensities[:2] or [0.0, 1.0]
+        fault_sweep = run_fault_sweep(
+            platform=platform,
+            workflow=_WORKFLOWS[args.workflow](),
+            workflow_name=args.workflow,
+            base_plan=base_plan,
+            intensities=intensities,
+            fault_seeds=1 if args.quick else args.fault_seeds,
+            recovery=args.recovery,
+            jobs=args.jobs,
+            backend=args.backend,
+        )
+        text = render_fault_sweep(fault_sweep)
     elif args.artifact == "profile":
         text = _render_profile(args.workflow)
     elif args.artifact == "gantt":

@@ -29,10 +29,15 @@ backends.
 from __future__ import annotations
 
 import os
+import traceback
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -162,6 +167,118 @@ def make_backend(
 
 
 # ----------------------------------------------------------------------
+# guarded execution: capture per-unit errors instead of aborting the map
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellFailure:
+    """One work unit that did not produce a result."""
+
+    label: str
+    #: ``"TypeName: message"`` of the final error
+    error: str
+    #: full traceback of the final attempt ("" for timeouts)
+    traceback: str
+    #: how many attempts were made before giving up
+    attempts: int
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.error} (after {self.attempts} attempt(s))"
+
+
+def _call_with_timeout(fn: Callable[[T], R], item: T, timeout: float) -> R:
+    """Run ``fn(item)`` with a wall-clock deadline.
+
+    Uses a single-use helper thread so it works inside process-pool
+    workers (where signal-based deadlines are unavailable).  On timeout
+    the helper thread is abandoned, not killed — python offers no safe
+    thread cancellation — so a timed-out cell leaks one thread until its
+    work finishes; acceptable for the sweep sizes this repo runs.
+    """
+    pool = ThreadPoolExecutor(max_workers=1)
+    future = pool.submit(fn, item)
+    try:
+        return future.result(timeout=timeout)
+    finally:
+        # never the context manager: __exit__ would join the worker and
+        # wait out exactly the hang the timeout is meant to bound
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _GuardedCall:
+    """Picklable per-unit wrapper: bounded retries + optional timeout.
+
+    Returns ``(value, None)`` on success and ``(None, CellFailure)``
+    when every attempt failed, so a crashing unit never takes down the
+    whole map.  Timeouts are terminal — a deterministic workload that
+    exceeded the deadline once will exceed it again.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[T], R],
+        retries: int = 0,
+        timeout: float | None = None,
+        label_fn: Callable[[T], str] | None = None,
+    ) -> None:
+        if retries < 0:
+            raise ExperimentError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ExperimentError(f"timeout must be positive, got {timeout}")
+        self.fn = fn
+        self.retries = retries
+        self.timeout = timeout
+        self.label_fn = label_fn
+
+    def __call__(self, item: T) -> "Tuple[Optional[R], Optional[CellFailure]]":
+        label = self.label_fn(item) if self.label_fn is not None else repr(item)[:120]
+        error = tb = ""
+        attempt = 0
+        for attempt in range(1, self.retries + 2):
+            try:
+                if self.timeout is not None:
+                    return _call_with_timeout(self.fn, item, self.timeout), None
+                return self.fn(item), None
+            except FuturesTimeoutError:
+                return None, CellFailure(
+                    label=label,
+                    error=f"TimeoutError: exceeded {self.timeout}s",
+                    traceback="",
+                    attempts=attempt,
+                )
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                error = f"{type(exc).__name__}: {exc}"
+                tb = traceback.format_exc()
+        return None, CellFailure(label=label, error=error, traceback=tb, attempts=attempt)
+
+
+def map_guarded(
+    backend: ExecutionBackend,
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    label_fn: Callable[[T], str] | None = None,
+    retries: int = 0,
+    timeout: float | None = None,
+) -> "Tuple[List[Optional[R]], List[CellFailure]]":
+    """Fan *items* out over *backend*, capturing per-unit errors.
+
+    Returns ``(results, failures)``: ``results`` is input-ordered with
+    ``None`` holes where a unit failed, ``failures`` describes the holes
+    (label, error, traceback, attempt count) in input order.  With the
+    process backend, *fn* and *label_fn* must be picklable (module-level
+    functions or partials, not lambdas).
+    """
+    guarded = _GuardedCall(fn, retries=retries, timeout=timeout, label_fn=label_fn)
+    pairs = backend.map(guarded, items)
+    results: List[Optional[R]] = []
+    failures: List[CellFailure] = []
+    for value, failure in pairs:
+        results.append(value)
+        if failure is not None:
+            failures.append(failure)
+    return results, failures
+
+
+# ----------------------------------------------------------------------
 # sweep fan-out: one unit per (scenario, workflow) cell
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -185,6 +302,11 @@ class CellResult:
     workflow: str
     reference: ScheduleMetrics
     metrics: Dict[str, ScheduleMetrics] = field(default_factory=dict)
+
+
+def cell_label(cell: SweepCell) -> str:
+    """Human-readable grid coordinates, used in failure reports."""
+    return f"{cell.scenario.name}/{cell.workflow_name}"
 
 
 def run_cell(cell: SweepCell) -> CellResult:

@@ -19,9 +19,12 @@ from repro.core.schedule import Schedule
 from repro.errors import ExperimentError
 from repro.experiments.config import StrategySpec, paper_strategies, paper_workflows
 from repro.experiments.parallel import (
+    CellFailure,
     ExecutionBackend,
     SweepCell,
+    cell_label,
     make_backend,
+    map_guarded,
     run_cell,
 )
 from repro.experiments.scenarios import Scenario, paper_scenarios
@@ -59,6 +62,17 @@ class SweepResult:
         default_factory=dict
     )
     references: Dict[str, Dict[str, ScheduleMetrics]] = field(default_factory=dict)
+    #: cells that produced no result (captured errors / timeouts)
+    failures: List[CellFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every grid cell produced a result."""
+        return not self.failures
+
+    def failure_summary(self) -> str:
+        """One line per failed cell; "" when the sweep is complete."""
+        return "\n".join(str(f) for f in self.failures)
 
     # ------------------------------------------------------------------
     def scenarios(self) -> List[str]:
@@ -97,6 +111,9 @@ def run_sweep(
     verify: bool = False,
     jobs: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
+    retries: int = 0,
+    cell_timeout: float | None = None,
+    on_error: str = "capture",
 ) -> SweepResult:
     """Run the paper's full evaluation grid.
 
@@ -109,7 +126,18 @@ def run_sweep(
     :class:`~repro.experiments.parallel.ExecutionBackend`; any setting
     produces metrics identical to the serial run (see the determinism
     contract in :mod:`repro.experiments.parallel`).
+
+    A crashing cell no longer takes the whole sweep down: each cell runs
+    guarded (``retries`` extra attempts, optional ``cell_timeout``
+    wall-clock deadline) and with ``on_error="capture"`` (the default)
+    failed cells are simply absent from the result, described in
+    ``SweepResult.failures``; ``on_error="raise"`` restores the old
+    fail-fast behavior.
     """
+    if on_error not in ("capture", "raise"):
+        raise ExperimentError(
+            f'on_error must be "capture" or "raise", got {on_error!r}'
+        )
     platform = platform or CloudPlatform.ec2()
     workflows = workflows if workflows is not None else paper_workflows()
     scenarios = list(scenarios) if scenarios is not None else paper_scenarios(platform)
@@ -134,12 +162,26 @@ def run_sweep(
         for i, sc in enumerate(scenarios)
         for j, (wf_name, shape) in enumerate(workflows.items())
     ]
-    cell_results = exec_backend.map(run_cell, cells)
+    cell_results, failures = map_guarded(
+        exec_backend,
+        run_cell,
+        cells,
+        label_fn=cell_label,
+        retries=retries,
+        timeout=cell_timeout,
+    )
+    if failures and on_error == "raise":
+        raise ExperimentError(
+            f"{len(failures)}/{len(cells)} sweep cell(s) failed:\n"
+            + "\n".join(str(f) for f in failures)
+        )
 
     # Merge in grid order — backend.map preserves input order, so the
     # result layout is independent of completion order.
-    result = SweepResult(platform=platform)
+    result = SweepResult(platform=platform, failures=failures)
     for cr in cell_results:
+        if cr is None:
+            continue  # captured failure; see result.failures
         result.metrics.setdefault(cr.scenario, {})[cr.workflow] = dict(cr.metrics)
         result.references.setdefault(cr.scenario, {})[cr.workflow] = cr.reference
     return result

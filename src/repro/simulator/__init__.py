@@ -6,7 +6,12 @@ task-ready/transfer/completion dynamics and reports observed timings."""
 from repro.simulator.engine import Simulator
 from repro.simulator.events import EventQueue, ScheduledEvent
 from repro.simulator.trace import TraceEvent, SimulationResult
-from repro.simulator.executor import ScheduleExecutor, simulate_schedule
+from repro.simulator.executor import (
+    ScheduleExecutor,
+    run_with_faults,
+    simulate_schedule,
+)
+from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.perturb import (
     RobustnessReport,
     lognormal_jitter,
@@ -34,6 +39,9 @@ __all__ = [
     "SimulationResult",
     "ScheduleExecutor",
     "simulate_schedule",
+    "run_with_faults",
+    "FaultPlan",
+    "FaultStats",
     "RobustnessReport",
     "lognormal_jitter",
     "robustness_study",

@@ -66,7 +66,8 @@ class Simulator:
                 if self._processed > self._max_events:
                     raise SimulationError(
                         f"event budget exhausted after {self._max_events} events "
-                        "(runaway simulation?)"
+                        f"(runaway simulation?); last event {ev.label!r} "
+                        f"at t={ev.time:.6f}"
                     )
                 ev.action()
         finally:

@@ -11,16 +11,67 @@ t=0 and their rent window is measured from their first task start.
 Because the :class:`~repro.core.builder.ScheduleBuilder` uses exactly
 this recurrence, a valid static schedule replays with identical times;
 :func:`simulate_schedule` asserts that when ``check=True``.
+
+Fault injection
+---------------
+A :class:`~repro.simulator.faults.FaultPlan` turns the replay into a
+fault-injected run: execution attempts can die partway, VMs can crash at
+a sampled uptime (billed to the BTU boundary), and cold boots can fail
+or take longer than nominal.  A
+:class:`~repro.core.recovery.RecoveryPolicy` then decides how the run
+carries on — retry on the same VM, resubmit to a fresh VM, or replan the
+whole unfinished sub-DAG through the schedule's original provisioning
+policy against the surviving fleet.  With a plan of zero probability the
+executor behaves, event for event, exactly as without one; with faults
+enabled, identical seeds reproduce identical traces and recovery
+decisions (see the determinism contract in
+:mod:`repro.simulator.faults`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
+from repro.cloud.instance import InstanceType
+from repro.cloud.region import Region
+from repro.core.recovery import (
+    FailureEvent,
+    RecoveryAction,
+    RecoveryPolicy,
+    recovery_policy,
+)
 from repro.core.schedule import Schedule
-from repro.errors import SimulationError
+from repro.errors import FaultError, SchedulingError, SimulationError
 from repro.simulator.engine import Simulator
+from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.trace import SimulationResult, TraceEvent
+
+
+@dataclass
+class _ExecVM:
+    """Runtime state of one VM during (possibly fault-injected) replay."""
+
+    id: int
+    name: str
+    itype: InstanceType
+    region: Region
+    #: execution order: finished prefix, then the running/waiting tasks
+    queue: List[str] = field(default_factory=list)
+    next_idx: int = 0
+    running: Optional[str] = None
+    #: when the rent window opened (boot request / first task start)
+    rent_open: bool = False
+    rent_start: float = 0.0
+    #: last time the VM finished or dropped an execution attempt
+    last_active: float = 0.0
+    #: seconds of completed (useful) executions hosted here
+    useful_seconds: float = 0.0
+    crashed: bool = False
+    crashed_at: float = 0.0
+    boot_started: bool = False
+    boot_done: bool = False
+    boot_attempt: int = 0
 
 
 class ScheduleExecutor:
@@ -31,6 +82,12 @@ class ScheduleExecutor:
     times deviate from the static scheduler's estimates.  The per-VM
     queue and dependency disciplines absorb any deviation, so execution
     always stays feasible; only the timings shift.
+
+    *fault_plan* and *recovery* enable fault injection: see the module
+    docstring.  *recovery* accepts a
+    :class:`~repro.core.recovery.RecoveryPolicy`, a registry name
+    (``"retry"``, ``"resubmit"``, ``"replan"``) or ``None`` (retry with
+    default backoff); it is only consulted when a fault actually fires.
     """
 
     def __init__(
@@ -38,38 +95,85 @@ class ScheduleExecutor:
         schedule: Schedule,
         max_events: int = 10_000_000,
         runtime_fn: Callable[[str, float], float] | None = None,
+        fault_plan: FaultPlan | None = None,
+        recovery: "str | RecoveryPolicy | None" = None,
     ) -> None:
         self.schedule = schedule
         self.runtime_fn = runtime_fn
+        self.fault_plan = fault_plan
+        self.recovery: Optional[RecoveryPolicy] = (
+            recovery_policy(recovery) if fault_plan is not None else None
+        )
         self.sim = Simulator(max_events=max_events)
         self.result = SimulationResult()
+        self.stats: Optional[FaultStats] = (
+            FaultStats() if fault_plan is not None else None
+        )
         wf = schedule.workflow
         # Remaining input count per task; entry tasks are ready at t=0.
         self._pending_inputs: Dict[str, int] = {
             tid: len(wf.predecessors(tid)) for tid in wf.task_ids
         }
-        # Per-VM queue position.
-        self._queues: Dict[int, List[str]] = {
-            vm.id: list(vm.task_ids) for vm in schedule.vms
-        }
-        self._next_idx: Dict[int, int] = {vm.id: 0 for vm in schedule.vms}
+        # Runtime fleet: starts as the planned VMs, may grow on recovery.
+        self._vms: List[_ExecVM] = [
+            _ExecVM(
+                id=vm.id,
+                name=vm.name,
+                itype=vm.itype,
+                region=vm.region,
+                queue=list(vm.task_ids),
+            )
+            for vm in schedule.vms
+        ]
+        self._vm_of: Dict[str, _ExecVM] = {}
+        for evm in self._vms:
+            for tid in evm.queue:
+                self._vm_of[tid] = evm
         self._started: set = set()
         self._done: set = set()
-        # cold-start bookkeeping: VMs whose boot has been triggered
-        self._boot_started: set = set()
-        self._boot_done: set = set()
+        #: current attempt number per task (1-based)
+        self._attempt: Dict[str, int] = {}
+        #: placement generation per task — bumped when a task moves VM,
+        #: so in-flight input deliveries to the old placement are ignored
+        self._gen: Dict[str, int] = {tid: 0 for tid in wf.task_ids}
+        #: estimated end of the currently running attempt (replan input)
+        self._exp_end: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
-    def _vm_front(self, vm_id: int) -> str | None:
-        q = self._queues[vm_id]
-        i = self._next_idx[vm_id]
+    # queries
+    # ------------------------------------------------------------------
+    def _front(self, vm: _ExecVM) -> str | None:
+        q = vm.queue
+        i = vm.next_idx
         return q[i] if i < len(q) else None
 
-    def _try_start(self, task_id: str) -> None:
-        if task_id in self._started:
+    def _attempt_of(self, task_id: str) -> int:
+        return self._attempt.get(task_id, 1)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _open_rent(self, vm: _ExecVM) -> None:
+        """Open the VM's rent window and arm its crash process."""
+        if vm.rent_open:
             return
-        vm = self.schedule.vm_of(task_id)
-        if self._vm_front(vm.id) != task_id:
+        vm.rent_open = True
+        vm.rent_start = self.sim.now
+        vm.last_active = self.sim.now
+        if self.fault_plan is not None:
+            uptime = self.fault_plan.vm_crash_uptime(vm.name)
+            if uptime != float("inf"):
+                self.sim.after(
+                    uptime, lambda v=vm: self._vm_crash(v), f"crash:{vm.name}"
+                )
+
+    def _try_start(self, task_id: str) -> None:
+        if task_id in self._started or task_id in self._done:
+            return
+        vm = self._vm_of[task_id]
+        if vm.crashed:
+            return  # recovery will re-place the task
+        if self._front(vm) != task_id:
             return  # an earlier queue entry still runs or waits
         if self._pending_inputs[task_id] > 0:
             return
@@ -77,24 +181,19 @@ class ScheduleExecutor:
         if (
             not platform.prebooted
             and platform.boot_seconds > 0
-            and vm.id not in self._boot_done
+            and not vm.boot_done
         ):
             # first task is ready: the VM is requested now and boots
-            if vm.id not in self._boot_started:
-                self._boot_started.add(vm.id)
+            if not vm.boot_started:
+                vm.boot_started = True
+                self._open_rent(vm)
                 self.result.record(TraceEvent(self.sim.now, "vm_boot", "", vm.name))
-
-                def boot_complete(vm_id=vm.id, tid=task_id):
-                    self._boot_done.add(vm_id)
-                    self._try_start(tid)
-
-                self.sim.after(platform.boot_seconds, boot_complete, f"boot:{vm.name}")
+                self._boot(vm)
             return
         self._started.add(task_id)
         now = self.sim.now
-        duration = self.schedule.platform.runtime(
-            self.schedule.workflow.task(task_id), vm.itype
-        )
+        self._open_rent(vm)
+        duration = platform.runtime(self.schedule.workflow.task(task_id), vm.itype)
         if self.runtime_fn is not None:
             duration = self.runtime_fn(task_id, duration)
             if duration < 0:
@@ -102,22 +201,89 @@ class ScheduleExecutor:
                     f"runtime_fn returned negative duration for {task_id!r}"
                 )
         self.result.record(TraceEvent(now, "task_start", task_id, vm.name))
-        self.sim.after(duration, lambda: self._finish(task_id), f"end:{task_id}")
+        vm.running = task_id
+        attempt = self._attempt_of(task_id)
+        frac = (
+            self.fault_plan.task_attempt(task_id, attempt)
+            if self.fault_plan is not None
+            else None
+        )
+        if frac is None:
+            self._exp_end[task_id] = now + duration
+            self.sim.after(
+                duration,
+                lambda a=attempt: self._finish(task_id, a),
+                f"end:{task_id}",
+            )
+        else:
+            wasted = frac * duration
+            self._exp_end[task_id] = now + wasted
+            self.sim.after(
+                wasted,
+                lambda a=attempt, w=wasted: self._task_fail(task_id, a, w),
+                f"fail:{task_id}",
+            )
 
-    def _finish(self, task_id: str) -> None:
+    def _boot(self, vm: _ExecVM) -> None:
+        """Run one boot attempt; on failure, re-request the VM."""
+        platform = self.schedule.platform
+        vm.boot_attempt += 1
+        attempt = vm.boot_attempt
+        delay = platform.boot_seconds
+        fails = False
+        if self.fault_plan is not None:
+            fails, factor = self.fault_plan.boot_outcome(vm.name, attempt)
+            delay *= factor
+
+        def boot_complete(v=vm, failed=fails):
+            if v.crashed:
+                return
+            if failed:
+                assert self.stats is not None and self.recovery is not None
+                self.stats.boot_failures += 1
+                self.result.record(
+                    TraceEvent(self.sim.now, "vm_boot_fail", "", v.name)
+                )
+                if v.boot_attempt >= self.recovery.max_attempts:
+                    raise FaultError(
+                        f"{v.name} failed to boot {v.boot_attempt} times"
+                    )
+                # acquisition failures are not billed: the rent clock
+                # restarts with the re-issued request
+                v.rent_start = self.sim.now
+                self._boot(v)
+                return
+            v.boot_done = True
+            v.last_active = self.sim.now
+            front = self._front(v)
+            if front is not None:
+                self._try_start(front)
+
+        self.sim.after(delay, boot_complete, f"boot:{vm.name}")
+
+    def _finish(self, task_id: str, attempt: int = 0) -> None:
+        if attempt and attempt != self._attempt_of(task_id):
+            return  # superseded by a crash-triggered re-placement
+        if task_id in self._done:
+            return
         now = self.sim.now
-        vm = self.schedule.vm_of(task_id)
+        vm = self._vm_of[task_id]
+        if vm.crashed:
+            return  # the crash already failed this attempt
         self._done.add(task_id)
+        vm.running = None
+        vm.last_active = now
+        vm.useful_seconds += now - self.result.task_start[task_id]
         self.result.record(TraceEvent(now, "task_end", task_id, vm.name))
         # Free the VM for its next queued task.
-        self._next_idx[vm.id] += 1
-        nxt = self._vm_front(vm.id)
+        vm.next_idx += 1
+        nxt = self._front(vm)
         if nxt is not None:
             self._try_start(nxt)
         # Ship outputs to successors.
         wf = self.schedule.workflow
         for succ in wf.successors(task_id):
-            dst = self.schedule.vm_of(succ)
+            dst = self._vm_of[succ]
             dt = self.schedule.platform.transfer_time(
                 wf.data_gb(task_id, succ),
                 vm.itype,
@@ -130,20 +296,319 @@ class ScheduleExecutor:
                 self.result.record(
                     TraceEvent(now, "transfer_start", succ, dst.name, f"from:{task_id}")
                 )
-            self.sim.after(dt, lambda s=succ: self._arrive(s), f"arrive:{succ}")
+            self.sim.after(
+                dt,
+                lambda s=succ, g=self._gen[succ]: self._arrive(s, g),
+                f"arrive:{succ}",
+            )
 
-    def _arrive(self, task_id: str) -> None:
+    def _arrive(self, task_id: str, gen: int = 0) -> None:
+        if gen != self._gen[task_id]:
+            return  # delivery to an abandoned placement
         self._pending_inputs[task_id] -= 1
         if self._pending_inputs[task_id] < 0:
             raise SimulationError(f"extra input arrival for {task_id!r}")
         self._try_start(task_id)
 
     # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _task_fail(self, task_id: str, attempt: int, wasted: float) -> None:
+        if attempt != self._attempt_of(task_id) or task_id in self._done:
+            return
+        vm = self._vm_of[task_id]
+        if vm.crashed:
+            return  # the crash handler already recovered this task
+        assert self.stats is not None and self.recovery is not None
+        now = self.sim.now
+        self._started.discard(task_id)
+        vm.running = None
+        vm.last_active = now
+        self.stats.task_failures += 1
+        self.stats.wasted_task_seconds += wasted
+        self.result.record(
+            TraceEvent(now, "task_fail", task_id, vm.name, f"attempt:{attempt}")
+        )
+        failure = FailureEvent(
+            task_id=task_id,
+            vm_id=vm.id,
+            attempt=attempt,
+            time=now,
+            reason="task",
+            vm_alive=True,
+        )
+        action = self.recovery.on_task_failure(failure)
+        self.stats.decisions.append(f"{action.kind}:{task_id}@{now:.3f}")
+        if action.kind == "abort":
+            raise FaultError(
+                f"task {task_id!r} failed {attempt} times; recovery gave up"
+            )
+        self._attempt[task_id] = attempt + 1
+        if action.kind == "retry":
+            # same VM, inputs already staged: re-run after the backoff
+            self.stats.retries += 1
+            self.sim.after(
+                action.delay, lambda t=task_id: self._try_start(t), f"retry:{task_id}"
+            )
+        elif action.kind == "resubmit":
+            self.stats.resubmits += 1
+            self._resubmit(task_id, vm, action.delay)
+        else:  # replan
+            self.stats.replans += 1
+            self._replan(action.delay)
+
+    def _vm_crash(self, vm: _ExecVM) -> None:
+        if vm.crashed:
+            return
+        running = vm.running
+        remaining = [t for t in vm.queue[vm.next_idx :] if t not in self._done]
+        if running is None and not remaining:
+            return  # the VM had already drained and stopped
+        assert self.stats is not None and self.recovery is not None
+        now = self.sim.now
+        vm.crashed = True
+        vm.crashed_at = now
+        self.stats.vm_crashes += 1
+        self.result.record(TraceEvent(now, "vm_crash", "", vm.name))
+        if running is not None:
+            attempt = self._attempt_of(running)
+            wasted = max(now - self.result.task_start[running], 0.0)
+            self.stats.task_failures += 1
+            self.stats.wasted_task_seconds += wasted
+            self.result.record(
+                TraceEvent(now, "task_fail", running, vm.name, "vm_crash")
+            )
+            self._started.discard(running)
+            vm.running = None
+            failure = FailureEvent(
+                task_id=running,
+                vm_id=vm.id,
+                attempt=attempt,
+                time=now,
+                reason="vm_crash",
+                vm_alive=False,
+            )
+            action = self.recovery.on_task_failure(failure)
+            self.stats.decisions.append(f"{action.kind}:{running}@{now:.3f}")
+            if action.kind == "abort":
+                raise FaultError(
+                    f"task {running!r} lost to a VM crash after {attempt} attempts"
+                )
+            self._attempt[running] = attempt + 1
+        else:
+            kind = "replan" if self.recovery.queue_strategy == "replan" else "resubmit"
+            action = RecoveryAction(kind, 0.0)
+        # the dead VM keeps only its executed prefix
+        vm.queue = vm.queue[: vm.next_idx]
+        if action.kind == "replan" or self.recovery.queue_strategy == "replan":
+            self.stats.replans += 1
+            self._replan(action.delay)
+        else:
+            # one replacement VM inherits the interrupted + queued work
+            self.stats.resubmits += 1
+            nvm = self._new_vm(vm.itype, vm.region)
+            for tid in remaining:
+                self._move_task(tid, nvm, action.delay)
+
+    # ------------------------------------------------------------------
+    # recovery mechanics
+    # ------------------------------------------------------------------
+    def _new_vm(self, itype: InstanceType, region: Region) -> _ExecVM:
+        evm = _ExecVM(
+            id=len(self._vms),
+            name=f"vm{len(self._vms)}-{itype.short}",
+            itype=itype,
+            region=region,
+        )
+        self._vms.append(evm)
+        self.result.record(
+            TraceEvent(self.sim.now, "vm_start", "", evm.name, "recovery")
+        )
+        return evm
+
+    def _move_task(self, task_id: str, vm: _ExecVM, delay: float) -> None:
+        """Re-place *task_id* on *vm* and re-stage its inputs."""
+        vm.queue.append(task_id)
+        self._vm_of[task_id] = vm
+        self._gen[task_id] += 1
+        self._restage_inputs(task_id, vm, delay)
+
+    def _resubmit(self, task_id: str, old_vm: _ExecVM, delay: float) -> None:
+        """Move a failed task from *old_vm* to a freshly rented VM."""
+        old_vm.queue.remove(task_id)
+        nvm = self._new_vm(old_vm.itype, old_vm.region)
+        self._move_task(task_id, nvm, delay)
+        nxt = self._front(old_vm)
+        if nxt is not None:
+            self._try_start(nxt)
+
+    def _restage_inputs(self, task_id: str, vm: _ExecVM, delay: float) -> None:
+        """Re-deliver the task's inputs to its new VM.
+
+        Finished predecessors re-ship their output (store-and-forward
+        from their VM) after the recovery *delay*; unfinished ones will
+        deliver to the new placement when they complete.
+        """
+        wf = self.schedule.workflow
+        preds = wf.predecessors(task_id)
+        self._pending_inputs[task_id] = len(preds)
+        gen = self._gen[task_id]
+        if not preds:
+            self.sim.after(
+                delay, lambda t=task_id: self._try_start(t), f"kick:{task_id}"
+            )
+            return
+        now = self.sim.now
+        for pred in preds:
+            if pred not in self._done:
+                continue  # will ship on its own completion
+            src = self._vm_of[pred]
+            dt = self.schedule.platform.transfer_time(
+                wf.data_gb(pred, task_id),
+                src.itype,
+                vm.itype,
+                same_vm=src is vm,
+                src_region=src.region,
+                dst_region=vm.region,
+            )
+            if dt > 0:
+                self.result.record(
+                    TraceEvent(
+                        now, "transfer_start", task_id, vm.name, f"restage:{pred}"
+                    )
+                )
+            self.sim.after(
+                delay + dt,
+                lambda t=task_id, g=gen: self._arrive(t, g),
+                f"arrive:{task_id}",
+            )
+
+    def _replan(self, delay: float) -> None:
+        """Re-run the original provisioning policy on the unfinished
+        sub-DAG against the surviving fleet state.
+
+        Completed and currently-running executions are frozen at their
+        realized times; every *pending* (unstarted) task — on any VM —
+        is handed back to the provisioning policy, which sees the
+        surviving VMs with their accumulated history and may reuse them
+        or rent fresh ones.  Policy estimates for the re-placed tasks
+        are approximate (the builder's clock is the schedule era, not
+        the failure instant); actual timing is still re-derived
+        event-by-event, so the realized trace stays exact.
+        """
+        from repro.core.builder import BuilderVM, ScheduleBuilder
+        from repro.core.provisioning.base import provisioning_policy as _provision
+
+        assert self.recovery is not None
+        wf = self.schedule.workflow
+        name = getattr(self.recovery, "provisioning", None) or self.schedule.provisioning
+        try:
+            policy = _provision(name)
+        except SchedulingError:
+            raise FaultError(
+                f"replan needs a registered provisioning policy; "
+                f"{name!r} is unknown — use ReplanRemaining(provisioning=...)"
+            ) from None
+        pending = [
+            t
+            for t in wf.topological_order()
+            if t not in self._done and t not in self._started
+        ]
+        pending_set = set(pending)
+        # strip pending tasks from every surviving queue
+        for evm in self._vms:
+            if evm.crashed:
+                continue
+            evm.queue = [t for t in evm.queue if t not in pending_set]
+            evm.next_idx = sum(1 for t in evm.queue if t in self._done)
+        # seed a builder with the surviving fleet state
+        default_itype = (
+            self.schedule.vms[0].itype if self.schedule.vms else self._vms[0].itype
+        )
+        builder = ScheduleBuilder(
+            wf,
+            self.schedule.platform,
+            default_itype,
+            region=self.schedule.vms[0].region if self.schedule.vms else None,
+        )
+        survivors = [
+            evm for evm in self._vms if not evm.crashed and evm.queue
+        ]
+        for idx, evm in enumerate(survivors):
+            bvm = BuilderVM(id=idx, itype=evm.itype, region=evm.region)
+            for tid in evm.queue:
+                start = self.result.task_start[tid]
+                end = (
+                    self.result.task_finish[tid]
+                    if tid in self._done
+                    else self._exp_end[tid]
+                )
+                bvm.order.append(tid)
+                bvm.timing[tid] = (start, end)
+                bvm.busy_seconds += end - start
+                builder.task_vm[tid] = bvm
+                builder.task_start[tid] = start
+                builder.task_finish[tid] = end
+            builder.vms.append(bvm)
+        # ghost entries for executions on crashed VMs: the policy cannot
+        # place anything there, but transfer estimates need their origin
+        ghost_id = -1
+        for evm in self._vms:
+            if not evm.crashed:
+                continue
+            ghost = BuilderVM(id=ghost_id, itype=evm.itype, region=evm.region)
+            ghost_id -= 1
+            for tid in evm.queue:
+                if tid not in self._done:
+                    continue
+                start = self.result.task_start[tid]
+                end = self.result.task_finish[tid]
+                builder.task_vm[tid] = ghost
+                builder.task_start[tid] = start
+                builder.task_finish[tid] = end
+        # hand the unfinished sub-DAG back to the provisioning policy
+        for tid in pending:
+            builder.begin_task(tid)
+            bvm = policy.select_vm(tid, builder)
+            builder.place(tid, bvm)
+        # map the policy's decisions back onto the runtime fleet
+        bvm_to_evm: Dict[int, _ExecVM] = {
+            idx: evm for idx, evm in enumerate(survivors)
+        }
+        for bvm in builder.vms:
+            new_tasks = [t for t in bvm.order if t in pending_set]
+            if not new_tasks:
+                continue
+            evm = bvm_to_evm.get(bvm.id)
+            if evm is None:
+                evm = self._new_vm(bvm.itype, bvm.region)
+                bvm_to_evm[bvm.id] = evm
+            for tid in new_tasks:
+                prev = self._vm_of[tid]
+                evm.queue.append(tid)
+                if prev is not evm:
+                    self._vm_of[tid] = evm
+                    self._gen[tid] += 1
+                    self._restage_inputs(tid, evm, delay)
+                # unmoved tasks keep their (possibly in-flight) inputs
+        for evm in self._vms:
+            if evm.crashed:
+                continue
+            self.sim.after(
+                delay, lambda v=evm: self._kick_front(v), f"replan:{evm.name}"
+            )
+
+    def _kick_front(self, vm: _ExecVM) -> None:
+        front = self._front(vm)
+        if front is not None:
+            self._try_start(front)
+
+    # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute to completion; raises on deadlock."""
-        for vm in self.schedule.vms:
-            self.result.record(TraceEvent(0.0, "vm_start", "", vm.name))
-            front = self._vm_front(vm.id)
+        for evm in self._vms:
+            self.result.record(TraceEvent(0.0, "vm_start", "", evm.name))
+            front = self._front(evm)
             if front is not None:
                 self.sim.at(0.0, lambda t=front: self._try_start(t), f"kick:{front}")
         self.sim.run()
@@ -152,12 +617,39 @@ class ScheduleExecutor:
             raise SimulationError(
                 f"simulation deadlocked; never completed: {sorted(missing)}"
             )
-        for vm in self.schedule.vms:
-            starts = [self.result.task_start[t] for t in vm.task_ids]
-            ends = [self.result.task_finish[t] for t in vm.task_ids]
-            window = (min(starts), max(ends))
-            self.result.vm_windows[vm.name] = window
-            self.result.record(TraceEvent(window[1], "vm_stop", "", vm.name))
+        billing = self.schedule.platform.billing
+        for evm in self._vms:
+            finals = [t for t in evm.queue if self._vm_of[t] is evm]
+            if finals:
+                starts = [self.result.task_start[t] for t in finals]
+                ends = [self.result.task_finish[t] for t in finals]
+                # last_active == max(ends) unless late attempts failed here
+                end = max(max(ends), evm.last_active)
+                window = (min(starts), evm.crashed_at if evm.crashed else end)
+            elif evm.rent_open:
+                # rented, but every execution attempt here was lost
+                window = (
+                    evm.rent_start,
+                    evm.crashed_at if evm.crashed else evm.last_active,
+                )
+            else:
+                continue  # never actually rented (e.g. replanned away)
+            self.result.vm_windows[evm.name] = window
+            if evm.crashed:
+                # crash already recorded; rent runs to the BTU boundary
+                uptime = evm.crashed_at - evm.rent_start
+            else:
+                self.result.record(TraceEvent(window[1], "vm_stop", "", evm.name))
+                uptime = window[1] - evm.rent_start
+            if self.stats is not None:
+                cost = billing.vm_cost(uptime, evm.itype, evm.region)
+                paid = billing.paid_seconds(uptime)
+                self.result.vm_costs[evm.name] = cost
+                self.stats.realized_cost += cost
+                self.stats.paid_seconds += paid
+                self.stats.wasted_btu_seconds += paid - evm.useful_seconds
+        if self.stats is not None:
+            self.result.faults = self.stats
         return self.result
 
 
@@ -168,3 +660,24 @@ def simulate_schedule(schedule: Schedule, check: bool = True) -> SimulationResul
     if check:
         result.check_against(schedule)
     return result
+
+
+def run_with_faults(
+    schedule: Schedule,
+    fault_plan: FaultPlan,
+    recovery: "str | RecoveryPolicy | None" = "retry",
+    runtime_fn: Callable[[str, float], float] | None = None,
+    max_events: int = 10_000_000,
+) -> SimulationResult:
+    """Convenience wrapper: replay *schedule* under *fault_plan*.
+
+    Returns a :class:`SimulationResult` whose ``faults``/``vm_costs``
+    fields carry the robustness accounting.
+    """
+    return ScheduleExecutor(
+        schedule,
+        max_events=max_events,
+        runtime_fn=runtime_fn,
+        fault_plan=fault_plan,
+        recovery=recovery,
+    ).run()

@@ -1,0 +1,227 @@
+"""Composable, seed-deterministic fault processes for the simulator.
+
+The paper assumes perfectly reliable, pre-booted VMs; this module models
+the three failure modes a real IaaS deployment must absorb:
+
+* **VM boot failure / delayed boot** — an acquisition request fails (and
+  is re-issued) or the boot takes longer than nominal;
+* **VM crash** — the instance dies at a random uptime (spot-revocation
+  style); the paid rent runs to the BTU boundary that contains the
+  crash, exactly as a revoked on-demand instance is billed;
+* **transient task failure** — one execution attempt of a task dies
+  partway through and must be recovered (retry / resubmit / replan, see
+  :mod:`repro.core.recovery`).
+
+Determinism contract
+--------------------
+Every random draw is taken from a private stream keyed by
+``(plan seed, purpose, entity identity, attempt number)`` — never from a
+shared generator — so outcomes depend only on *what* is being sampled,
+not on the order in which the event loop happens to ask.  Identical
+seeds therefore reproduce identical faults, traces, and recovery
+decisions across the serial, thread, and process execution backends.
+
+A plan whose probabilities are all zero draws nothing and injects
+nothing: executor and online-scheduler results are byte-identical to a
+run without any plan (regression-tested).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def _stream(seed: int, *key) -> np.random.Generator:
+    """A private generator for one sampling decision.
+
+    The key is hashed (stable across processes and platforms — python's
+    ``hash`` is salted, so it is *not* used) into extra entropy words for
+    a :class:`~numpy.random.SeedSequence` rooted at the plan seed.
+    """
+    text = "\x1f".join(str(k) for k in key)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=16).digest()
+    words = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+    return np.random.default_rng(np.random.SeedSequence([seed, *words]))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One reproducible fault environment for a simulated run.
+
+    All processes are optional and independently composable; the default
+    instance injects nothing.  ``seed`` selects the fault *sample*, so a
+    replication layer can hold the fault intensity fixed and vary only
+    the seed.
+    """
+
+    seed: int = 0
+    #: probability that one execution attempt of a task fails partway
+    task_fail_prob: float = 0.0
+    #: per-second hazard of a VM crash (exponential uptime-to-crash);
+    #: e.g. ``1/7200`` means a mean time-to-crash of two BTUs
+    vm_crash_rate: float = 0.0
+    #: probability that one VM acquisition (boot) attempt fails
+    boot_fail_prob: float = 0.0
+    #: relative std-dev of the multiplicative (log-normal, mean-1) noise
+    #: on boot duration; 0 keeps boots at their nominal length
+    boot_delay_rel_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.task_fail_prob < 1.0:
+            raise SimulationError(
+                f"task_fail_prob must be in [0, 1), got {self.task_fail_prob}"
+            )
+        if not 0.0 <= self.boot_fail_prob < 1.0:
+            raise SimulationError(
+                f"boot_fail_prob must be in [0, 1), got {self.boot_fail_prob}"
+            )
+        if self.vm_crash_rate < 0:
+            raise SimulationError(
+                f"vm_crash_rate must be >= 0, got {self.vm_crash_rate}"
+            )
+        if self.boot_delay_rel_std < 0:
+            raise SimulationError(
+                f"boot_delay_rel_std must be >= 0, got {self.boot_delay_rel_std}"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan that injects nothing (the explicit zero-fault control)."""
+        return cls()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault process can actually fire."""
+        return (
+            self.task_fail_prob > 0
+            or self.vm_crash_rate > 0
+            or self.boot_fail_prob > 0
+            or self.boot_delay_rel_std > 0
+        )
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """This plan with every process scaled by *intensity* (>= 0).
+
+        The fault-intensity axis of the experiment grid: 0 disables all
+        processes, 1 is the plan itself.  Probabilities are capped just
+        below 1 so a run always terminates almost surely.
+        """
+        if intensity < 0:
+            raise SimulationError(f"intensity must be >= 0, got {intensity}")
+        cap = 0.99
+        return dataclasses.replace(
+            self,
+            task_fail_prob=min(self.task_fail_prob * intensity, cap),
+            vm_crash_rate=self.vm_crash_rate * intensity,
+            boot_fail_prob=min(self.boot_fail_prob * intensity, cap),
+            boot_delay_rel_std=self.boot_delay_rel_std * intensity,
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same fault environment, re-sampled under another seed."""
+        return dataclasses.replace(self, seed=int(seed))
+
+    # ------------------------------------------------------------------
+    # sampling (all deterministic in (seed, key))
+    # ------------------------------------------------------------------
+    def task_attempt(self, task_id: str, attempt: int) -> Optional[float]:
+        """Outcome of one execution attempt of *task_id*.
+
+        ``None`` means the attempt succeeds; a float in (0, 1) is the
+        fraction of the attempt's duration after which it fails.
+        """
+        if self.task_fail_prob <= 0:
+            return None
+        rng = _stream(self.seed, "task", task_id, attempt)
+        if rng.random() >= self.task_fail_prob:
+            return None
+        # uniform over the open unit interval so a failed attempt always
+        # wastes some, but never all, of its duration
+        return float(rng.uniform(1e-3, 1.0 - 1e-3))
+
+    def vm_crash_uptime(self, vm_key: str) -> float:
+        """Uptime at which the VM identified by *vm_key* crashes.
+
+        ``inf`` (no crash within any horizon) when the crash process is
+        disabled; otherwise an exponential draw with the plan's hazard.
+        """
+        if self.vm_crash_rate <= 0:
+            return math.inf
+        rng = _stream(self.seed, "crash", vm_key)
+        return float(rng.exponential(1.0 / self.vm_crash_rate))
+
+    def boot_outcome(self, vm_key: str, attempt: int) -> Tuple[bool, float]:
+        """Outcome of one boot attempt: ``(fails, delay_factor)``.
+
+        ``delay_factor`` multiplies the platform's nominal boot time
+        (mean-1 log-normal noise); it is exactly 1.0 when the delay
+        process is disabled.
+        """
+        fails = False
+        factor = 1.0
+        if self.boot_fail_prob > 0 or self.boot_delay_rel_std > 0:
+            rng = _stream(self.seed, "boot", vm_key, attempt)
+            if self.boot_fail_prob > 0:
+                fails = bool(rng.random() < self.boot_fail_prob)
+            if self.boot_delay_rel_std > 0:
+                sigma2 = np.log1p(self.boot_delay_rel_std**2)
+                factor = float(rng.lognormal(-sigma2 / 2.0, np.sqrt(sigma2)))
+        return fails, factor
+
+
+@dataclass
+class FaultStats:
+    """Robustness accounting for one fault-injected run."""
+
+    task_failures: int = 0
+    vm_crashes: int = 0
+    boot_failures: int = 0
+    retries: int = 0
+    resubmits: int = 0
+    replans: int = 0
+    #: execution seconds burnt by attempts that did not complete
+    wasted_task_seconds: float = 0.0
+    #: paid BTU-seconds that produced no completed task execution
+    #: (idle gaps, failed attempts, crashed-VM tails to the boundary)
+    wasted_btu_seconds: float = 0.0
+    #: total paid seconds (uptime ceiled to the BTU grid) over all VMs
+    paid_seconds: float = 0.0
+    #: realized rent, with crashed VMs billed to their BTU boundary
+    realized_cost: float = 0.0
+    #: recovery decision log, e.g. ``"retry:t3@120.000"`` — compared
+    #: verbatim by the determinism tests
+    decisions: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> int:
+        """All fault firings, whatever the layer."""
+        return self.task_failures + self.vm_crashes + self.boot_failures
+
+    @property
+    def recoveries(self) -> int:
+        return self.retries + self.resubmits + self.replans
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "task_failures": self.task_failures,
+            "vm_crashes": self.vm_crashes,
+            "boot_failures": self.boot_failures,
+            "retries": self.retries,
+            "resubmits": self.resubmits,
+            "replans": self.replans,
+            "wasted_task_seconds": self.wasted_task_seconds,
+            "wasted_btu_seconds": self.wasted_btu_seconds,
+            "paid_seconds": self.paid_seconds,
+            "realized_cost": self.realized_cost,
+        }

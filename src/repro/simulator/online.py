@@ -18,6 +18,15 @@ online operation:
   with earlier waits;
 * with a ``runtime_fn`` the policy reacts to *actual* durations, so
   online placements can differ from the static plan built on estimates.
+
+Fault injection follows the same reservation semantics the online model
+already uses for placement: a failing attempt holds its reserved slot to
+the planned finish (the VM is not reclaimed early), a VM crash voids the
+VM and every uncompleted reservation on it, and recovery re-dispatch
+goes back through the ready queue — in online mode *re-entering the
+ready queue is the replan*, because the provisioning policy re-places
+the task against the fleet state at recovery time.  With ``fault_plan``
+``None`` the executor is byte-identical to the fault-free one.
 """
 
 from __future__ import annotations
@@ -28,8 +37,10 @@ from typing import Callable, Dict, List, Optional
 from repro.cloud.instance import SMALL, InstanceType
 from repro.cloud.platform import CloudPlatform
 from repro.cloud.region import Region
-from repro.errors import SchedulingError, SimulationError
+from repro.core.recovery import FailureEvent, RecoveryPolicy, recovery_policy
+from repro.errors import FaultError, SchedulingError, SimulationError
 from repro.simulator.engine import Simulator
+from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.trace import TraceEvent
 from repro.workflows.dag import Workflow
 
@@ -55,6 +66,10 @@ class _OnlineVM:
     levels: set = field(default_factory=set)
     finished_at: float = 0.0
     dead: bool = False
+    crashed: bool = False
+    crashed_at: float = 0.0
+    #: seconds of completed executions (fault accounting)
+    useful_seconds: float = 0.0
 
     def horizon(self, btu: float) -> float:
         """End of the last started BTU — deprovision time when idle."""
@@ -76,6 +91,8 @@ class OnlineResult:
     task_finish: Dict[str, float]
     task_vm: Dict[str, int]
     events: List[TraceEvent]
+    #: robustness accounting, populated only by fault-injected runs
+    faults: Optional[FaultStats] = None
 
 
 class OnlineCloudExecutor:
@@ -91,6 +108,8 @@ class OnlineCloudExecutor:
         runtime_fn: Callable[[str, float], float] | None = None,
         max_events: int = 10_000_000,
         release_times: Dict[str, float] | None = None,
+        fault_plan: FaultPlan | None = None,
+        recovery: "str | RecoveryPolicy | None" = None,
     ) -> None:
         if policy not in _SUPPORTED:
             raise SchedulingError(
@@ -118,6 +137,18 @@ class OnlineCloudExecutor:
         self.task_finish: Dict[str, float] = {}
         self.task_vm: Dict[str, int] = {}
         self.events: List[TraceEvent] = []
+        self.fault_plan = fault_plan
+        self.recovery: Optional[RecoveryPolicy] = (
+            recovery_policy(recovery) if fault_plan is not None else None
+        )
+        self.stats: Optional[FaultStats] = (
+            FaultStats() if fault_plan is not None else None
+        )
+        #: current attempt number per task (1-based)
+        self._attempt: Dict[str, int] = {}
+        self._completed: set = set()
+        #: tasks whose next placement must rent a fresh VM (resubmit)
+        self._force_fresh: set = set()
 
     # ------------------------------------------------------------------
     # fleet queries at current simulation time
@@ -141,14 +172,38 @@ class OnlineCloudExecutor:
         # Cold starts: the VM is requested now but cannot execute until
         # it has booted (the paper pre-boots; online cannot).
         boot = 0.0 if self.platform.prebooted else self.platform.boot_seconds
+        vm_id = len(self.fleet)
+        if self.fault_plan is not None and boot > 0:
+            # boot failures re-issue the request; the delays accumulate
+            assert self.recovery is not None and self.stats is not None
+            total, attempt = 0.0, 0
+            while True:
+                attempt += 1
+                fails, factor = self.fault_plan.boot_outcome(f"vm{vm_id}", attempt)
+                total += boot * factor
+                if not fails:
+                    break
+                self.stats.boot_failures += 1
+                self.events.append(
+                    TraceEvent(self.sim.now + total, "vm_boot_fail", "", f"vm{vm_id}")
+                )
+                if attempt >= self.recovery.max_attempts:
+                    raise FaultError(f"vm{vm_id} failed to boot {attempt} times")
+            boot = total
         vm = _OnlineVM(
-            id=len(self.fleet),
+            id=vm_id,
             itype=self.itype,
             started_at=self.sim.now,
             free_at=self.sim.now + boot,
         )
         self.fleet.append(vm)
         self.events.append(TraceEvent(self.sim.now, "vm_start", "", f"vm{vm.id}"))
+        if self.fault_plan is not None:
+            uptime = self.fault_plan.vm_crash_uptime(f"vm{vm.id}")
+            if uptime != float("inf"):
+                self.sim.after(
+                    uptime, lambda v=vm: self._on_vm_crash(v), f"crash:vm{vm.id}"
+                )
         return vm
 
     def _fits_btu(self, vm: _OnlineVM, duration: float) -> bool:
@@ -207,7 +262,11 @@ class OnlineCloudExecutor:
     def _on_ready(self, task_id: str) -> None:
         now = self.sim.now
         planned = self.platform.runtime(self.workflow.task(task_id), self.itype)
-        vm = self._select_vm(task_id, planned)
+        if task_id in self._force_fresh:
+            self._force_fresh.discard(task_id)
+            vm = self._rent()
+        else:
+            vm = self._select_vm(task_id, planned)
         vm.levels.add(self.levels[task_id])
         # input staging: the largest predecessor transfer, paid after
         # placement (destination only now known)
@@ -221,7 +280,11 @@ class OnlineCloudExecutor:
                 same_vm=same,
             )
             transfer = max(transfer, dt)
-        start = max(now + transfer, vm.free_at)
+        self._execute(task_id, vm, now + transfer)
+
+    def _execute(self, task_id: str, vm: _OnlineVM, earliest: float) -> None:
+        """Reserve and run the next attempt of *task_id* on *vm*."""
+        start = max(earliest, vm.free_at)
         duration = self.platform.runtime(self.workflow.task(task_id), vm.itype)
         if self.runtime_fn is not None:
             duration = self.runtime_fn(task_id, duration)
@@ -230,14 +293,46 @@ class OnlineCloudExecutor:
         finish = start + duration
         vm.free_at = finish
         vm.busy_seconds += duration
-        vm.tasks.append(task_id)
+        prev = self.task_vm.get(task_id)
+        if prev is not None and prev != vm.id:
+            # re-placement after a failure: leave the old VM's roster
+            old = self.fleet[prev]
+            if task_id in old.tasks:
+                old.tasks.remove(task_id)
+        if task_id not in vm.tasks:
+            vm.tasks.append(task_id)
         self.task_vm[task_id] = vm.id
         self.task_start[task_id] = start
         self.task_finish[task_id] = finish
         self.events.append(TraceEvent(start, "task_start", task_id, f"vm{vm.id}"))
-        self.sim.at(finish, lambda: self._on_finish(task_id), f"end:{task_id}")
+        attempt = self._attempt.get(task_id, 1)
+        frac = (
+            self.fault_plan.task_attempt(task_id, attempt)
+            if self.fault_plan is not None
+            else None
+        )
+        if frac is None:
+            self.sim.at(
+                finish, lambda a=attempt: self._on_finish(task_id, a), f"end:{task_id}"
+            )
+        else:
+            # the attempt dies partway; the reservation is held anyway
+            # (the slot was committed at placement)
+            wasted = frac * duration
+            self.sim.at(
+                start + wasted,
+                lambda a=attempt, w=wasted: self._on_task_fail(task_id, a, w),
+                f"fail:{task_id}",
+            )
 
-    def _on_finish(self, task_id: str) -> None:
+    def _on_finish(self, task_id: str, attempt: int = 0) -> None:
+        if attempt and attempt != self._attempt.get(task_id, 1):
+            return  # attempt superseded by a VM crash
+        vm = self.fleet[self.task_vm[task_id]]
+        if vm.crashed:
+            return  # the crash already failed this attempt
+        self._completed.add(task_id)
+        vm.useful_seconds += self.task_finish[task_id] - self.task_start[task_id]
         self.events.append(
             TraceEvent(self.sim.now, "task_end", task_id, f"vm{self.task_vm[task_id]}")
         )
@@ -245,6 +340,97 @@ class OnlineCloudExecutor:
             self._pending[succ] -= 1
             if self._pending[succ] == 0:
                 self.sim.at(self.sim.now, lambda s=succ: self._on_ready(s), f"ready:{succ}")
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _recover(self, task_id: str, vm: _OnlineVM, reason: str) -> None:
+        """Consult the recovery policy for one failed attempt and
+        schedule the re-dispatch."""
+        assert self.recovery is not None and self.stats is not None
+        now = self.sim.now
+        attempt = self._attempt.get(task_id, 1)
+        failure = FailureEvent(
+            task_id=task_id,
+            vm_id=vm.id,
+            attempt=attempt,
+            time=now,
+            reason=reason,
+            vm_alive=not vm.dead,
+        )
+        action = self.recovery.on_task_failure(failure)
+        self.stats.decisions.append(f"{action.kind}:{task_id}@{now:.3f}")
+        if action.kind == "abort":
+            raise FaultError(
+                f"task {task_id!r} failed {attempt} times; recovery gave up"
+            )
+        self._attempt[task_id] = attempt + 1
+        if action.kind == "retry" and not vm.dead:
+            # same VM, inputs staged: wait out the backoff (the slot
+            # reservation makes the start no earlier than vm.free_at)
+            self.stats.retries += 1
+            self.sim.after(
+                action.delay,
+                lambda t=task_id, v=vm, a=attempt + 1: self._retry(t, v, a),
+                f"retry:{task_id}",
+            )
+            return
+        if action.kind == "resubmit" or (action.kind == "retry" and vm.dead):
+            self.stats.resubmits += 1
+            self._force_fresh.add(task_id)
+        else:  # replan: the online policy re-places against the fleet
+            self.stats.replans += 1
+        self.sim.after(
+            action.delay, lambda t=task_id: self._on_ready(t), f"ready:{task_id}"
+        )
+
+    def _retry(self, task_id: str, vm: _OnlineVM, attempt: int) -> None:
+        if attempt != self._attempt.get(task_id, 1):
+            return  # a crash re-dispatched the task meanwhile
+        if vm.dead:
+            return  # likewise: the crash handler owns the re-dispatch
+        self._execute(task_id, vm, self.sim.now)
+
+    def _on_task_fail(self, task_id: str, attempt: int, wasted: float) -> None:
+        if attempt != self._attempt.get(task_id, 1):
+            return
+        assert self.stats is not None
+        vm = self.fleet[self.task_vm[task_id]]
+        if vm.crashed:
+            return
+        self.stats.task_failures += 1
+        self.stats.wasted_task_seconds += wasted
+        self.events.append(
+            TraceEvent(
+                self.sim.now, "task_fail", task_id, f"vm{vm.id}", f"attempt:{attempt}"
+            )
+        )
+        self._recover(task_id, vm, "task")
+
+    def _on_vm_crash(self, vm: _OnlineVM) -> None:
+        if vm.dead or vm.crashed:
+            return  # released before the crash would have hit
+        assert self.stats is not None
+        now = self.sim.now
+        vm.crashed = True
+        vm.dead = True
+        vm.crashed_at = now
+        vm.finished_at = now
+        self.stats.vm_crashes += 1
+        self.events.append(TraceEvent(now, "vm_crash", "", f"vm{vm.id}"))
+        victims = [t for t in vm.tasks if t not in self._completed]
+        for tid in victims:
+            started = self.task_start.get(tid, now)
+            wasted = max(min(now, self.task_finish[tid]) - started, 0.0)
+            self.stats.task_failures += 1
+            self.stats.wasted_task_seconds += wasted
+            # reclaim the voided reservation from the busy accounting
+            vm.busy_seconds -= self.task_finish[tid] - started
+            vm.busy_seconds += wasted
+            self.events.append(
+                TraceEvent(now, "task_fail", tid, f"vm{vm.id}", "vm_crash")
+            )
+            self._recover(tid, vm, "vm_crash")
 
     # ------------------------------------------------------------------
     def run(self) -> OnlineResult:
@@ -259,9 +445,18 @@ class OnlineCloudExecutor:
         rent = 0.0
         idle = 0.0
         for vm in self.fleet:
-            uptime = vm.free_at - vm.started_at
-            rent += billing.vm_cost(uptime, vm.itype, self.region)
-            idle += billing.paid_seconds(uptime) - vm.busy_seconds
+            # a crashed VM stops accruing rent at the crash, but the
+            # started BTU is still billed in full (the ceil below)
+            end = vm.crashed_at if vm.crashed else vm.free_at
+            uptime = end - vm.started_at
+            cost = billing.vm_cost(uptime, vm.itype, self.region)
+            paid = billing.paid_seconds(uptime)
+            rent += cost
+            idle += paid - vm.busy_seconds
+            if self.stats is not None:
+                self.stats.paid_seconds += paid
+                self.stats.realized_cost += cost
+                self.stats.wasted_btu_seconds += paid - vm.useful_seconds
         return OnlineResult(
             makespan=max(self.task_finish.values()),
             rent_cost=rent,
@@ -273,6 +468,7 @@ class OnlineCloudExecutor:
             # vm_stop events carry their horizon time but are observed at
             # the next reap; sort so the trace reads chronologically
             events=sorted(self.events, key=lambda e: e.time),
+            faults=self.stats,
         )
 
 
@@ -329,6 +525,8 @@ def run_online(
     itype: InstanceType | None = None,
     region: Region | None = None,
     runtime_fn: Callable[[str, float], float] | None = None,
+    fault_plan: FaultPlan | None = None,
+    recovery: "str | RecoveryPolicy | None" = None,
 ) -> OnlineResult:
     """Convenience wrapper: build and run an online executor."""
     return OnlineCloudExecutor(
@@ -338,4 +536,6 @@ def run_online(
         itype=itype or platform.itype("small"),
         region=region,
         runtime_fn=runtime_fn,
+        fault_plan=fault_plan,
+        recovery=recovery,
     ).run()

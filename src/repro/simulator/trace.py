@@ -9,10 +9,13 @@ cross-validation invariant in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.schedule import Schedule
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.simulator.faults import FaultStats
 
 _EPS = 1e-6
 
@@ -22,7 +25,7 @@ class TraceEvent:
     """One observed simulation event."""
 
     time: float
-    kind: str  # "vm_start" | "transfer_start" | "transfer_end" | "task_start" | "task_end" | "vm_stop"
+    kind: str  # "vm_start" | "vm_boot" | "vm_boot_fail" | "transfer_start" | "transfer_end" | "task_start" | "task_fail" | "task_end" | "vm_crash" | "vm_stop"
     task_id: str = ""
     vm: str = ""
     detail: str = ""
@@ -36,12 +39,22 @@ class SimulationResult:
     task_start: Dict[str, float] = field(default_factory=dict)
     task_finish: Dict[str, float] = field(default_factory=dict)
     vm_windows: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: robustness accounting, populated only by fault-injected runs
+    faults: Optional["FaultStats"] = None
+    #: realized per-VM rent (crashed VMs billed to their BTU boundary),
+    #: populated only by fault-injected runs
+    vm_costs: Dict[str, float] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
         if not self.task_finish:
             return 0.0
         return max(self.task_finish.values())
+
+    @property
+    def realized_cost(self) -> float:
+        """Total realized rent of a fault-injected run (0 otherwise)."""
+        return sum(self.vm_costs.values())
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)

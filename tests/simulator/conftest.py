@@ -1,0 +1,45 @@
+"""Simulator-test fixtures: a per-test wall-clock deadline.
+
+A discrete-event bug (an event loop that re-schedules itself without
+advancing, a deadlocked queue discipline) shows up as a *hang*, not a
+failure; the engine's event budget catches runaway loops, but a test
+that blocks outside the engine would stall the whole suite.  The
+``pytest-timeout`` plugin is not a dependency of this repo, so the
+deadline is implemented with ``SIGALRM`` directly — active only on the
+main thread of platforms that have the signal (everywhere this suite
+runs in practice; elsewhere the fixture is a no-op).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+#: generous wall-clock ceiling per simulator test, seconds
+TEST_DEADLINE_SECONDS = 60
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline(request):
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the "
+            f"{TEST_DEADLINE_SECONDS}s simulator-test deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(TEST_DEADLINE_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -73,6 +73,23 @@ class TestSimulator:
         with pytest.raises(SimulationError, match="budget"):
             sim.run()
 
+    def test_event_budget_error_names_last_event(self):
+        """Exhaustion reports the label and timestamp of the event that
+        crossed the budget, so a runaway loop is debuggable."""
+        sim = Simulator(max_events=3)
+
+        def forever():
+            sim.after(2.5, forever, "spin")
+
+        sim.at(0.0, forever, "spin")
+        with pytest.raises(SimulationError) as exc_info:
+            sim.run()
+        message = str(exc_info.value)
+        assert "3 events" in message
+        assert "'spin'" in message
+        # events fire at t = 0, 2.5, 5, 7.5; the 4th breaks the budget
+        assert "t=7.5" in message
+
     def test_processed_events_counted(self):
         sim = Simulator()
         for i in range(4):

@@ -101,3 +101,48 @@ class TestRobustnessStudy:
         sched = HeftScheduler("OneVMperTask").schedule(workflow, platform)
         with pytest.raises(SimulationError):
             robustness_study(sched, trials=0)
+
+
+class TestPerturbEdgeCases:
+    def test_zero_rel_std_is_exact_identity_replay(self, workflow, platform):
+        """rel_std=0 must replay the schedule *exactly*: the jitter factor
+        is exp(0) = 1.0 precisely, not merely approximately."""
+        fn = lognormal_jitter(0.0, seed=11)
+        assert all(fn("t", d) == d for d in (1.0, 3600.0, 0.125))
+        sched = HeftScheduler("StartParNotExceed").schedule(workflow, platform)
+        noisy = ScheduleExecutor(sched, runtime_fn=lognormal_jitter(0.0)).run()
+        exact = ScheduleExecutor(sched).run()
+        assert noisy.events == exact.events
+        assert noisy.task_finish == exact.task_finish
+        report = robustness_study(sched, rel_std=0.0, trials=3, seed=0)
+        assert report.realized_makespans == [sched.makespan] * 3
+
+    def test_perturbed_makespan_deterministic_per_seed(self, workflow, platform):
+        """One (schedule, rel_std, seed) triple has exactly one outcome."""
+        sched = HeftScheduler("StartParExceed").schedule(workflow, platform)
+        a = robustness_study(sched, rel_std=0.3, trials=4, seed=42)
+        b = robustness_study(sched, rel_std=0.3, trials=4, seed=42)
+        assert a.realized_makespans == b.realized_makespans
+        c = robustness_study(sched, rel_std=0.3, trials=4, seed=43)
+        assert a.realized_makespans != c.realized_makespans
+
+    def test_spawned_replicates_are_independent(self):
+        """spawn_rngs children draw distinct streams: no replicate reuses
+        another's noise, and child identity depends only on its index."""
+        from repro.util.rng import spawn_rngs
+
+        draws = [rng.random(8).tolist() for rng in spawn_rngs(123, 5)]
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert draws[i] != draws[j]
+        again = [rng.random(8).tolist() for rng in spawn_rngs(123, 5)]
+        assert draws == again
+        # a longer spawn keeps earlier children unchanged (index-keyed)
+        wider = [rng.random(8).tolist() for rng in spawn_rngs(123, 9)][:5]
+        assert wider == draws
+
+    def test_trial_makespans_differ_across_replicates(self, workflow, platform):
+        """Independent replicate streams produce distinct realizations."""
+        sched = HeftScheduler("OneVMperTask").schedule(workflow, platform)
+        report = robustness_study(sched, rel_std=0.4, trials=6, seed=3)
+        assert len(set(report.realized_makespans)) > 1
