@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report artifacts examples faults-smoke clean
+.PHONY: install test bench bench-scaling bench-check profile report \
+  artifacts examples faults-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +19,22 @@ bench:
 
 bench-all:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Refreshes BENCH_scaling.json: full pipeline at 1k/10k/50k tasks per
+# provisioning family, with measured speedups vs the *Reference kernels.
+bench-scaling:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py
+
+# Perf-regression gate: re-runs the small scaling sizes and fails when
+# any cell is >25% slower than the committed BENCH_scaling.json.
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py --check
+
+# cProfile one representative sweep cell; top-25 cumulative entries go
+# to artifacts/profile.txt for before/after comparisons.
+profile:
+	mkdir -p artifacts
+	PYTHONPATH=src $(PYTHON) benchmarks/profile_cell.py --out artifacts/profile.txt
 
 report:
 	$(PYTHON) -m repro.experiments.cli all

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import datetime
 import json
 import os
 import platform as platform_module
@@ -29,6 +30,7 @@ from repro.experiments.scenarios import paper_scenarios
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_sweep.json"
+HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 SWEEP_SEED = 2013
 
 
@@ -117,6 +119,22 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(record, indent=2) + "\n")
 
     par = record["parallel"]
+    # append-only trajectory log, one dated row per benchmark run
+    with HISTORY.open("a") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "date": datetime.date.today().isoformat(),
+                    "benchmark": "sweep",
+                    "serial_seconds": record["serial_seconds"],
+                    "parallel_seconds": par["seconds"],
+                    "backend": par["backend"],
+                    "speedup": par["speedup"],
+                    "identical": record["parallel_identical_to_serial"],
+                }
+            )
+            + "\n"
+        )
     print(
         f"serial {record['serial_seconds']:.2f}s | "
         f"{par['backend']} {par['seconds']:.2f}s | "

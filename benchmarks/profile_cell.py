@@ -1,0 +1,83 @@
+"""Profile one representative sweep cell under cProfile.
+
+Runs the full evaluation of a single (scenario, workflow) grid cell —
+the unit ``run_sweep`` fans out — and writes the top *N* functions by
+cumulative time to a text report (``make profile`` puts it at
+``artifacts/profile.txt``).  Use it to find the next hot spot before
+and to prove the fix after an optimization PR.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/profile_cell.py --out artifacts/profile.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.config import paper_strategies, paper_workflows
+from repro.experiments.parallel import SweepCell, run_cell
+from repro.experiments.scenarios import paper_scenarios
+
+
+def build_cell(scenario_index: int, workflow_index: int, seed: int) -> SweepCell:
+    platform = CloudPlatform.ec2()
+    scenarios = paper_scenarios(platform)
+    workflows = paper_workflows()
+    scenario = scenarios[scenario_index % len(scenarios)]
+    wf_name, shape = list(workflows.items())[workflow_index % len(workflows)]
+    child = np.random.SeedSequence(seed).spawn(1)[0]
+    return SweepCell(
+        scenario=scenario,
+        workflow_name=wf_name,
+        shape=shape,
+        strategies=paper_strategies(),
+        platform=platform,
+        seed=child,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", type=int, default=0, help="scenario index")
+    parser.add_argument("--workflow", type=int, default=0, help="workflow index")
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--top", type=int, default=25, help="rows in the report")
+    parser.add_argument("--out", type=Path, default=None, help="report path (default stdout)")
+    args = parser.parse_args(argv)
+
+    cell = build_cell(args.scenario, args.workflow, args.seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_cell(cell)
+    profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    header = (
+        f"cell {cell.scenario.name}/{cell.workflow_name} "
+        f"({len(cell.strategies)} strategies, seed {args.seed}); "
+        f"{len(result.metrics)} strategy rows\n"
+        f"top {args.top} by cumulative time\n\n"
+    )
+    report = header + buf.getvalue()
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,10 @@ class VM:
     def __post_init__(self) -> None:
         if self.boot_seconds < 0:
             raise InvalidScheduleError("boot_seconds must be >= 0")
+        #: running max placement end — lets ``place`` prove in O(1) that
+        #: an in-order append cannot overlap anything (not a dataclass
+        #: field: derived state, excluded from eq/repr)
+        self._max_end = max((p.end for p in self.placements), default=float("-inf"))
 
     @property
     def name(self) -> str:
@@ -66,16 +70,32 @@ class VM:
     # placement
     # ------------------------------------------------------------------
     def place(self, task_id: str, start: float, duration: float) -> Placement:
-        """Record a task execution; executions on one VM must not overlap."""
+        """Record a task execution; executions on one VM must not overlap.
+
+        Every production caller (the builder freeze, the executors)
+        places in execution order, so the common case — the new start is
+        at or past every recorded end — appends in O(1).  Out-of-order
+        inserts fall back to the historical full overlap scan + re-sort,
+        keeping behavior identical for arbitrary callers.
+        """
         p = Placement(task_id, start, start + duration)
-        for existing in self.placements:
-            if existing.interval.overlaps(p.interval):
-                raise InvalidScheduleError(
-                    f"{self.name}: {task_id!r} {p.interval} overlaps "
-                    f"{existing.task_id!r} {existing.interval}"
-                )
-        self.placements.append(p)
-        self.placements.sort(key=lambda q: (q.start, q.task_id))
+        ps = self.placements
+        if not ps or (
+            p.start >= self._max_end
+            and (p.start, p.task_id) >= (ps[-1].start, ps[-1].task_id)
+        ):
+            ps.append(p)
+        else:
+            for existing in ps:
+                if existing.interval.overlaps(p.interval):
+                    raise InvalidScheduleError(
+                        f"{self.name}: {task_id!r} {p.interval} overlaps "
+                        f"{existing.task_id!r} {existing.interval}"
+                    )
+            ps.append(p)
+            ps.sort(key=lambda q: (q.start, q.task_id))
+        if p.end > self._max_end:
+            self._max_end = p.end
         return p
 
     @property

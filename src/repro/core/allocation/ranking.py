@@ -34,6 +34,50 @@ def upward_rank(
     """
     if not workflow.validated:
         workflow.validate()
+    # Single iterative O(V+E) sweep over the cached reversed-topo order,
+    # against the uncopied adjacency/edge maps.  ``max`` over the same
+    # operands is grouping-independent, so the ranks are byte-identical
+    # to :func:`upward_rank_reference` (property-tested).
+    succ_map = workflow.succ_map()
+    tasks = workflow._tasks
+    runtime = platform.runtime
+    transfer = platform.transfer_time
+    ranks: Dict[str, float] = {}
+    if include_transfers:
+        edge_gb = workflow.edge_data_map()
+        #: transfer time per edge at the run's uniform flavor, computed
+        #: once per edge — the memoized transfer lookup of the kernels
+        for tid in reversed(workflow.topological_order()):
+            best = 0.0
+            for succ in succ_map[tid]:
+                cand = transfer(edge_gb[tid, succ], itype, itype) + ranks[succ]
+                if cand > best:
+                    best = cand
+            ranks[tid] = runtime(tasks[tid], itype) + best
+    else:
+        for tid in reversed(workflow.topological_order()):
+            best = 0.0
+            for succ in succ_map[tid]:
+                if ranks[succ] > best:
+                    best = ranks[succ]
+            ranks[tid] = runtime(tasks[tid], itype) + best
+    return ranks
+
+
+def upward_rank_reference(
+    workflow: Workflow,
+    platform: CloudPlatform,
+    itype: InstanceType,
+    include_transfers: bool = True,
+) -> Dict[str, float]:
+    """The straightforward :func:`upward_rank`, kept as the oracle for
+    the kernel-equivalence property tests (see DESIGN.md §9).
+
+    Goes through the copying public accessors on every visit; identical
+    output, none of the indexing.
+    """
+    if not workflow.validated:
+        workflow.validate()
     ranks: Dict[str, float] = {}
     for tid in reversed(workflow.topological_order()):
         w = platform.runtime(workflow.task(tid), itype)

@@ -12,8 +12,9 @@ test suite checks against the discrete-event simulator.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cloud.instance import InstanceType
 from repro.cloud.platform import CloudPlatform
@@ -92,6 +93,25 @@ class ScheduleBuilder:
         self._level_sizes: Dict[int, int] = {}
         for lvl in self._levels.values():
             self._level_sizes[lvl] = self._level_sizes.get(lvl, 0) + 1
+        # --- hot-path structures (see DESIGN.md §9) ---------------------
+        #: uncopied adjacency/edge maps — read-only
+        self._pred_map = workflow.pred_map()
+        self._edge_gb = workflow.edge_data_map()
+        #: per-task data-ready memo: task -> (rows, pred vm ids, by-key memo)
+        self._pred_cache: Dict[str, Tuple[list, FrozenSet[int], dict]] = {}
+        # Incremental VM indexes, built lazily by ``_ensure_index`` on
+        # the first indexed query so external code (the replan path)
+        # may seed builder state directly beforehand:
+        #: lazy max-heap of (-busy_seconds, vm id, stamp); stale entries
+        #: (stamp mismatch) are dropped on pop
+        self._busy_heap: Optional[list] = None
+        #: per-VM entry version, bumped on every busy_seconds change
+        self._busy_stamp: Dict[int, int] = {}
+        #: per-VM set of DAG levels it hosts (AllPar* exclusion in O(1))
+        self._vm_levels: Dict[int, Set[int]] = {}
+        #: (level, heap) candidate pool for the level currently being
+        #: packed by a level-driven policy; None until first use
+        self._level_pool: Optional[Tuple[int, list]] = None
 
     # ------------------------------------------------------------------
     # queries used by provisioning policies
@@ -134,26 +154,86 @@ class ScheduleBuilder:
         largest = max(preds, key=lambda p: (self.task_finish[p] - self.task_start[p], p))
         return self.task_vm[largest]
 
+    def _pred_info(self, task_id: str) -> Tuple[list, FrozenSet[int], dict]:
+        """Per-task predecessor snapshot backing ``earliest_start``.
+
+        Predecessor placements are append-only (a placed task's finish
+        never changes), so ``(finish, data_gb, host vm)`` rows are fixed
+        the moment every predecessor is placed; they are computed once
+        per task and dropped when the task itself is placed.
+        """
+        info = self._pred_cache.get(task_id)
+        if info is None:
+            finish = self.task_finish
+            task_vm = self.task_vm
+            edge_gb = self._edge_gb
+            rows = []
+            for pred in self._pred_map[task_id]:
+                if pred not in finish:
+                    raise SchedulingError(
+                        f"cannot place {task_id!r}: predecessor {pred!r} unscheduled "
+                        "(allocation order is not topological)"
+                    )
+                rows.append((finish[pred], edge_gb[pred, task_id], task_vm[pred]))
+            info = (rows, frozenset(id(row[2]) for row in rows), {})
+            self._pred_cache[task_id] = info
+        return info
+
+    def _data_ready(self, task_id: str, vm: BuilderVM) -> float:
+        """Latest ``predecessor finish + transfer`` onto *vm*.
+
+        For a candidate VM hosting none of the predecessors the value is
+        a pure function of its (flavor, region) — memoized per task, so
+        scanning many same-flavor candidates costs O(1) each after the
+        first.  A VM hosting a predecessor (``same_vm`` transfer) is
+        computed exactly.  ``max`` over identical operands makes both
+        paths byte-identical to the plain per-predecessor loop.
+        """
+        rows, pred_vm_ids, memo = self._pred_info(task_id)
+        if not rows:
+            return 0.0
+        if id(vm) in pred_vm_ids:
+            transfer = self.platform.transfer_time
+            best = 0.0
+            for fin, gb, pvm in rows:
+                cand = fin + transfer(
+                    gb,
+                    pvm.itype,
+                    vm.itype,
+                    same_vm=pvm is vm,
+                    src_region=pvm.region,
+                    dst_region=vm.region,
+                )
+                if cand > best:
+                    best = cand
+            return best
+        key = (vm.itype.name, vm.region.name)
+        try:
+            return memo[key]
+        except KeyError:
+            transfer = self.platform.transfer_time
+            best = 0.0
+            for fin, gb, pvm in rows:
+                cand = fin + transfer(
+                    gb,
+                    pvm.itype,
+                    vm.itype,
+                    same_vm=False,
+                    src_region=pvm.region,
+                    dst_region=vm.region,
+                )
+                if cand > best:
+                    best = cand
+            memo[key] = best
+            return best
+
     def earliest_start(self, task_id: str, vm: BuilderVM) -> float:
         """Estimated start of *task_id* if placed next on *vm*: VM free
         time vs. latest predecessor finish + data transfer."""
         ready = vm.ready_time
-        for pred in self.workflow.predecessors(task_id):
-            if pred not in self.task_finish:
-                raise SchedulingError(
-                    f"cannot place {task_id!r}: predecessor {pred!r} unscheduled "
-                    "(allocation order is not topological)"
-                )
-            pvm = self.task_vm[pred]
-            dt = self.platform.transfer_time(
-                self.workflow.data_gb(pred, task_id),
-                pvm.itype,
-                vm.itype,
-                same_vm=pvm is vm,
-                src_region=pvm.region,
-                dst_region=vm.region,
-            )
-            ready = max(ready, self.task_finish[pred] + dt)
+        data_ready = self._data_ready(task_id, vm)
+        if data_ready > ready:
+            ready = data_ready
         if vm.empty and not self.platform.prebooted:
             # cold start: the VM is requested when the task becomes
             # ready and boots before it can execute anything
@@ -198,6 +278,165 @@ class ScheduleBuilder:
         return finish <= paid_horizon + 1e-9
 
     # ------------------------------------------------------------------
+    # indexed queries (the O(log V)-per-placement kernels, DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> None:
+        """Build the VM indexes from current state on first indexed use.
+
+        Lazy so external code that seeds builder state directly (the
+        replan path in :mod:`repro.simulator.executor`) is indexed
+        correctly, as long as such seeding happens before the first
+        indexed query — which it does, since policies only run after.
+        """
+        if self._busy_heap is not None:
+            return
+        stamps: Dict[int, int] = {}
+        vm_levels: Dict[int, Set[int]] = {}
+        heap: list = []
+        levels = self._levels
+        for vm in self.vms:
+            stamps[vm.id] = 0
+            if vm.empty:
+                continue
+            vm_levels[vm.id] = {levels[t] for t in vm.order}
+            heap.append((-vm.busy_seconds, vm.id, 0))
+        heapq.heapify(heap)
+        self._busy_stamp = stamps
+        self._vm_levels = vm_levels
+        self._busy_heap = heap
+
+    def _level_pool_for(self, lvl: int) -> list:
+        """Busy-ordered heap of non-empty VMs not hosting level *lvl*.
+
+        Rebuilt (O(V)) when the queried level changes; level-driven
+        policies place whole levels contiguously, so each level pays one
+        rebuild and then O(log V) amortized per query.  ``place``
+        maintains the pool incrementally while its level stays current.
+        """
+        self._ensure_index()
+        pool = self._level_pool
+        if pool is not None and pool[0] == lvl:
+            return pool[1]
+        stamps = self._busy_stamp
+        vm_levels = self._vm_levels
+        heap = []
+        for vm in self.vms:
+            if vm.empty or lvl in vm_levels.get(vm.id, ()):
+                continue
+            heap.append((-vm.busy_seconds, vm.id, stamps[vm.id]))
+        heapq.heapify(heap)
+        self._level_pool = (lvl, heap)
+        return heap
+
+    def best_level_candidate(
+        self, task_id: str, require_fit: bool = False
+    ) -> Optional[BuilderVM]:
+        """Largest-accumulated-execution-time VM that can host *task_id*
+        under the AllPar* rules: not hosting a task of its level, still
+        alive when the task could start, and (with *require_fit*) within
+        its paid BTUs.  Equivalent to the full candidate scan's
+        ``max(candidates, key=(busy_seconds, -id))`` — identical result,
+        heap-ordered iteration instead of an O(V·tasks) rescan.
+        """
+        lvl = self._levels[task_id]
+        heap = self._level_pool_for(lvl)
+        stamps = self._busy_stamp
+        vm_levels = self._vm_levels
+        vms = self.vms
+        deferred: list = []
+        chosen: Optional[BuilderVM] = None
+        while heap:
+            entry = heapq.heappop(heap)
+            vid = entry[1]
+            vm = vms[vid]
+            if entry[2] != stamps.get(vid) or vm.empty or lvl in vm_levels.get(vid, ()):
+                continue  # stale entry or VM claimed by this level — drop
+            if self.is_reusable(task_id, vm) and (
+                not require_fit or self.fits_in_btu(task_id, vm)
+            ):
+                chosen = vm  # entry consumed: the caller places here,
+                break  # after which the VM hosts this level anyway
+            # rejection was task-specific (data-ready/fit); keep the VM
+            # as a candidate for the level's remaining tasks
+            deferred.append(entry)
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        return chosen
+
+    def qualifies_for_level(
+        self, task_id: str, vm: BuilderVM, require_fit: bool = False
+    ) -> bool:
+        """Would *vm* be in the AllPar* candidate scan for *task_id*?
+        (The O(1)-ish membership test behind the largest-predecessor
+        fast path.)"""
+        if vm.empty:
+            return False  # covers ghost VMs of the replan path too
+        vid = vm.id
+        if vid < 0 or vid >= len(self.vms) or self.vms[vid] is not vm:
+            return False  # not a VM of this builder
+        self._ensure_index()
+        if self._levels[task_id] in self._vm_levels.get(vid, ()):
+            return False
+        if not self.is_reusable(task_id, vm):
+            return False
+        return not require_fit or self.fits_in_btu(task_id, vm)
+
+    def busiest_reusable(self, task_id: str) -> Optional[BuilderVM]:
+        """The StartPar* target: the VM with the largest accumulated
+        execution time among those still alive when *task_id* could
+        start.  Identical to ``busiest_vm([alive candidates])`` over the
+        full scan, served from the busy-seconds heap.
+        """
+        self._ensure_index()
+        heap = self._busy_heap
+        stamps = self._busy_stamp
+        vms = self.vms
+        deferred: list = []
+        chosen: Optional[BuilderVM] = None
+        while heap:
+            entry = heapq.heappop(heap)
+            vid = entry[1]
+            vm = vms[vid]
+            if entry[2] != stamps.get(vid) or vm.empty:
+                continue  # stale — drop for good
+            deferred.append(entry)  # current entry: always keep
+            if self.is_reusable(task_id, vm):
+                chosen = vm
+                break
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        return chosen
+
+    def busiest_fitting(
+        self, task_id: str, exclude: Optional[BuilderVM] = None
+    ) -> Optional[BuilderVM]:
+        """Busiest alive VM (skipping *exclude*) whose remaining paid
+        BTUs absorb *task_id* — the StartParNotExceed ``try_all_vms``
+        scan, in the same decreasing (busy_seconds, -id) order.
+        """
+        self._ensure_index()
+        heap = self._busy_heap
+        stamps = self._busy_stamp
+        vms = self.vms
+        deferred: list = []
+        chosen: Optional[BuilderVM] = None
+        while heap:
+            entry = heapq.heappop(heap)
+            vid = entry[1]
+            vm = vms[vid]
+            if entry[2] != stamps.get(vid) or vm.empty:
+                continue
+            deferred.append(entry)
+            if vm is exclude:
+                continue
+            if self.is_reusable(task_id, vm) and self.fits_in_btu(task_id, vm):
+                chosen = vm
+                break
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        return chosen
+
+    # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def begin_task(self, task_id: str) -> None:
@@ -214,6 +453,9 @@ class ScheduleBuilder:
             region=region or self.region,
         )
         self.vms.append(vm)
+        if self._busy_heap is not None:
+            self._busy_stamp[vm.id] = 0
+            # empty VMs enter the busy/level structures on first placement
         return vm
 
     def place(self, task_id: str, vm: BuilderVM) -> None:
@@ -230,6 +472,18 @@ class ScheduleBuilder:
         self.task_vm[task_id] = vm
         self.task_start[task_id] = start
         self.task_finish[task_id] = start + duration
+        # the task is placed: its data-ready memo is dead weight now
+        self._pred_cache.pop(task_id, None)
+        if self._busy_heap is not None:
+            stamp = self._busy_stamp.get(vm.id, 0) + 1
+            self._busy_stamp[vm.id] = stamp
+            hosted = self._vm_levels.setdefault(vm.id, set())
+            hosted.add(self._levels[task_id])
+            entry = (-vm.busy_seconds, vm.id, stamp)
+            heapq.heappush(self._busy_heap, entry)
+            pool = self._level_pool
+            if pool is not None and pool[0] not in hosted:
+                heapq.heappush(pool[1], entry)
 
     # ------------------------------------------------------------------
     # result

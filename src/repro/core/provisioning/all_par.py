@@ -11,11 +11,17 @@ cannot absorb the task; *Exceed* never rents for that reason.
 Per the paper, renting one single-core VM per parallel task instead of a
 multi-core VM is cost-neutral under EC2's cost-per-core pricing; only
 global idle time differs.
+
+Implementation: the historical kernel rescanned every VM's full task
+list per placement (O(V·tasks) — see
+:class:`~repro.core.provisioning.reference.AllParExceedReference`, the
+preserved oracle).  This version runs against the
+:class:`~repro.core.builder.ScheduleBuilder` indexes — the per-level
+candidate pool and per-VM level sets — for O(log V) amortized
+placements; the property tests assert the schedules are byte-identical.
 """
 
 from __future__ import annotations
-
-from typing import List, Optional
 
 from repro.core.builder import BuilderVM, ScheduleBuilder
 from repro.core.provisioning.base import ProvisioningPolicy, register_policy
@@ -24,47 +30,28 @@ from repro.core.provisioning.base import ProvisioningPolicy, register_policy
 class _AllParBase(ProvisioningPolicy):
     exceed_btu: bool = True
 
-    # ------------------------------------------------------------------
-    def _free_vms_for_level(self, task_id: str, builder: ScheduleBuilder) -> List[BuilderVM]:
-        """Existing VMs not already hosting a task of *task_id*'s level
-        and still alive (idle VMs die at their BTU boundary) when the
-        task could start on them."""
-        lvl = builder.level_of(task_id)
-        return [
-            vm
-            for vm in builder.vms
-            if not vm.empty
-            and all(builder.level_of(t) != lvl for t in vm.order)
-            and builder.is_reusable(task_id, vm)
-        ]
-
-    def _pick(self, task_id: str, builder: ScheduleBuilder, candidates: List[BuilderVM]) -> Optional[BuilderVM]:
-        """Choose among *candidates*: the largest predecessor's VM when it
-        is one of them, else the candidate with the largest accumulated
-        execution time (ties to the oldest VM)."""
-        if not candidates:
-            return None
-        pred_vm = builder.vm_of_largest_predecessor(task_id)
-        if pred_vm is not None and pred_vm in candidates:
-            return pred_vm
-        return max(candidates, key=lambda vm: (vm.busy_seconds, -vm.id))
-
     def select_vm(self, task_id: str, builder: ScheduleBuilder) -> BuilderVM:
+        require_fit = not self.exceed_btu
         if builder.level_size(task_id) > 1:
-            candidates = self._free_vms_for_level(task_id, builder)
-        else:
+            # Parallel task: prefer the largest predecessor's VM when it
+            # is a candidate, else the busiest candidate from the
+            # level pool, else rent.
             pred_vm = builder.vm_of_largest_predecessor(task_id)
-            candidates = (
-                [pred_vm]
-                if pred_vm is not None and builder.is_reusable(task_id, pred_vm)
-                else []
-            )
-        if not self.exceed_btu:
-            candidates = [
-                vm for vm in candidates if builder.fits_in_btu(task_id, vm)
-            ]
-        chosen = self._pick(task_id, builder, candidates)
-        return chosen if chosen is not None else builder.new_vm()
+            if pred_vm is not None and builder.qualifies_for_level(
+                task_id, pred_vm, require_fit
+            ):
+                return pred_vm
+            chosen = builder.best_level_candidate(task_id, require_fit)
+            return chosen if chosen is not None else builder.new_vm()
+        # Sequential task: its largest predecessor's VM or a rental.
+        pred_vm = builder.vm_of_largest_predecessor(task_id)
+        if (
+            pred_vm is not None
+            and builder.is_reusable(task_id, pred_vm)
+            and (not require_fit or builder.fits_in_btu(task_id, pred_vm))
+        ):
+            return pred_vm
+        return builder.new_vm()
 
 
 @register_policy

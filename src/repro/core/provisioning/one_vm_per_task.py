@@ -5,6 +5,10 @@ This is the paper's reference policy (with small instances), the
 makespan-oriented extreme: maximum parallel capacity, maximum rent cost
 and — because every VM pays at least one full BTU — the largest total
 idle time.
+
+Already O(1) per placement, so unlike its siblings it needed no index
+rewrite; :class:`~repro.core.provisioning.reference.OneVMperTaskReference`
+exists only so every policy has a same-shaped equivalence oracle.
 """
 
 from __future__ import annotations

@@ -10,6 +10,13 @@ entirely serialized on one VM (the paper's CSTEM remark).
 
 ``try_all_vms`` (off by default, see DESIGN.md) lets NotExceed scan the
 remaining VMs in decreasing execution time before renting.
+
+Implementation: the historical kernel re-filtered and re-sorted the
+whole fleet per task (see
+:class:`~repro.core.provisioning.reference.StartParExceedReference`,
+the preserved oracle); this version reads the builder's busy-seconds
+heap — O(log V) amortized per placement, byte-identical schedules
+(property-tested).
 """
 
 from __future__ import annotations
@@ -27,24 +34,15 @@ class _StartParBase(ProvisioningPolicy):
             return builder.new_vm()
         # Only VMs still alive when the task could start are reusable:
         # idle VMs are deprovisioned at their BTU boundary.
-        alive = [
-            vm
-            for vm in builder.vms
-            if not vm.empty and builder.is_reusable(task_id, vm)
-        ]
-        target = builder.busiest_vm(alive)
+        target = builder.busiest_reusable(task_id)
         if target is None:
             return builder.new_vm()
         if self.exceed_btu or builder.fits_in_btu(task_id, target):
             return target
         if self.try_all_vms:
-            others = sorted(
-                (vm for vm in alive if vm is not target),
-                key=lambda vm: (-vm.busy_seconds, vm.id),
-            )
-            for vm in others:
-                if builder.fits_in_btu(task_id, vm):
-                    return vm
+            fallback = builder.busiest_fitting(task_id, exclude=target)
+            if fallback is not None:
+                return fallback
         return builder.new_vm()
 
 

@@ -30,9 +30,11 @@ class Schedule:
     algorithm: str = ""
     provisioning: str = ""
     _task_vm: Dict[str, VM] = field(default_factory=dict, repr=False)
+    _task_placement: Dict[str, object] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         mapping: Dict[str, VM] = {}
+        placement: Dict[str, object] = {}
         for vm in self.vms:
             for p in vm.placements:
                 if p.task_id in mapping:
@@ -41,6 +43,7 @@ class Schedule:
                         f"{mapping[p.task_id].name} and {vm.name}"
                     )
                 mapping[p.task_id] = vm
+                placement[p.task_id] = p
         missing = set(self.workflow.task_ids) - set(mapping)
         if missing:
             raise InvalidScheduleError(f"tasks never scheduled: {sorted(missing)}")
@@ -48,6 +51,7 @@ class Schedule:
         if extra:
             raise InvalidScheduleError(f"placements for unknown tasks: {sorted(extra)}")
         object.__setattr__(self, "_task_vm", mapping)
+        object.__setattr__(self, "_task_placement", placement)
 
     # ------------------------------------------------------------------
     # lookups
@@ -59,18 +63,16 @@ class Schedule:
             raise InvalidScheduleError(f"unknown task {task_id!r}") from None
 
     def start(self, task_id: str) -> float:
-        vm = self.vm_of(task_id)
-        for p in vm.placements:
-            if p.task_id == task_id:
-                return p.start
-        raise AssertionError("unreachable")  # pragma: no cover
+        try:
+            return self._task_placement[task_id].start
+        except KeyError:
+            raise InvalidScheduleError(f"unknown task {task_id!r}") from None
 
     def finish(self, task_id: str) -> float:
-        vm = self.vm_of(task_id)
-        for p in vm.placements:
-            if p.task_id == task_id:
-                return p.end
-        raise AssertionError("unreachable")  # pragma: no cover
+        try:
+            return self._task_placement[task_id].end
+        except KeyError:
+            raise InvalidScheduleError(f"unknown task {task_id!r}") from None
 
     @property
     def label(self) -> str:

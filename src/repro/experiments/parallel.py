@@ -123,11 +123,58 @@ class ThreadBackend(_PoolBackend):
     _executor_cls = ThreadPoolExecutor
 
 
+# ----------------------------------------------------------------------
+# process-pool worker plumbing
+# ----------------------------------------------------------------------
+# The naive ``pool.map(fn, items)`` pickles *fn* together with every
+# item and round-trips one IPC message per unit, which on small sweeps
+# costs more than the work itself (the original BENCH_sweep.json showed
+# the process backend *slower* than serial).  Instead the whole payload
+# is shipped once per worker through the pool initializer, and the map
+# dispatches plain integer indices in chunks.
+_SHARED_FN: "Callable | None" = None
+_SHARED_ITEMS: Sequence = ()
+
+
+def _init_shared_call(fn: Callable[[T], R], items: Sequence[T]) -> None:
+    """Pool initializer: stash the payload once in each worker process."""
+    global _SHARED_FN, _SHARED_ITEMS
+    _SHARED_FN = fn
+    _SHARED_ITEMS = items
+
+
+def _run_shared(index: int):
+    """Worker entry point: run the shared callable on one shared item."""
+    assert _SHARED_FN is not None, "worker initializer did not run"
+    return _SHARED_FN(_SHARED_ITEMS[index])
+
+
 class ProcessBackend(_PoolBackend):
-    """Process pool: true multi-core execution; work units must pickle."""
+    """Process pool: true multi-core execution; work units must pickle.
+
+    The payload ``(fn, items)`` is pickled once per worker (via the pool
+    initializer) rather than once per item, and indices are dispatched
+    in chunks, so per-unit IPC overhead is a few bytes instead of a full
+    scenario + workflow pickle.
+    """
 
     name = "process"
     _executor_cls = ProcessPoolExecutor
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        # ~4 chunks per worker: coarse enough to amortize IPC, fine
+        # enough that one slow cell cannot starve the other workers
+        chunksize = max(1, len(items) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_shared_call,
+            initargs=(fn, items),
+        ) as pool:
+            return list(pool.map(_run_shared, range(len(items)), chunksize=chunksize))
 
 
 BACKENDS: Dict[str, type] = {

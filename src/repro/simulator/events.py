@@ -3,26 +3,35 @@
 Events fire in (time, insertion sequence) order, so simultaneous events
 are processed deterministically in the order they were scheduled —
 essential for bit-for-bit reproducible experiments.
+
+The event record is a :class:`typing.NamedTuple` rather than the
+historical frozen dataclass: heap sifts then compare plain tuples in C,
+and because ``(time, seq)`` is unique per queue the comparison never
+reaches the (incomparable) ``action`` field.  Pushing an event is one
+tuple allocation instead of a dataclass ``__init__`` + ``__setattr__``
+guard per field — the queue sits on the simulator's innermost loop.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.errors import SimulationError
 
 
-@dataclass(frozen=True, order=True)
-class ScheduledEvent:
-    """An action queued at a simulation time."""
+class ScheduledEvent(NamedTuple):
+    """An action queued at a simulation time.
+
+    Field order matters: tuple comparison orders by ``(time, seq)`` and
+    — ``seq`` being unique — never reaches ``action``.
+    """
 
     time: float
     seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
+    action: Callable[[], None]
+    label: str = ""
 
 
 class EventQueue:

@@ -67,6 +67,12 @@ class IntervalSet:
         """Insert *interval*, merging with any touching/overlapping ones."""
         if interval.empty:
             return
+        if self._intervals and interval.start > self._intervals[-1].end:
+            # past every existing end (strictly, so touching still
+            # merges below): append without the O(n) merge scan — the
+            # common case when building a set in chronological order
+            self._intervals.append(interval)
+            return
         merged_start, merged_end = interval.start, interval.end
         keep: List[Interval] = []
         for iv in self._intervals:

@@ -186,13 +186,58 @@ class Workflow:
         self.task(task_id)
         return list(self._adjacency()["succ"][task_id])
 
+    def pred_map(self) -> Mapping[str, List[str]]:
+        """The memoized ``{task: sorted predecessor ids}`` mapping.
+
+        Returned **without copying** — treat it as read-only.  This is
+        the hot-path twin of :meth:`predecessors`: the scheduling kernels
+        touch every edge per placement, and per-call list copies dominate
+        their profile at 50k+ tasks.
+        """
+        return self._adjacency()["pred"]
+
+    def succ_map(self) -> Mapping[str, List[str]]:
+        """The memoized ``{task: sorted successor ids}`` mapping
+        (read-only, uncopied); see :meth:`pred_map`."""
+        return self._adjacency()["succ"]
+
+    def edge_data_map(self) -> Mapping[Tuple[str, str], float]:
+        """The memoized ``{(parent, child): data_gb}`` mapping
+        (read-only, uncopied); see :meth:`pred_map`."""
+        return self._edge_data()
+
+    # ------------------------------------------------------------------
+    # cached traversal orders (the O(V+E) sweep backbone)
+    # ------------------------------------------------------------------
+    def _nx_topo(self) -> List[str]:
+        """Memoized ``nx.topological_sort`` order.
+
+        Kept *separately* from :meth:`topological_order` (which is
+        lexicographic) because ``level_of`` and ``critical_path``
+        historically iterated this order, and their tie-breaks — first
+        maximum wins — must stay byte-identical to the pre-indexed
+        implementations.
+        """
+        return self._memo(
+            "nx_topo", lambda: list(nx.topological_sort(self._graph))
+        )  # type: ignore[return-value]
+
+    def _pred_insertion(self) -> Dict[str, List[str]]:
+        """Memoized predecessor lists in *edge-insertion* order (the
+        ``nx.DiGraph.predecessors`` order ``critical_path`` tie-breaks
+        on), as opposed to the sorted lists of :meth:`pred_map`."""
+        return self._memo(
+            "pred_insertion",
+            lambda: {t: list(self._graph.predecessors(t)) for t in self._tasks},
+        )  # type: ignore[return-value]
+
     def entry_tasks(self) -> List[str]:
         """Tasks with no predecessors (the paper's *initial* tasks)."""
         self._require_valid()
         cached = self._memo(
             "entry_tasks",
             lambda: sorted(
-                t for t in self._tasks if self._graph.in_degree(t) == 0
+                t for t, ps in self._adjacency()["pred"].items() if not ps
             ),
         )
         return list(cached)
@@ -202,7 +247,7 @@ class Workflow:
         cached = self._memo(
             "exit_tasks",
             lambda: sorted(
-                t for t in self._tasks if self._graph.out_degree(t) == 0
+                t for t, ss in self._adjacency()["succ"].items() if not ss
             ),
         )
         return list(cached)
@@ -228,9 +273,15 @@ class Workflow:
         self._require_valid()
 
         def build():
+            # Single O(V+E) sweep over the cached topo order and plain
+            # dict adjacency — no networkx traversal per query.  The
+            # value (1 + max over preds) is order-independent, and the
+            # cached nx order keeps dict insertion order identical to
+            # the historical implementation.
+            pred = self._pred_insertion()
             levels: Dict[str, int] = {}
-            for tid in nx.topological_sort(self._graph):
-                preds = list(self._graph.predecessors(tid))
+            for tid in self._nx_topo():
+                preds = pred[tid]
                 levels[tid] = 0 if not preds else 1 + max(levels[p] for p in preds)
             return levels
 
@@ -250,7 +301,10 @@ class Workflow:
 
     def max_parallelism(self) -> int:
         """Width of the widest level."""
-        return max(len(level) for level in self.levels())
+        return self._memo(
+            "max_parallelism",
+            lambda: max(len(level) for level in self.levels()),
+        )  # type: ignore[return-value]
 
     def critical_path(
         self,
@@ -267,11 +321,15 @@ class Workflow:
         self._require_valid()
         w = exec_time or (lambda tid: self._tasks[tid].work)
         c = transfer_time or (lambda u, v: 0.0)
+        # One O(V+E) sweep over the cached traversal order.  Iteration
+        # order (and hence first-maximum tie-breaks) matches the
+        # historical networkx-walking implementation exactly.
+        preds_of = self._pred_insertion()
         dist: Dict[str, float] = {}
         best_pred: Dict[str, str | None] = {}
-        for tid in nx.topological_sort(self._graph):
+        for tid in self._nx_topo():
             best, pred = 0.0, None
-            for p in self._graph.predecessors(tid):
+            for p in preds_of[tid]:
                 cand = dist[p] + c(p, tid)
                 if cand > best:
                     best, pred = cand, p

@@ -1,0 +1,194 @@
+"""Property tests: the indexed kernels are byte-identical to the
+straightforward reference implementations.
+
+The scaling work (DESIGN.md §9) rewrote the provisioning policies, the
+ranking pass and the DAG sweeps against incremental indexes.  The
+contract is *trace identity*, not statistical equivalence: on any DAG,
+the optimized kernel must reproduce the reference schedule exactly —
+same VMs (flavor, region, rent window), same task order and timing on
+each VM, same makespan and cost.  These tests drive both kernels over
+seeded random DAGs of the shapes that stress different code paths
+(wide levels, pure chains, diamonds, mapreduce fan-in) and compare the
+full trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cloud.instance import SMALL
+from repro.cloud.platform import CloudPlatform
+from repro.core.allocation import HeftScheduler, LevelScheduler
+from repro.core.allocation.ranking import upward_rank, upward_rank_reference
+from repro.core.provisioning import PROVISIONING_POLICIES, REFERENCE_POLICIES
+from repro.workflows.dag import Workflow
+from repro.workflows.generators import fork_join, mapreduce, random_layered
+from repro.workflows.reference import critical_path_reference, level_of_reference
+from repro.workflows.task import Task
+
+
+# ----------------------------------------------------------------------
+# DAG zoo: seeded shapes that stress different kernel paths
+# ----------------------------------------------------------------------
+def _chain(n: int, seed: int) -> Workflow:
+    """Pure chain: every level has size 1 (sequential policy branch)."""
+    wf = Workflow(f"chain{n}-s{seed}")
+    prev = None
+    for i in range(n):
+        t = wf.add_task(Task(f"t{i}", 300.0 + 700.0 * ((seed * 31 + i) % 7), "w"))
+        if prev is not None:
+            wf.add_dependency(prev.id, t.id, 0.02 * ((seed + i) % 3))
+        prev = t
+    return wf.validate()
+
+
+def _wide(seed: int) -> Workflow:
+    """Few layers, wide levels: stresses the level-pool index."""
+    return random_layered(
+        layers=4, width_range=(6, 14), edge_density=0.4, seed=seed,
+        name=f"wide-s{seed}",
+    )
+
+
+def _diamond(seed: int) -> Workflow:
+    """Repeated fork-join diamonds: alternating level sizes 1 and w."""
+    return fork_join(width=3 + seed % 5, stages=2 + seed % 3,
+                     name=f"diamond-s{seed}")
+
+
+def _mapreduce(seed: int) -> Workflow:
+    return mapreduce(mappers=5 + 3 * (seed % 4), reducers=1 + seed % 3,
+                     name=f"mr-s{seed}")
+
+
+def _deep_random(seed: int) -> Workflow:
+    """Deep random layering: mixes singleton and parallel levels."""
+    return random_layered(
+        layers=9, width_range=(1, 5), edge_density=0.6, seed=seed,
+        name=f"deep-s{seed}",
+    )
+
+
+SHAPES = {
+    "chain": lambda seed: _chain(12 + seed % 9, seed),
+    "wide": _wide,
+    "diamond": _diamond,
+    "mapreduce": _mapreduce,
+    "deep": _deep_random,
+}
+SEEDS = [1, 7, 2013]
+
+
+def _dag_cases():
+    return [
+        pytest.param(shape, seed, id=f"{shape}-s{seed}")
+        for shape in SHAPES
+        for seed in SEEDS
+    ]
+
+
+# ----------------------------------------------------------------------
+# trace fingerprint
+# ----------------------------------------------------------------------
+def _fingerprint(schedule):
+    """The full observable trace of a schedule, labels excluded (the
+    reference policies carry ``*Reference`` names by design)."""
+    vms = tuple(
+        (
+            vm.id,
+            vm.itype.name,
+            vm.region.name,
+            vm.boot_seconds,
+            tuple((p.task_id, p.start, p.end) for p in vm.placements),
+        )
+        for vm in schedule.vms
+    )
+    return vms, schedule.makespan, schedule.total_cost
+
+
+def _scheduler_for(policy_name: str):
+    """The paper's pairing: AllPar* needs level knowledge, the rest HEFT."""
+    if policy_name.startswith("AllPar"):
+        return LevelScheduler
+    return HeftScheduler
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+# ----------------------------------------------------------------------
+# provisioning kernels
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape,seed", _dag_cases())
+@pytest.mark.parametrize("policy_name", sorted(REFERENCE_POLICIES))
+def test_policy_trace_identical_to_reference(policy_name, shape, seed, platform):
+    wf = SHAPES[shape](seed)
+    scheduler_cls = _scheduler_for(policy_name)
+    optimized = scheduler_cls(PROVISIONING_POLICIES[policy_name]()).schedule(
+        wf, platform
+    )
+    reference = scheduler_cls(REFERENCE_POLICIES[policy_name]()).schedule(
+        wf, platform
+    )
+    assert _fingerprint(optimized) == _fingerprint(reference)
+
+
+def test_start_par_try_all_vms_trace_identical(platform):
+    """The try_all_vms fallback scan has its own index path."""
+    opt_cls = PROVISIONING_POLICIES["StartParNotExceed"]
+    ref_cls = REFERENCE_POLICIES["StartParNotExceed"]
+    for seed in SEEDS:
+        wf = _deep_random(seed)
+        optimized = HeftScheduler(opt_cls(try_all_vms=True)).schedule(wf, platform)
+        reference = HeftScheduler(ref_cls(try_all_vms=True)).schedule(wf, platform)
+        assert _fingerprint(optimized) == _fingerprint(reference)
+
+
+# ----------------------------------------------------------------------
+# ranking and DAG sweeps
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape,seed", _dag_cases())
+@pytest.mark.parametrize("include_transfers", [True, False])
+def test_upward_rank_identical_to_reference(shape, seed, include_transfers, platform):
+    wf = SHAPES[shape](seed)
+    fast = upward_rank(wf, platform, SMALL, include_transfers=include_transfers)
+    slow = upward_rank_reference(
+        wf, platform, SMALL, include_transfers=include_transfers
+    )
+    assert set(fast) == set(slow)
+    for tid in fast:
+        # byte-identical floats, not approx: both kernels must combine
+        # the same operands in the same order
+        assert fast[tid] == slow[tid], tid
+
+
+@pytest.mark.parametrize("shape,seed", _dag_cases())
+def test_level_of_identical_to_reference(shape, seed):
+    wf = SHAPES[shape](seed)
+    assert wf.level_of() == level_of_reference(wf)
+
+
+@pytest.mark.parametrize("shape,seed", _dag_cases())
+def test_critical_path_identical_to_reference(shape, seed):
+    wf = SHAPES[shape](seed)
+    assert wf.critical_path() == critical_path_reference(wf)
+    halved = lambda tid: wf.task(tid).work / 2.0  # noqa: E731
+    transfer = lambda u, v: 11.0  # noqa: E731
+    assert wf.critical_path(
+        exec_time=halved, transfer_time=transfer
+    ) == critical_path_reference(wf, exec_time=halved, transfer_time=transfer)
+
+
+@pytest.mark.parametrize("shape,seed", _dag_cases())
+def test_schedules_are_internally_consistent(shape, seed, platform):
+    """Sanity on top of trace identity: optimized schedules validate."""
+    wf = SHAPES[shape](seed)
+    s = HeftScheduler("StartParExceed").schedule(wf, platform)
+    assert math.isfinite(s.makespan) and s.makespan > 0
+    assert set(s.workflow.task_ids) == {
+        p.task_id for vm in s.vms for p in vm.placements
+    }

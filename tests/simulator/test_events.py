@@ -37,6 +37,38 @@ class TestEventQueue:
         q.push(0.0, lambda: None)
         assert q and len(q) == 1
 
+    def test_simultaneous_tie_break_is_scheduling_order(self):
+        """Events at one instant fire in the exact order they were
+        scheduled, even when interleaved with events at other times and
+        when their actions/labels are mutually incomparable."""
+        q = EventQueue()
+        fired = []
+
+        class Action:  # deliberately unorderable: no __lt__
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __call__(self):
+                fired.append(self.tag)
+
+        # interleave three instants; scheduling order within t=2.0 is
+        # b0, b1, b2 despite pushes at other times in between
+        q.push(2.0, Action("b0"), label="zzz")
+        q.push(9.0, Action("c"))
+        q.push(2.0, Action("b1"), label="aaa")
+        q.push(0.5, Action("a"))
+        q.push(2.0, Action("b2"))
+        while q:
+            q.pop().action()
+        assert fired == ["a", "b0", "b1", "b2", "c"]
+
+    def test_event_fields(self):
+        q = EventQueue()
+        ev = q.push(4.5, lambda: None, label="boot")
+        assert ev.time == 4.5
+        assert ev.label == "boot"
+        assert q.pop() is ev
+
     def test_pop_empty(self):
         with pytest.raises(SimulationError):
             EventQueue().pop()
