@@ -2,14 +2,32 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-scaling bench-check profile report \
-  artifacts examples faults-smoke clean
+.PHONY: install test lint check bench bench-scaling bench-check profile \
+  report artifacts examples faults-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Lint with ruff when it is installed (config in pyproject.toml); in
+# environments without it, fall back to a byte-compile pass so `make
+# check` still catches syntax errors instead of failing on the tool.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+	  $(PYTHON) -m ruff check src tests benchmarks examples; \
+	elif command -v ruff >/dev/null 2>&1; then \
+	  ruff check src tests benchmarks examples; \
+	else \
+	  echo "ruff not installed; falling back to compileall"; \
+	  $(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+
+# The full gate: lint + the tier-1 suite + the perf-regression check.
+check: lint
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+	$(MAKE) bench-check
 
 # Refreshes BENCH_sweep.json (serial vs parallel sweep baseline) so
 # future PRs have a perf trajectory to compare against.

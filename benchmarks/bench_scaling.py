@@ -84,12 +84,24 @@ def _fingerprint(schedule):
     )
 
 
-def _time_pipeline(projections: int, kind: str, policy, platform):
-    """Wall-clock the full pipeline; returns (seconds, schedule)."""
-    t0 = time.perf_counter()
-    wf = montage(projections)
-    schedule = _scheduler(kind, policy).schedule(wf, platform)
-    return time.perf_counter() - t0, schedule
+#: best-of-N repeats per size — single-shot wall timings swing by tens
+#: of percent on shared containers, which is noise the 25% gate cannot
+#: absorb; the 50k cell stays single-shot to keep refreshes bounded
+REPEATS = {"1k": 3, "10k": 3, "50k": 1}
+
+
+def _time_pipeline(projections: int, kind: str, policy_factory, platform,
+                   repeats: int = 1):
+    """Best-of-*repeats* wall-clock of the full pipeline; returns
+    (seconds, schedule).  A fresh policy instance per repeat."""
+    best, schedule = None, None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        wf = montage(projections)
+        schedule = _scheduler(kind, policy_factory()).schedule(wf, platform)
+        seconds = time.perf_counter() - t0
+        best = seconds if best is None else min(best, seconds)
+    return best, schedule
 
 
 def bench(sizes: dict) -> dict:
@@ -99,7 +111,11 @@ def bench(sizes: dict) -> dict:
         row = {}
         for size_label, projections in sizes.items():
             seconds, schedule = _time_pipeline(
-                projections, kind, PROVISIONING_POLICIES[policy_name](), platform
+                projections,
+                kind,
+                PROVISIONING_POLICIES[policy_name],
+                platform,
+                repeats=REPEATS.get(size_label, 1),
             )
             entry = {
                 "seconds": round(seconds, 4),
@@ -109,16 +125,16 @@ def bench(sizes: dict) -> dict:
             }
             if size_label == REFERENCE_SIZE:
                 ref_seconds, _ = _time_pipeline(
-                    projections, kind, REFERENCE_POLICIES[policy_name](), platform
+                    projections, kind, REFERENCE_POLICIES[policy_name], platform
                 )
                 entry["reference_seconds"] = round(ref_seconds, 4)
                 entry["speedup_vs_reference"] = round(ref_seconds / seconds, 2)
             if size_label == EQUIVALENCE_SIZE:
                 _, opt = _time_pipeline(
-                    projections, kind, PROVISIONING_POLICIES[policy_name](), platform
+                    projections, kind, PROVISIONING_POLICIES[policy_name], platform
                 )
                 _, ref = _time_pipeline(
-                    projections, kind, REFERENCE_POLICIES[policy_name](), platform
+                    projections, kind, REFERENCE_POLICIES[policy_name], platform
                 )
                 entry["identical_to_reference"] = (
                     _fingerprint(opt) == _fingerprint(ref)

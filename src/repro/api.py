@@ -1,0 +1,292 @@
+"""repro.api — the stable, supported surface of the library.
+
+Everything a user script should need lives here, re-exported from the
+implementation packages with one blessed spelling each.  Code written
+against ``repro.api`` keeps working across internal refactors; names
+*not* in :data:`__all__` (module internals, builder plumbing, private
+kernels) may move or change between minor versions without notice.
+
+Quickstart::
+
+    import repro.api as api
+
+    platform = api.CloudPlatform.ec2()
+    sched = api.HeftScheduler("StartParNotExceed").schedule(
+        api.montage(), platform, itype=platform.itype("medium"))
+    api.simulate_schedule(sched)
+
+    sweep = api.run_sweep(platform=platform, jobs=2, backend="thread")
+    print(api.render_summary(api.summarize(sweep)))
+
+The surface is grouped below:
+
+* **Workflows** — the paper's four shapes plus the extension gallery
+  and DAX/DOT interchange.
+* **Platform** — the EC2-style cloud model: catalog, regions, billing.
+* **Scheduling** — provisioning policies, allocation strategies, and
+  the registries that name them.
+* **Simulation** — the discrete-event replay, online execution,
+  perturbation studies, and fault injection/recovery.
+* **Experiments** — the paper sweep, replication, fault sweeps,
+  summaries and reports.
+* **Observability** — tracing, metrics and run manifests
+  (:mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+# --- workflows ---------------------------------------------------------
+from repro.workflows import (
+    Task,
+    Workflow,
+    WorkflowProfile,
+    profile,
+    montage,
+    cstem,
+    mapreduce,
+    sequential,
+    fork_join,
+    random_layered,
+    epigenomics,
+    cybershake,
+    ligo,
+    sipht,
+    bag_of_tasks,
+    parse_dax,
+    parse_dax_string,
+    to_dax,
+    to_dot,
+)
+
+# --- execution-time models --------------------------------------------
+from repro.workloads import (
+    ParetoModel,
+    BestCaseModel,
+    WorstCaseModel,
+    ConstantModel,
+    apply_model,
+)
+
+# --- platform ----------------------------------------------------------
+from repro.cloud import (
+    CloudPlatform,
+    InstanceType,
+    instance_type,
+    Region,
+    EC2_REGIONS,
+    BillingModel,
+    NetworkModel,
+    VM,
+)
+
+# --- scheduling --------------------------------------------------------
+from repro.core import (
+    Schedule,
+    ScheduleMetrics,
+    evaluate,
+    compare_to_reference,
+    reference_schedule,
+    ProvisioningPolicy,
+    provisioning_policy,
+    SchedulingAlgorithm,
+    scheduling_algorithm,
+    HeftScheduler,
+    CpaEagerScheduler,
+    GainScheduler,
+    AllParScheduler,
+    AllPar1LnSScheduler,
+    AllPar1LnSDynScheduler,
+    AdaptiveSelector,
+    Goal,
+    recommend,
+    RecoveryPolicy,
+    RECOVERY_POLICIES,
+    recovery_policy,
+)
+
+# --- simulation --------------------------------------------------------
+from repro.simulator import (
+    Simulator,
+    simulate_schedule,
+    SimulationResult,
+    run_with_faults,
+    FaultPlan,
+    FaultStats,
+    RobustnessReport,
+    robustness_study,
+    OnlineCloudExecutor,
+    OnlineResult,
+    run_online,
+)
+
+# --- experiments -------------------------------------------------------
+from repro.experiments import (
+    StrategySpec,
+    paper_strategies,
+    paper_workflows,
+    strategy,
+    Scenario,
+    paper_scenarios,
+    scenario,
+    SweepResult,
+    run_strategy,
+    run_sweep,
+    make_backend,
+    replicate,
+    render_replication,
+    summarize,
+    most_stable,
+    render_summary,
+    full_report,
+    save_sweep,
+    load_sweep,
+    diff_sweeps,
+    export_all,
+)
+from repro.experiments.faults import (
+    FaultSweepResult,
+    run_fault_sweep,
+    render_fault_sweep,
+)
+
+# --- observability -----------------------------------------------------
+from repro.obs import (
+    Tracer,
+    NULL_TRACER,
+    ensure_tracer,
+    validate_chrome_trace,
+    MetricsRegistry,
+    build_manifest,
+    write_manifest,
+    load_manifest,
+    manifest_argv,
+    config_hash,
+)
+
+# --- errors ------------------------------------------------------------
+from repro.errors import (
+    ReproError,
+    WorkflowError,
+    PlatformError,
+    SchedulingError,
+    SimulationError,
+    ExperimentError,
+)
+
+from repro import __version__
+
+__all__ = [
+    # workflows
+    "Task",
+    "Workflow",
+    "WorkflowProfile",
+    "profile",
+    "montage",
+    "cstem",
+    "mapreduce",
+    "sequential",
+    "fork_join",
+    "random_layered",
+    "epigenomics",
+    "cybershake",
+    "ligo",
+    "sipht",
+    "bag_of_tasks",
+    "parse_dax",
+    "parse_dax_string",
+    "to_dax",
+    "to_dot",
+    # execution-time models
+    "ParetoModel",
+    "BestCaseModel",
+    "WorstCaseModel",
+    "ConstantModel",
+    "apply_model",
+    # platform
+    "CloudPlatform",
+    "InstanceType",
+    "instance_type",
+    "Region",
+    "EC2_REGIONS",
+    "BillingModel",
+    "NetworkModel",
+    "VM",
+    # scheduling
+    "Schedule",
+    "ScheduleMetrics",
+    "evaluate",
+    "compare_to_reference",
+    "reference_schedule",
+    "ProvisioningPolicy",
+    "provisioning_policy",
+    "SchedulingAlgorithm",
+    "scheduling_algorithm",
+    "HeftScheduler",
+    "CpaEagerScheduler",
+    "GainScheduler",
+    "AllParScheduler",
+    "AllPar1LnSScheduler",
+    "AllPar1LnSDynScheduler",
+    "AdaptiveSelector",
+    "Goal",
+    "recommend",
+    "RecoveryPolicy",
+    "RECOVERY_POLICIES",
+    "recovery_policy",
+    # simulation
+    "Simulator",
+    "simulate_schedule",
+    "SimulationResult",
+    "run_with_faults",
+    "FaultPlan",
+    "FaultStats",
+    "RobustnessReport",
+    "robustness_study",
+    "OnlineCloudExecutor",
+    "OnlineResult",
+    "run_online",
+    # experiments
+    "StrategySpec",
+    "paper_strategies",
+    "paper_workflows",
+    "strategy",
+    "Scenario",
+    "paper_scenarios",
+    "scenario",
+    "SweepResult",
+    "run_strategy",
+    "run_sweep",
+    "make_backend",
+    "replicate",
+    "render_replication",
+    "summarize",
+    "most_stable",
+    "render_summary",
+    "full_report",
+    "save_sweep",
+    "load_sweep",
+    "diff_sweeps",
+    "export_all",
+    "FaultSweepResult",
+    "run_fault_sweep",
+    "render_fault_sweep",
+    # observability
+    "Tracer",
+    "NULL_TRACER",
+    "ensure_tracer",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_argv",
+    "config_hash",
+    # errors
+    "ReproError",
+    "WorkflowError",
+    "PlatformError",
+    "SchedulingError",
+    "SimulationError",
+    "ExperimentError",
+    "__version__",
+]

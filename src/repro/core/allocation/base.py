@@ -17,6 +17,7 @@ from repro.cloud.platform import CloudPlatform
 from repro.cloud.region import Region
 from repro.core.schedule import Schedule
 from repro.errors import SchedulingError
+from repro.util.suggest import unknown_name_message
 from repro.workflows.dag import Workflow
 
 
@@ -69,5 +70,5 @@ def scheduling_algorithm(name: str, **params) -> SchedulingAlgorithm:
         if key.lower() == name.lower():
             return factory(**params)
     raise SchedulingError(
-        f"unknown scheduling algorithm {name!r}; known: {sorted(SCHEDULING_ALGORITHMS)}"
+        unknown_name_message("scheduling algorithm", name, SCHEDULING_ALGORITHMS)
     )

@@ -22,6 +22,8 @@ from repro.cloud.region import Region
 from repro.cloud.vm import VM
 from repro.core.schedule import Schedule
 from repro.errors import SchedulingError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import current as current_metrics
 from repro.workflows.dag import Workflow
 
 
@@ -74,12 +76,17 @@ class ScheduleBuilder:
         default_itype: InstanceType,
         region: Region | None = None,
         region_chooser=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         workflow.validate()
         self.workflow = workflow
         self.platform = platform
         self.default_itype = default_itype
         self.region = region or platform.default_region
+        #: metrics sink: explicit kwarg, else the ambient registry (see
+        #: :func:`repro.obs.metrics.current`); ``None`` keeps every hot
+        #: path down to a single ``is not None`` branch
+        self.metrics = metrics if metrics is not None else current_metrics()
         #: optional ``(task_id, builder) -> Region | None`` hook deciding
         #: where a *new* VM rented for a task lives (data locality);
         #: ``None`` from the hook falls back to the builder region
@@ -189,6 +196,7 @@ class ScheduleBuilder:
         computed exactly.  ``max`` over identical operands makes both
         paths byte-identical to the plain per-predecessor loop.
         """
+        metrics = self.metrics
         rows, pred_vm_ids, memo = self._pred_info(task_id)
         if not rows:
             return 0.0
@@ -208,24 +216,27 @@ class ScheduleBuilder:
                     best = cand
             return best
         key = (vm.itype.name, vm.region.name)
-        try:
+        if key in memo:
+            if metrics is not None:
+                metrics.inc("builder.data_ready_memo_hits")
             return memo[key]
-        except KeyError:
-            transfer = self.platform.transfer_time
-            best = 0.0
-            for fin, gb, pvm in rows:
-                cand = fin + transfer(
-                    gb,
-                    pvm.itype,
-                    vm.itype,
-                    same_vm=False,
-                    src_region=pvm.region,
-                    dst_region=vm.region,
-                )
-                if cand > best:
-                    best = cand
-            memo[key] = best
-            return best
+        if metrics is not None:
+            metrics.inc("builder.data_ready_memo_misses")
+        transfer = self.platform.transfer_time
+        best = 0.0
+        for fin, gb, pvm in rows:
+            cand = fin + transfer(
+                gb,
+                pvm.itype,
+                vm.itype,
+                same_vm=False,
+                src_region=pvm.region,
+                dst_region=vm.region,
+            )
+            if cand > best:
+                best = cand
+        memo[key] = best
+        return best
 
     def earliest_start(self, task_id: str, vm: BuilderVM) -> float:
         """Estimated start of *task_id* if placed next on *vm*: VM free
@@ -456,6 +467,8 @@ class ScheduleBuilder:
         if self._busy_heap is not None:
             self._busy_stamp[vm.id] = 0
             # empty VMs enter the busy/level structures on first placement
+        if self.metrics is not None:
+            self.metrics.inc("builder.vms_rented")
         return vm
 
     def place(self, task_id: str, vm: BuilderVM) -> None:
@@ -474,6 +487,8 @@ class ScheduleBuilder:
         self.task_finish[task_id] = start + duration
         # the task is placed: its data-ready memo is dead weight now
         self._pred_cache.pop(task_id, None)
+        if self.metrics is not None:
+            self.metrics.inc("builder.tasks_placed")
         if self._busy_heap is not None:
             stamp = self._busy_stamp.get(vm.id, 0) + 1
             self._busy_stamp[vm.id] = stamp

@@ -32,6 +32,7 @@ class _AllParBase(ProvisioningPolicy):
 
     def select_vm(self, task_id: str, builder: ScheduleBuilder) -> BuilderVM:
         require_fit = not self.exceed_btu
+        metrics = builder.metrics
         if builder.level_size(task_id) > 1:
             # Parallel task: prefer the largest predecessor's VM when it
             # is a candidate, else the busiest candidate from the
@@ -40,9 +41,17 @@ class _AllParBase(ProvisioningPolicy):
             if pred_vm is not None and builder.qualifies_for_level(
                 task_id, pred_vm, require_fit
             ):
+                if metrics is not None:
+                    metrics.inc("provision.reuse_pred")
                 return pred_vm
             chosen = builder.best_level_candidate(task_id, require_fit)
-            return chosen if chosen is not None else builder.new_vm()
+            if chosen is not None:
+                if metrics is not None:
+                    metrics.inc("provision.reuse_pool")
+                return chosen
+            if metrics is not None:
+                metrics.inc("provision.rent")
+            return builder.new_vm()
         # Sequential task: its largest predecessor's VM or a rental.
         pred_vm = builder.vm_of_largest_predecessor(task_id)
         if (
@@ -50,7 +59,11 @@ class _AllParBase(ProvisioningPolicy):
             and builder.is_reusable(task_id, pred_vm)
             and (not require_fit or builder.fits_in_btu(task_id, pred_vm))
         ):
+            if metrics is not None:
+                metrics.inc("provision.reuse_pred")
             return pred_vm
+        if metrics is not None:
+            metrics.inc("provision.rent")
         return builder.new_vm()
 
 

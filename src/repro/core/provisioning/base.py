@@ -14,6 +14,7 @@ from typing import Callable, Dict
 
 from repro.core.builder import BuilderVM, ScheduleBuilder
 from repro.errors import SchedulingError
+from repro.util.suggest import unknown_name_message
 
 
 class ProvisioningPolicy(abc.ABC):
@@ -57,5 +58,5 @@ def provisioning_policy(name: str) -> ProvisioningPolicy:
         if key.lower() == name.lower():
             return factory()
     raise SchedulingError(
-        f"unknown provisioning policy {name!r}; known: {sorted(PROVISIONING_POLICIES)}"
+        unknown_name_message("provisioning policy", name, PROVISIONING_POLICIES)
     )

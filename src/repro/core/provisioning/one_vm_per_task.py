@@ -22,4 +22,6 @@ class OneVMperTask(ProvisioningPolicy):
     name = "OneVMperTask"
 
     def select_vm(self, task_id: str, builder: ScheduleBuilder) -> BuilderVM:
+        if builder.metrics is not None:
+            builder.metrics.inc("provision.rent")
         return builder.new_vm()

@@ -30,19 +30,30 @@ class _StartParBase(ProvisioningPolicy):
     try_all_vms: bool = False
 
     def select_vm(self, task_id: str, builder: ScheduleBuilder) -> BuilderVM:
+        metrics = builder.metrics
         if builder.is_entry(task_id):
+            if metrics is not None:
+                metrics.inc("provision.rent")
             return builder.new_vm()
         # Only VMs still alive when the task could start are reusable:
         # idle VMs are deprovisioned at their BTU boundary.
         target = builder.busiest_reusable(task_id)
         if target is None:
+            if metrics is not None:
+                metrics.inc("provision.rent")
             return builder.new_vm()
         if self.exceed_btu or builder.fits_in_btu(task_id, target):
+            if metrics is not None:
+                metrics.inc("provision.reuse_pool")
             return target
         if self.try_all_vms:
             fallback = builder.busiest_fitting(task_id, exclude=target)
             if fallback is not None:
+                if metrics is not None:
+                    metrics.inc("provision.reuse_pool")
                 return fallback
+        if metrics is not None:
+            metrics.inc("provision.rent")
         return builder.new_vm()
 
 

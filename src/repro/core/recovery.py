@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.errors import SchedulingError
+from repro.obs.metrics import current as current_metrics
+from repro.util.suggest import unknown_name_message
 
 
 @dataclass(frozen=True)
@@ -104,6 +106,16 @@ class RecoveryPolicy(abc.ABC):
     @abc.abstractmethod
     def on_task_failure(self, failure: FailureEvent) -> RecoveryAction:
         """Decide the recovery for one failed execution attempt."""
+
+    def decide(self, failure: FailureEvent) -> RecoveryAction:
+        """Instrumented entry point the executors call: delegates to
+        :meth:`on_task_failure` and, when a metrics registry is active,
+        counts the decision by kind (``recovery.decision.<kind>``)."""
+        action = self.on_task_failure(failure)
+        metrics = current_metrics()
+        if metrics is not None:
+            metrics.inc(f"recovery.decision.{action.kind}")
+        return action
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(max_attempts={self.max_attempts})"
@@ -200,5 +212,5 @@ def recovery_policy(policy: "str | RecoveryPolicy | None") -> RecoveryPolicy:
         return RECOVERY_POLICIES[key]()
     except KeyError:
         raise SchedulingError(
-            f"unknown recovery policy {policy!r}; known: {sorted(RECOVERY_POLICIES)}"
+            unknown_name_message("recovery policy", str(policy), RECOVERY_POLICIES)
         ) from None

@@ -16,12 +16,21 @@ draws schedules::
 ``replicate``'s seeds — out over N workers; the default (``--jobs 1``)
 runs serially.  Results, and therefore every artifact byte, are
 identical either way.
+
+Observability: ``--trace`` (or ``--trace-out PATH``) records a Chrome
+``trace_event`` file of the run, loadable in ``chrome://tracing`` or
+Perfetto; any run with a file output also writes a run manifest
+(``--manifest PATH`` overrides the destination, or forces one for
+stdout runs) from which the exact invocation can be replayed.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import time
+from pathlib import Path
 
 from repro.cloud.platform import CloudPlatform
 from repro.experiments import figures, tables
@@ -30,6 +39,9 @@ from repro.experiments.gantt import gantt
 from repro.experiments.report import full_report
 from repro.experiments.runner import run_sweep
 from repro.experiments.scenarios import scenario
+from repro.obs.manifest import build_manifest, default_manifest_path, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.util.tables import format_table
 from repro.workflows.analysis import profile
 from repro.workflows.generators import (
@@ -175,6 +187,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="artifacts",
         help="directory for the `export` artifact bundle",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a Chrome trace_event file of the run "
+        "(chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="trace destination (implies --trace; default <out>.trace.json, "
+        "or repro-trace.json for stdout runs)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="write the run manifest here (default: next to --out/--out-dir; "
+        "stdout-only runs write one only when this is given)",
+    )
     return parser
 
 
@@ -210,10 +240,20 @@ def _render_gantt(workflow_name: str, strategy_label: str, platform) -> str:
     return gantt(sched)
 
 
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """The resolved CLI configuration, as recorded in the manifest."""
+    return {k: v for k, v in vars(args).items() if k != "artifact"}
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    t0 = time.perf_counter()
+    trace_on = args.trace or args.trace_out is not None
+    tracer = Tracer() if trace_on else None
+    metrics = MetricsRegistry()
     platform = CloudPlatform.ec2()
     sweep = None
+    outputs: list = []
     if args.artifact in _SWEEP_ARTIFACTS:
         if args.quick:
             wfs = paper_workflows()
@@ -225,6 +265,8 @@ def main(argv=None) -> int:
                 verify=args.verify,
                 jobs=args.jobs,
                 backend=args.backend,
+                tracer=tracer,
+                metrics=metrics,
             )
         else:
             sweep = run_sweep(
@@ -233,17 +275,74 @@ def main(argv=None) -> int:
                 verify=args.verify,
                 jobs=args.jobs,
                 backend=args.backend,
+                tracer=tracer,
+                metrics=metrics,
             )
 
+    # The metrics registry is ambient for locally-computed artifacts so
+    # builders/executors deep in the call tree feed it.  The parallel
+    # fan-out artifacts (faults, replicate) are excluded: their workers
+    # do not inherit the context, and a serial-only leak would break the
+    # counters' backend-independence guarantee.
+    ambient = args.artifact not in ("faults", "replicate")
+    with contextlib.ExitStack() as scope:
+        if ambient:
+            scope.enter_context(metrics.activate())
+        if tracer is not None:
+            scope.enter_context(
+                tracer.span(f"artifact:{args.artifact}", cat="cli")
+            )
+        text = _run_artifact(args, platform, sweep, outputs)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        outputs.append(str(args.out))
+    else:
+        sys.stdout.write(text + "\n")
+
+    if tracer is not None:
+        trace_path = args.trace_out or (
+            f"{args.out}.trace.json" if args.out else "repro-trace.json"
+        )
+        tracer.write_chrome(trace_path)
+        outputs.append(str(trace_path))
+        sys.stderr.write(f"trace: {trace_path}\n")
+
+    manifest_path = None
+    if args.manifest:
+        manifest_path = Path(args.manifest)
+    elif args.out:
+        manifest_path = default_manifest_path(args.out)
+    elif args.artifact == "export":
+        manifest_path = default_manifest_path(args.out_dir)
+    if manifest_path is not None:
+        simulated = metrics.get("sim.simulated_seconds")
+        manifest = build_manifest(
+            artifact=args.artifact,
+            config=_manifest_config(args),
+            seed=args.seed,
+            outputs=outputs,
+            counters=metrics.as_dict(),
+            wall_seconds=time.perf_counter() - t0,
+            simulated_seconds=simulated if simulated else None,
+        )
+        write_manifest(manifest_path, manifest)
+        sys.stderr.write(f"manifest: {manifest_path}\n")
+    return 0
+
+
+def _run_artifact(args, platform, sweep, outputs) -> str:
+    """Produce one artifact's text; file side-outputs land in *outputs*."""
     if args.artifact == "export":
         from repro.experiments.export import export_all
 
         written = export_all(args.out_dir, sweep=sweep, seed=args.seed)
-        sys.stdout.write(
+        outputs.extend(str(p) for p in written)
+        return (
             "\n".join(str(p) for p in written)
-            + f"\nwrote {len(written)} artifacts to {args.out_dir}\n"
+            + f"\nwrote {len(written)} artifacts to {args.out_dir}"
         )
-        return 0
     if args.artifact == "replicate":
         from repro.experiments.replication import render_replication, replicate
 
@@ -330,13 +429,7 @@ def main(argv=None) -> int:
         wf = _WORKFLOWS[args.workflow]()
         sched = strategy(args.strategy).run(wf, platform)
         text = render_explanation(explain(sched))
-
-    if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text + "\n")
-    else:
-        sys.stdout.write(text + "\n")
-    return 0
+    return text
 
 
 if __name__ == "__main__":  # pragma: no cover

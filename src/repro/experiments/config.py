@@ -25,6 +25,7 @@ from repro.core.allocation.gain import GainScheduler
 from repro.core.allocation.heft import HeftScheduler
 from repro.core.allocation.level import AllParScheduler
 from repro.core.schedule import Schedule
+from repro.util.suggest import unknown_name_message
 from repro.errors import ExperimentError
 from repro.workflows.dag import Workflow
 from repro.workflows.generators import cstem, mapreduce, montage, sequential
@@ -127,10 +128,13 @@ def paper_strategies() -> List[StrategySpec]:
 
 def strategy(label: str) -> StrategySpec:
     """Look up one of the paper's strategies by its Figure-4 label."""
-    for spec in paper_strategies():
+    specs = paper_strategies()
+    for spec in specs:
         if spec.label.lower() == label.lower():
             return spec
-    raise ExperimentError(f"unknown strategy label {label!r}")
+    raise ExperimentError(
+        unknown_name_message("strategy label", label, (s.label for s in specs))
+    )
 
 
 def paper_workflows() -> Dict[str, Workflow]:

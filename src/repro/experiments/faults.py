@@ -34,6 +34,7 @@ from repro.experiments.parallel import (
 )
 from repro.simulator.executor import ScheduleExecutor
 from repro.simulator.faults import FaultPlan, FaultStats
+from repro.util.compat import renamed_kwargs
 from repro.util.tables import format_table
 from repro.workflows.dag import Workflow
 
@@ -152,6 +153,7 @@ class FaultSweepResult:
         ]
 
 
+@renamed_kwargs(n_jobs="jobs", pool="backend", recovery_policy="recovery")
 def run_fault_sweep(
     platform: CloudPlatform | None = None,
     workflow: Workflow | None = None,

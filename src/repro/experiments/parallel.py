@@ -47,7 +47,10 @@ from repro.core.metrics import ScheduleMetrics, compare_to_reference
 from repro.errors import ExperimentError
 from repro.experiments.config import StrategySpec
 from repro.experiments.scenarios import Scenario
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.executor import simulate_schedule
+from repro.util.suggest import unknown_name_message
 from repro.workflows.dag import Workflow
 
 T = TypeVar("T")
@@ -206,7 +209,7 @@ def make_backend(
         cls = BACKENDS[name]
     except KeyError:
         raise ExperimentError(
-            f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
+            unknown_name_message("backend", str(backend), BACKENDS)
         ) from None
     if cls is SerialBackend:
         return SerialBackend()
@@ -339,6 +342,10 @@ class SweepCell:
     platform: CloudPlatform
     seed: np.random.SeedSequence
     verify: bool = False
+    #: collect per-run counters into ``CellResult.counters``
+    collect: bool = False
+    #: record a per-cell trace into ``CellResult.trace_events``
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -349,6 +356,13 @@ class CellResult:
     workflow: str
     reference: ScheduleMetrics
     metrics: Dict[str, ScheduleMetrics] = field(default_factory=dict)
+    #: per-cell counter snapshot, ``MetricsRegistry.as_dict()`` form
+    #: (``SweepCell.collect``); counters hold only simulation facts, so
+    #: the same seed yields the same values on every backend
+    counters: Optional[Dict[str, Dict[str, float]]] = None
+    #: per-cell trace events as plain dicts (``SweepCell.trace``) —
+    #: picklable, re-homed by ``Tracer.adopt`` in the parent
+    trace_events: Tuple[dict, ...] = ()
 
 
 def cell_label(cell: SweepCell) -> str:
@@ -361,24 +375,52 @@ def run_cell(cell: SweepCell) -> CellResult:
 
     Reconstructs the cell RNG from its :class:`~numpy.random.SeedSequence`
     exactly as the serial runner would, so results are identical no
-    matter which worker (or machine) runs the cell.
+    matter which worker (or machine) runs the cell.  With
+    ``cell.collect``/``cell.trace`` the cell additionally carries back a
+    counter snapshot and/or its trace events; both are plain data, so
+    the same cell is observable identically from every backend.
     """
     from repro.experiments.runner import run_strategy
 
-    rng = np.random.default_rng(cell.seed)
-    concrete = cell.scenario.apply(cell.shape, rng)
-    ref = reference_schedule(concrete, cell.platform)
-    if cell.verify:
-        simulate_schedule(ref, check=True)
-    reference = compare_to_reference(ref, ref, label=REFERENCE_LABEL)
-    row: Dict[str, ScheduleMetrics] = {}
-    for spec in cell.strategies:
-        row[spec.label] = run_strategy(
-            spec, concrete, cell.platform, reference=ref, verify=cell.verify
-        )
+    registry = MetricsRegistry() if cell.collect else None
+    tracer = Tracer() if cell.trace else NULL_TRACER
+    label = cell_label(cell)
+
+    def evaluate() -> Tuple[ScheduleMetrics, Dict[str, ScheduleMetrics]]:
+        rng = np.random.default_rng(cell.seed)
+        concrete = cell.scenario.apply(cell.shape, rng)
+        ref = reference_schedule(concrete, cell.platform)
+        if cell.verify:
+            simulate_schedule(ref, check=True)
+        reference = compare_to_reference(ref, ref, label=REFERENCE_LABEL)
+        row: Dict[str, ScheduleMetrics] = {}
+        for spec in cell.strategies:
+            with tracer.span(
+                f"strategy:{spec.label}", cat="sweep", tid="main", cell=label
+            ):
+                row[spec.label] = run_strategy(
+                    spec,
+                    concrete,
+                    cell.platform,
+                    reference=ref,
+                    verify=cell.verify,
+                    tracer=tracer if tracer.enabled else None,
+                )
+        return reference, row
+
+    if registry is not None:
+        with registry.activate():
+            with tracer.span(f"cell:{label}", cat="sweep", tid="main"):
+                reference, row = evaluate()
+        registry.inc("sweep.cells")
+    else:
+        with tracer.span(f"cell:{label}", cat="sweep", tid="main"):
+            reference, row = evaluate()
     return CellResult(
         scenario=cell.scenario.name,
         workflow=cell.workflow_name,
         reference=reference,
         metrics=row,
+        counters=registry.as_dict() if registry is not None else None,
+        trace_events=tuple(tracer.events),
     )

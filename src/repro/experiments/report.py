@@ -21,7 +21,7 @@ def full_report(
     if sweep is None:
         sweep = run_sweep(platform=platform, seed=seed, verify=verify)
     from repro.experiments.pareto_front import render_pareto
-    from repro.experiments.summary import render_summary
+    from repro.experiments.summary import render_run_counters, render_summary
 
     sections = [
         tables.render_table1(),
@@ -37,4 +37,7 @@ def full_report(
         render_summary(sweep),
         render_pareto(sweep),
     ]
+    counters = render_run_counters(sweep)
+    if counters:
+        sections.append(counters)
     return "\n\n" + "\n\n\n".join(sections) + "\n"

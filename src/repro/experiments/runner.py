@@ -28,7 +28,10 @@ from repro.experiments.parallel import (
     run_cell,
 )
 from repro.experiments.scenarios import Scenario, paper_scenarios
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, ensure_tracer
 from repro.simulator.executor import simulate_schedule
+from repro.util.compat import renamed_kwargs
 from repro.util.rng import spawn_seeds
 from repro.workflows.dag import Workflow
 
@@ -39,16 +42,18 @@ def run_strategy(
     platform: CloudPlatform,
     reference: Schedule | None = None,
     verify: bool = False,
+    tracer: Tracer | None = None,
 ) -> ScheduleMetrics:
     """Run one strategy on one concrete workflow instance.
 
     With *verify*, the schedule is also replayed through the DES and its
-    timings checked against the static plan.
+    timings checked against the static plan (the replay feeds *tracer*
+    with its simulated-time task/VM spans when one is given).
     """
     sched = spec.run(workflow, platform)
     sched.validate()
     if verify:
-        simulate_schedule(sched, check=True)
+        simulate_schedule(sched, check=True, tracer=tracer)
     ref = reference if reference is not None else reference_schedule(workflow, platform)
     return compare_to_reference(sched, ref, label=spec.label)
 
@@ -64,6 +69,10 @@ class SweepResult:
     references: Dict[str, Dict[str, ScheduleMetrics]] = field(default_factory=dict)
     #: cells that produced no result (captured errors / timeouts)
     failures: List[CellFailure] = field(default_factory=list)
+    #: run counters rolled up across cells in grid order
+    #: (``run_sweep(metrics=...)``), ``MetricsRegistry.as_dict()`` form;
+    #: ``None`` when counter collection was off
+    counters: "Dict[str, Dict[str, float]] | None" = None
 
     @property
     def complete(self) -> bool:
@@ -102,6 +111,7 @@ class SweepResult:
         return out
 
 
+@renamed_kwargs(n_jobs="jobs", pool="backend", rng_seed="seed", error_mode="on_error")
 def run_sweep(
     platform: CloudPlatform | None = None,
     workflows: Mapping[str, Workflow] | None = None,
@@ -114,6 +124,8 @@ def run_sweep(
     retries: int = 0,
     cell_timeout: float | None = None,
     on_error: str = "capture",
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SweepResult:
     """Run the paper's full evaluation grid.
 
@@ -133,6 +145,13 @@ def run_sweep(
     failed cells are simply absent from the result, described in
     ``SweepResult.failures``; ``on_error="raise"`` restores the old
     fail-fast behavior.
+
+    *tracer* records the sweep (one trace process per cell, merged via
+    :meth:`~repro.obs.tracer.Tracer.adopt` regardless of backend);
+    *metrics* rolls per-cell counters into the given registry and into
+    ``SweepResult.counters``.  Counters hold only simulation facts and
+    cells are merged in grid order, so the roll-up is byte-identical
+    across the serial, thread and process backends for the same seed.
     """
     if on_error not in ("capture", "raise"):
         raise ExperimentError(
@@ -148,6 +167,7 @@ def run_sweep(
         raise ExperimentError("sweep needs at least one of each axis")
 
     exec_backend = make_backend(backend, jobs)
+    tracer = ensure_tracer(tracer)
     seeds = spawn_seeds(seed, len(scenarios) * len(workflows))
     cells = [
         SweepCell(
@@ -158,6 +178,8 @@ def run_sweep(
             platform=platform,
             seed=seeds[i * len(workflows) + j],
             verify=verify,
+            collect=metrics is not None,
+            trace=tracer.enabled,
         )
         for i, sc in enumerate(scenarios)
         for j, (wf_name, shape) in enumerate(workflows.items())
@@ -177,11 +199,18 @@ def run_sweep(
         )
 
     # Merge in grid order — backend.map preserves input order, so the
-    # result layout is independent of completion order.
+    # result layout (and any counter/trace roll-up) is independent of
+    # completion order.
     result = SweepResult(platform=platform, failures=failures)
-    for cr in cell_results:
+    for i, cr in enumerate(cell_results):
         if cr is None:
             continue  # captured failure; see result.failures
         result.metrics.setdefault(cr.scenario, {})[cr.workflow] = dict(cr.metrics)
         result.references.setdefault(cr.scenario, {})[cr.workflow] = cr.reference
+        if metrics is not None and cr.counters is not None:
+            metrics.merge(cr.counters)
+        if tracer.enabled and cr.trace_events:
+            tracer.adopt(cr.trace_events, label=cell_label(cells[i]))
+    if metrics is not None:
+        result.counters = metrics.as_dict()
     return result

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List
 
 from repro.cloud.platform import CloudPlatform
 from repro.errors import ExperimentError
+from repro.util.suggest import unknown_name_message
 from repro.workflows.dag import Workflow
 from repro.workloads.base import ExecutionTimeModel, apply_model
 from repro.workloads.pareto import ParetoModel
@@ -59,11 +60,12 @@ def paper_scenarios(platform: CloudPlatform | None = None) -> List[Scenario]:
 
 def scenario(name: str, platform: CloudPlatform | None = None) -> Scenario:
     """Look up one of the paper's scenarios by name."""
-    for s in paper_scenarios(platform):
+    scenarios = paper_scenarios(platform)
+    for s in scenarios:
         if s.name == name.lower():
             return s
     raise ExperimentError(
-        f"unknown scenario {name!r}; known: pareto, best, worst"
+        unknown_name_message("scenario", name, (s.name for s in scenarios))
     )
 
 

@@ -72,6 +72,30 @@ def most_stable(sweep: SweepResult, top: int = 5) -> List[StrategySummary]:
     return ranked[:top]
 
 
+def render_run_counters(sweep: SweepResult) -> str:
+    """The sweep's rolled-up run counters as a table; "" without them.
+
+    Counters come from ``run_sweep(metrics=...)`` and hold simulation
+    facts only, so this rendering is byte-identical for the same seed no
+    matter which execution backend produced the cells.
+    """
+    if not sweep.counters:
+        return ""
+    rows = []
+    for kind in ("counters", "gauges"):
+        for name, value in sweep.counters.get(kind, {}).items():
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            rows.append((name, kind[:-1], value))
+    if not rows:
+        return ""
+    return format_table(
+        ["metric", "kind", "value"],
+        rows,
+        title="Run counters (rolled up across cells)",
+    )
+
+
 def render_summary(sweep: SweepResult) -> str:
     rows = [
         (

@@ -1,0 +1,52 @@
+"""repro.obs — the observability layer.
+
+Three legs, all zero-overhead when disabled (see the contract in
+DESIGN.md §10):
+
+* :class:`Tracer` / :data:`NULL_TRACER` — structured spans, instants and
+  counter samples, serialized as JSONL or Chrome ``trace_event`` JSON
+  (opens in ``chrome://tracing`` / Perfetto).
+* :class:`MetricsRegistry` — per-run counters (VMs rented, BTUs billed,
+  tasks retried, cache hits, events processed) that merge
+  deterministically across execution backends.
+* run manifests — config hash, seed, git revision, library versions and
+  wall/simulated time written next to every CLI artifact, so any figure
+  or table is reproducible from its manifest.
+"""
+
+from repro.obs.manifest import (
+    build_manifest,
+    config_hash,
+    default_manifest_path,
+    git_revision,
+    library_versions,
+    load_manifest,
+    manifest_argv,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry, current
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    ensure_tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ensure_tracer",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "current",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_argv",
+    "default_manifest_path",
+    "config_hash",
+    "git_revision",
+    "library_versions",
+]

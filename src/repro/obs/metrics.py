@@ -1,0 +1,130 @@
+"""Per-run counters and gauges, aggregated deterministically.
+
+A :class:`MetricsRegistry` captures what a run *did* — VMs rented, BTUs
+billed, tasks retried, cache hits, events processed — as plain named
+counters.  Registries merge associatively and serialize with sorted
+keys, so a sweep's rolled-up summary is byte-identical no matter which
+execution backend (serial / thread / process) produced the cells: every
+count is a fact of the simulation, never of the host machine.
+
+Activation
+----------
+Deeply nested hot paths (the :class:`~repro.core.builder.ScheduleBuilder`
+and the provisioning policies) cannot take a ``metrics=`` argument
+without threading it through every scheduler signature.  Instead a
+registry is *activated* for a dynamic scope::
+
+    registry = MetricsRegistry()
+    with registry.activate():
+        run_strategy(...)        # builders pick the registry up
+
+and instrumented constructors capture :func:`current` once.  The scope
+is a :mod:`contextvars` context, so thread- and process-pool workers
+each see only their own cell's registry.  With no registry active,
+``current()`` is ``None`` and every instrumented site skips its
+emission behind a single ``is not None`` branch — the zero-overhead
+contract shared with :mod:`repro.obs.tracer`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+_ACTIVE: "contextvars.ContextVar[Optional[MetricsRegistry]]" = contextvars.ContextVar(
+    "repro_metrics_registry", default=None
+)
+
+
+def current() -> "Optional[MetricsRegistry]":
+    """The registry activated in the current context, or ``None``."""
+    return _ACTIVE.get()
+
+
+class MetricsRegistry:
+    """Named counters + gauges with deterministic serialization."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add *n* to counter *name* (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge *name*."""
+        self.gauges[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Current value of counter *name* (gauges via ``.gauges``)."""
+        return self.counters.get(name, default)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry | Mapping[str, object]") -> None:
+        """Fold another registry (or its ``as_dict`` form) into this one.
+
+        Counters add; gauges take the incoming value (last write wins,
+        and merges happen in deterministic grid order).
+        """
+        if isinstance(other, MetricsRegistry):
+            counters, gauges = other.counters, other.gauges
+        else:
+            counters = other.get("counters", {})  # type: ignore[assignment]
+            gauges = other.get("gauges", {})  # type: ignore[assignment]
+        for name, value in counters.items():
+            self.inc(name, value)
+        for name, value in gauges.items():
+            self.set_gauge(name, value)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Sorted-key plain-dict form (pickles/JSONs deterministically)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def summary_text(self) -> str:
+        """Canonical one-line-per-metric rendering.
+
+        Byte-identical for equal registries: keys sorted, integers
+        printed as integers, floats with ``repr`` (shortest round-trip).
+        """
+        lines = []
+        for kind, table in (("counter", self.counters), ("gauge", self.gauges)):
+            for name in sorted(table):
+                value = table[name]
+                if isinstance(value, float) and value.is_integer():
+                    value = int(value)
+                lines.append(f"{kind} {name} = {value!r}")
+        return "\n".join(lines)
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=1, sort_keys=True))
+        return path
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self):
+        """Make this registry :func:`current` for the enclosed scope."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)})"
+        )

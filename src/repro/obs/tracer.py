@@ -1,0 +1,319 @@
+"""Structured tracing: spans, instants and counter samples.
+
+A :class:`Tracer` collects timestamped events during a run — wall-clock
+spans around host computations (scheduling a strategy, replaying a
+cell), simulated-time spans for what the discrete-event executors
+observe (one span per task execution, one per VM rent window), and
+counter samples — and serializes them as JSONL or the Chrome
+``trace_event`` format, so any run opens directly in
+``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_.
+
+Overhead contract
+-----------------
+Tracing must cost *nothing* when disabled.  Every instrumented site
+holds a tracer reference that defaults to the module-level
+:data:`NULL_TRACER` singleton, whose ``enabled`` flag is ``False`` and
+whose methods are no-ops; hot paths guard their emission behind a single
+``if tracer.enabled:`` branch.  ``make bench-check`` runs with tracing
+disabled and must show no measurable regression.
+
+Timestamps
+----------
+Chrome traces are unit-µs.  Wall-clock spans (``span``) use
+``time.perf_counter`` relative to the tracer's epoch.  Simulated-time
+events (``complete``/``instant``/``counter`` with an explicit ``ts``)
+map one simulated second to one trace millisecond (``ts * 1e3`` µs), so
+simulation timelines stay readable next to wall timelines; the two kinds
+are kept apart by track (``tid``) and category.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+#: trace µs per simulated second (1 sim second -> 1 trace ms)
+SIM_US = 1e3
+#: trace µs per wall second
+WALL_US = 1e6
+
+
+class Tracer:
+    """Collects trace events for one run (not thread-safe; use one
+    tracer per worker and :meth:`adopt` to merge)."""
+
+    #: hot paths guard emission on this flag — ``False`` only on the
+    #: :class:`NullTracer`
+    enabled: bool = True
+
+    def __init__(self, pid: int = 0, clock=time.perf_counter) -> None:
+        self.pid = pid
+        self._clock = clock
+        self._epoch = clock()
+        self.events: List[dict] = []
+        self._next_pid = pid + 1
+        self._next_run = 0
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _wall_us(self) -> float:
+        return (self._clock() - self._epoch) * WALL_US
+
+    def next_run(self) -> int:
+        """A fresh track-namespace index.
+
+        Each simulated replay prefixes its per-VM track names with one
+        of these, so sim-time spans from successive replays land on
+        distinct ``tid`` tracks instead of partially overlapping on a
+        shared ``vm0`` track (which the nesting check would reject).
+        """
+        self._next_run += 1
+        return self._next_run
+
+    @contextmanager
+    def span(self, name: str, cat: str = "wall", tid: str = "main", **args):
+        """Wall-clock span around a block of host work."""
+        start = self._wall_us()
+        try:
+            yield self
+        finally:
+            self.events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": self._wall_us() - start,
+                    "pid": self.pid,
+                    "tid": tid,
+                    "cat": cat,
+                    "args": args,
+                }
+            )
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        tid: str = "sim",
+        cat: str = "sim",
+        **args,
+    ) -> None:
+        """Span with explicit simulated-time bounds (seconds)."""
+        self.events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": ts * SIM_US,
+                "dur": dur * SIM_US,
+                "pid": self.pid,
+                "tid": tid,
+                "cat": cat,
+                "args": args,
+            }
+        )
+
+    def instant(
+        self,
+        name: str,
+        ts: float | None = None,
+        tid: str = "main",
+        cat: str = "wall",
+        **args,
+    ) -> None:
+        """Point event, at simulated *ts* seconds or wall now."""
+        self.events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "s": "t",
+                "ts": self._wall_us() if ts is None else ts * SIM_US,
+                "pid": self.pid,
+                "tid": tid,
+                "cat": cat,
+                "args": args,
+            }
+        )
+
+    def counter(
+        self, name: str, value: float, ts: float | None = None, tid: str = "counters"
+    ) -> None:
+        """Counter sample (rendered as a stacked chart track)."""
+        self.events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": self._wall_us() if ts is None else ts * SIM_US,
+                "pid": self.pid,
+                "tid": tid,
+                "cat": "counter",
+                "args": {"value": value},
+            }
+        )
+
+    def gauge(self, name: str, value: float, ts: float | None = None) -> None:
+        """Alias of :meth:`counter` for point-in-time measurements."""
+        self.counter(name, value, ts=ts)
+
+    # ------------------------------------------------------------------
+    # merging (per-cell traces from parallel backends)
+    # ------------------------------------------------------------------
+    def adopt(self, events: Iterable[dict], label: str = "") -> int:
+        """Merge a worker's event list as its own trace process.
+
+        Events produced by a per-cell tracer (serial, thread or process
+        backend — plain dicts travel through pickling unchanged) are
+        re-homed under a fresh ``pid``; *label* becomes the process name
+        shown by the viewer.  Returns the assigned pid.
+        """
+        pid = self._next_pid
+        self._next_pid += 1
+        if label:
+            self.events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": "main",
+                    "cat": "__metadata",
+                    "args": {"name": label},
+                }
+            )
+        n = 0
+        for ev in events:
+            ev = dict(ev)
+            ev["pid"] = pid
+            self.events.append(ev)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, object]:
+        """The Chrome ``trace_event`` JSON object."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome-format trace; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome(), indent=None, sort_keys=True))
+        return path
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON event per line; returns the path."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for ev in self.events:
+                fh.write(json.dumps(ev, sort_keys=True) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(events={len(self.events)})"
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is shared by
+    every un-traced run, so "is tracing on?" is one attribute read.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events = []
+
+    def span(self, name, cat="wall", tid="main", **args):  # noqa: D102
+        return _NULL_SPAN
+
+    def complete(self, *a, **kw) -> None:  # noqa: D102
+        pass
+
+    def instant(self, *a, **kw) -> None:  # noqa: D102
+        pass
+
+    def counter(self, *a, **kw) -> None:  # noqa: D102
+        pass
+
+    def adopt(self, events, label="") -> int:  # noqa: D102
+        return 0
+
+    def next_run(self) -> int:  # noqa: D102
+        return 0
+
+
+#: the shared disabled tracer — instrumented code defaults to this
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Normalize an optional tracer argument to a usable instance."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+def validate_chrome_trace(data: dict) -> List[dict]:
+    """Structurally validate a Chrome ``trace_event`` object.
+
+    Checks the ``traceEvents`` envelope, per-event required fields, and
+    that complete ("X") spans nest consistently per (pid, tid) track:
+    two spans on one track either nest or are disjoint — never partially
+    overlap.  Returns the event list; raises ``ValueError`` otherwise.
+    Used by the test suite and by ``--trace`` consumers as a load check.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    tracks: Dict[tuple, List[tuple]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in ev:
+                raise ValueError(f"event {i} ({ev.get('name')!r}) lacks {field!r}")
+        if ev["ph"] == "X":
+            if "dur" not in ev or ev["dur"] < 0:
+                raise ValueError(f"complete event {i} needs a non-negative 'dur'")
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+                (float(ev["ts"]), float(ev["ts"]) + float(ev["dur"]), ev["name"])
+            )
+    eps = 1e-6
+    for track, spans in tracks.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: List[tuple] = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start + eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                raise ValueError(
+                    f"span {name!r} on track {track} partially overlaps "
+                    f"{stack[-1][2]!r}"
+                )
+            stack.append((start, end, name))
+    return events

@@ -9,16 +9,25 @@ accidental infinite loops in user actions.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.tracer import Tracer, ensure_tracer
 from repro.simulator.events import EventQueue
 
 
 class Simulator:
-    """The clock + queue core shared by all simulations."""
+    """The clock + queue core shared by all simulations.
 
-    def __init__(self, max_events: int = 10_000_000) -> None:
+    *tracer*, when given, receives an ``engine.run`` wall-clock span and
+    a ``sim.events_processed`` counter sample per :meth:`run` call; the
+    default :data:`~repro.obs.tracer.NULL_TRACER` keeps the event loop
+    untouched (the emission happens outside it either way).
+    """
+
+    def __init__(
+        self, max_events: int = 10_000_000, tracer: Optional[Tracer] = None
+    ) -> None:
         if max_events <= 0:
             raise SimulationError("max_events must be positive")
         self._queue = EventQueue()
@@ -26,6 +35,7 @@ class Simulator:
         self._max_events = max_events
         self._processed = 0
         self._running = False
+        self.tracer = ensure_tracer(tracer)
 
     @property
     def now(self) -> float:
@@ -54,6 +64,13 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        span = (
+            self.tracer.span("engine.run", cat="engine")
+            if self.tracer.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         try:
             while self._queue:
                 next_time = self._queue.peek_time()
@@ -72,6 +89,9 @@ class Simulator:
                 ev.action()
         finally:
             self._running = False
+            if span is not None:
+                span.__exit__(None, None, None)
+                self.tracer.counter("sim.events_processed", self._processed)
         if until is not None:
             self._now = max(self._now, until)
         return self._now

@@ -43,9 +43,13 @@ from repro.core.recovery import (
 )
 from repro.core.schedule import Schedule
 from repro.errors import FaultError, SchedulingError, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import current as current_metrics
+from repro.obs.tracer import Tracer, ensure_tracer
 from repro.simulator.engine import Simulator
 from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.trace import SimulationResult, TraceEvent
+from repro.util.compat import renamed_kwargs
 
 
 @dataclass
@@ -88,6 +92,13 @@ class ScheduleExecutor:
     :class:`~repro.core.recovery.RecoveryPolicy`, a registry name
     (``"retry"``, ``"resubmit"``, ``"replan"``) or ``None`` (retry with
     default backoff); it is only consulted when a fault actually fires.
+
+    *tracer* records the replay for ``chrome://tracing``: a wall-clock
+    span around the event loop plus simulated-time spans per VM rent
+    window and task execution, with fault/recovery instants.  *metrics*
+    (default: the registry activated via
+    :meth:`repro.obs.MetricsRegistry.activate`, if any) accumulates the
+    run's counters.  Both default to disabled at zero cost.
     """
 
     def __init__(
@@ -97,6 +108,8 @@ class ScheduleExecutor:
         runtime_fn: Callable[[str, float], float] | None = None,
         fault_plan: FaultPlan | None = None,
         recovery: "str | RecoveryPolicy | None" = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.schedule = schedule
         self.runtime_fn = runtime_fn
@@ -104,7 +117,9 @@ class ScheduleExecutor:
         self.recovery: Optional[RecoveryPolicy] = (
             recovery_policy(recovery) if fault_plan is not None else None
         )
-        self.sim = Simulator(max_events=max_events)
+        self.tracer = ensure_tracer(tracer)
+        self.metrics = metrics if metrics is not None else current_metrics()
+        self.sim = Simulator(max_events=max_events, tracer=tracer)
         self.result = SimulationResult()
         self.stats: Optional[FaultStats] = (
             FaultStats() if fault_plan is not None else None
@@ -337,7 +352,7 @@ class ScheduleExecutor:
             reason="task",
             vm_alive=True,
         )
-        action = self.recovery.on_task_failure(failure)
+        action = self.recovery.decide(failure)
         self.stats.decisions.append(f"{action.kind}:{task_id}@{now:.3f}")
         if action.kind == "abort":
             raise FaultError(
@@ -388,7 +403,7 @@ class ScheduleExecutor:
                 reason="vm_crash",
                 vm_alive=False,
             )
-            action = self.recovery.on_task_failure(failure)
+            action = self.recovery.decide(failure)
             self.stats.decisions.append(f"{action.kind}:{running}@{now:.3f}")
             if action.kind == "abort":
                 raise FaultError(
@@ -611,7 +626,10 @@ class ScheduleExecutor:
             front = self._front(evm)
             if front is not None:
                 self.sim.at(0.0, lambda t=front: self._try_start(t), f"kick:{front}")
-        self.sim.run()
+        with self.tracer.span(
+            "executor.run", cat="executor", workflow=self.schedule.workflow.name
+        ):
+            self.sim.run()
         missing = set(self.schedule.workflow.task_ids) - self._done
         if missing:
             raise SimulationError(
@@ -650,24 +668,104 @@ class ScheduleExecutor:
                 self.stats.wasted_btu_seconds += paid - evm.useful_seconds
         if self.stats is not None:
             self.result.faults = self.stats
+        if self.tracer.enabled:
+            self._emit_trace()
+        if self.metrics is not None:
+            self._emit_metrics()
         return self.result
 
+    def _emit_trace(self) -> None:
+        """Project the replay onto simulated-time trace tracks: one
+        track per VM, its rent window enclosing its task spans, with
+        fault events as instants."""
+        tracer = self.tracer
+        # Distinct track namespace per replay: several replays sharing a
+        # tracer would otherwise interleave partially-overlapping spans
+        # on one "vm0" track, which the trace nesting check rejects.
+        run = tracer.next_run()
+        for evm in self._vms:
+            window = self.result.vm_windows.get(evm.name)
+            if window is not None:
+                tracer.complete(
+                    f"rent:{evm.name}",
+                    window[0],
+                    window[1] - window[0],
+                    tid=f"run{run}:{evm.name}",
+                    cat="sim.vm",
+                    itype=evm.itype.name,
+                )
+        for tid, start in self.result.task_start.items():
+            finish = self.result.task_finish.get(tid)
+            if finish is None:
+                continue
+            tracer.complete(
+                tid,
+                start,
+                finish - start,
+                tid=f"run{run}:{self._vm_of[tid].name}",
+                cat="sim.task",
+            )
+        for ev in self.result.events:
+            if ev.kind in ("task_fail", "vm_crash", "vm_boot_fail"):
+                tracer.instant(
+                    f"{ev.kind}:{ev.task_id or ev.vm}",
+                    ts=ev.time,
+                    tid=f"run{run}:{ev.vm}",
+                    cat="sim.fault",
+                    detail=ev.detail,
+                )
+        tracer.counter("sim.makespan_seconds", self.result.makespan)
 
-def simulate_schedule(schedule: Schedule, check: bool = True) -> SimulationResult:
+    def _emit_metrics(self) -> None:
+        """Roll the replay's facts into the active metrics registry."""
+        m = self.metrics
+        assert m is not None
+        billing = self.schedule.platform.billing
+        rented = 0
+        for evm in self._vms:
+            window = self.result.vm_windows.get(evm.name)
+            if window is None:
+                continue
+            rented += 1
+            uptime = (evm.crashed_at if evm.crashed else window[1]) - evm.rent_start
+            m.inc("executor.btus_billed", billing.btus(max(uptime, 0.0)))
+        m.inc("executor.runs")
+        m.inc("executor.vms_rented", rented)
+        m.inc("executor.tasks_executed", len(self._done))
+        m.inc("sim.events_processed", self.sim.processed_events)
+        m.inc("sim.simulated_seconds", self.result.makespan)
+        if self.stats is not None:
+            m.inc("faults.task_failures", self.stats.task_failures)
+            m.inc("faults.vm_crashes", self.stats.vm_crashes)
+            m.inc("faults.boot_failures", self.stats.boot_failures)
+            m.inc("recovery.tasks_retried", self.stats.retries)
+            m.inc("recovery.tasks_resubmitted", self.stats.resubmits)
+            m.inc("recovery.replans", self.stats.replans)
+
+
+def simulate_schedule(
+    schedule: Schedule,
+    check: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> SimulationResult:
     """Replay *schedule* through the DES; with *check*, assert the
     observed timings equal the planned ones."""
-    result = ScheduleExecutor(schedule).run()
+    result = ScheduleExecutor(schedule, tracer=tracer, metrics=metrics).run()
     if check:
         result.check_against(schedule)
     return result
 
 
+@renamed_kwargs(faults="fault_plan", recovery_policy="recovery")
 def run_with_faults(
     schedule: Schedule,
     fault_plan: FaultPlan,
     recovery: "str | RecoveryPolicy | None" = "retry",
     runtime_fn: Callable[[str, float], float] | None = None,
     max_events: int = 10_000_000,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: replay *schedule* under *fault_plan*.
 
@@ -680,4 +778,6 @@ def run_with_faults(
         runtime_fn=runtime_fn,
         fault_plan=fault_plan,
         recovery=recovery,
+        tracer=tracer,
+        metrics=metrics,
     ).run()

@@ -39,9 +39,13 @@ from repro.cloud.platform import CloudPlatform
 from repro.cloud.region import Region
 from repro.core.recovery import FailureEvent, RecoveryPolicy, recovery_policy
 from repro.errors import FaultError, SchedulingError, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import current as current_metrics
+from repro.obs.tracer import Tracer, ensure_tracer
 from repro.simulator.engine import Simulator
 from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.trace import TraceEvent
+from repro.util.compat import renamed_kwargs
 from repro.workflows.dag import Workflow
 
 _SUPPORTED = (
@@ -110,6 +114,8 @@ class OnlineCloudExecutor:
         release_times: Dict[str, float] | None = None,
         fault_plan: FaultPlan | None = None,
         recovery: "str | RecoveryPolicy | None" = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if policy not in _SUPPORTED:
             raise SchedulingError(
@@ -124,7 +130,9 @@ class OnlineCloudExecutor:
         self.runtime_fn = runtime_fn
         #: optional per-entry-task earliest-ready times (workflow streams)
         self.release_times = dict(release_times or {})
-        self.sim = Simulator(max_events=max_events)
+        self.tracer = ensure_tracer(tracer)
+        self.metrics = metrics if metrics is not None else current_metrics()
+        self.sim = Simulator(max_events=max_events, tracer=tracer)
         self.fleet: List[_OnlineVM] = []
         self.levels = workflow.level_of()
         self.level_sizes: Dict[int, int] = {}
@@ -358,7 +366,7 @@ class OnlineCloudExecutor:
             reason=reason,
             vm_alive=not vm.dead,
         )
-        action = self.recovery.on_task_failure(failure)
+        action = self.recovery.decide(failure)
         self.stats.decisions.append(f"{action.kind}:{task_id}@{now:.3f}")
         if action.kind == "abort":
             raise FaultError(
@@ -433,11 +441,81 @@ class OnlineCloudExecutor:
             self._recover(tid, vm, "vm_crash")
 
     # ------------------------------------------------------------------
+    # observability (only reached when tracing/metrics were requested)
+    # ------------------------------------------------------------------
+    def _emit_trace(self) -> None:
+        """Sim-time VM rent windows and task spans for the Chrome trace."""
+        btu = self.platform.btu_seconds
+        run = self.tracer.next_run()
+        for vm in self.fleet:
+            end = vm.crashed_at if vm.crashed else max(vm.free_at, vm.horizon(btu))
+            tid = f"run{run}:vm{vm.id}"
+            self.tracer.complete(
+                f"rent:vm{vm.id}",
+                vm.started_at,
+                max(end - vm.started_at, 0.0),
+                tid=tid,
+                cat="sim.vm",
+                itype=vm.itype.name,
+            )
+            if vm.crashed:
+                self.tracer.instant(
+                    "vm_crash", ts=vm.crashed_at, tid=tid, cat="sim.fault"
+                )
+        for task_id, start in self.task_start.items():
+            tid = f"run{run}:vm{self.task_vm[task_id]}"
+            self.tracer.complete(
+                task_id,
+                start,
+                self.task_finish[task_id] - start,
+                tid=tid,
+                cat="sim.task",
+            )
+        for ev in self.events:
+            if ev.kind in ("task_fail", "vm_boot_fail"):
+                self.tracer.instant(
+                    ev.kind,
+                    ts=ev.time,
+                    tid=f"run{run}:{ev.vm}" if ev.vm else "main",
+                    cat="sim.fault",
+                    task=ev.task_id,
+                )
+        self.tracer.counter(
+            "sim.makespan_seconds", max(self.task_finish.values(), default=0.0)
+        )
+
+    def _emit_metrics(self) -> None:
+        assert self.metrics is not None
+        billing = self.platform.billing
+        btus = 0
+        for vm in self.fleet:
+            end = vm.crashed_at if vm.crashed else vm.free_at
+            btus += billing.btus(max(end - vm.started_at, 0.0))
+        self.metrics.inc("online.runs")
+        self.metrics.inc("online.vms_rented", len(self.fleet))
+        self.metrics.inc("online.btus_billed", btus)
+        self.metrics.inc("online.tasks_executed", len(self.task_finish))
+        self.metrics.inc("sim.events_processed", self.sim.processed_events)
+        self.metrics.inc(
+            "sim.simulated_seconds", max(self.task_finish.values(), default=0.0)
+        )
+        if self.stats is not None:
+            self.metrics.inc("faults.task_failures", self.stats.task_failures)
+            self.metrics.inc("faults.vm_crashes", self.stats.vm_crashes)
+            self.metrics.inc("faults.boot_failures", self.stats.boot_failures)
+            self.metrics.inc("recovery.tasks_retried", self.stats.retries)
+            self.metrics.inc("recovery.tasks_resubmitted", self.stats.resubmits)
+            self.metrics.inc("recovery.replans", self.stats.replans)
+
+    # ------------------------------------------------------------------
     def run(self) -> OnlineResult:
         for tid in self.workflow.entry_tasks():
             at = self.release_times.get(tid, 0.0)
             self.sim.at(at, lambda t=tid: self._on_ready(t), f"ready:{tid}")
-        self.sim.run()
+        with self.tracer.span(
+            "online.run", cat="executor", workflow=self.workflow.name, policy=self.policy
+        ):
+            self.sim.run()
         missing = [t for t in self.workflow.task_ids if t not in self.task_finish]
         if missing:
             raise SimulationError(f"online run never completed: {missing}")
@@ -457,6 +535,10 @@ class OnlineCloudExecutor:
                 self.stats.paid_seconds += paid
                 self.stats.realized_cost += cost
                 self.stats.wasted_btu_seconds += paid - vm.useful_seconds
+        if self.tracer.enabled:
+            self._emit_trace()
+        if self.metrics is not None:
+            self._emit_metrics()
         return OnlineResult(
             makespan=max(self.task_finish.values()),
             rent_cost=rent,
@@ -518,6 +600,7 @@ def online_to_schedule(
     ).validate()
 
 
+@renamed_kwargs(faults="fault_plan", recovery_policy="recovery")
 def run_online(
     workflow: Workflow,
     platform: CloudPlatform,
@@ -527,6 +610,8 @@ def run_online(
     runtime_fn: Callable[[str, float], float] | None = None,
     fault_plan: FaultPlan | None = None,
     recovery: "str | RecoveryPolicy | None" = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> OnlineResult:
     """Convenience wrapper: build and run an online executor."""
     return OnlineCloudExecutor(
@@ -538,4 +623,6 @@ def run_online(
         runtime_fn=runtime_fn,
         fault_plan=fault_plan,
         recovery=recovery,
+        tracer=tracer,
+        metrics=metrics,
     ).run()

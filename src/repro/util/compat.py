@@ -1,0 +1,61 @@
+"""Backwards-compatibility shims for renamed keyword arguments.
+
+Public entry-point kwargs drifted across the parallel-sweep, fault and
+scaling releases (``n_jobs`` vs ``jobs``, ``pool`` vs ``backend``,
+``rng_seed`` vs ``seed``, ``error_mode`` vs ``on_error``, ``faults`` vs
+``fault_plan``, ``recovery_policy`` vs ``recovery``).  The new names are
+canonical everywhere; :func:`renamed_kwargs` keeps the old spellings
+working for one deprecation cycle — they forward to the new name and
+emit a :class:`DeprecationWarning` naming the replacement.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+#: the legacy -> canonical spellings unified across the experiment and
+#: simulator entry points (see ``tests/test_deprecations.py``)
+LEGACY_KWARGS = {
+    "n_jobs": "jobs",
+    "pool": "backend",
+    "rng_seed": "seed",
+    "error_mode": "on_error",
+    "faults": "fault_plan",
+    "recovery_policy": "recovery",
+}
+
+
+def renamed_kwargs(**aliases: str) -> Callable[[F], F]:
+    """Decorator mapping deprecated kwarg names onto their replacements.
+
+    ``@renamed_kwargs(n_jobs="jobs")`` makes ``fn(n_jobs=4)`` behave
+    exactly like ``fn(jobs=4)`` plus a :class:`DeprecationWarning`;
+    passing both spellings is a :class:`TypeError`.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, new in aliases.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got both {old!r} (deprecated) "
+                            f"and its replacement {new!r}"
+                        )
+                    warnings.warn(
+                        f"{fn.__name__}({old}=...) is deprecated; "
+                        f"use {new}= instead",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,30 @@
+"""Did-you-mean error messages for name registries.
+
+Every registry lookup in the library (provisioning policies, scheduling
+algorithms, recovery policies, execution backends, strategy labels,
+workflow names) fails with the same shape of message: the unknown name,
+the closest registered match when one is plausible, and the full sorted
+list of valid names.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Optional
+
+
+def closest(name: str, options: Iterable[str]) -> Optional[str]:
+    """The most similar option to *name*, or ``None`` when nothing is
+    close enough to be a plausible typo (case-insensitive)."""
+    options = list(options)
+    by_folded = {opt.lower(): opt for opt in options}
+    matches = difflib.get_close_matches(name.lower(), list(by_folded), n=1, cutoff=0.6)
+    return by_folded[matches[0]] if matches else None
+
+
+def unknown_name_message(kind: str, name: str, options: Iterable[str]) -> str:
+    """``"unknown <kind> 'x'; did you mean 'y'? known: [...]"``."""
+    options = sorted(options)
+    hint = closest(name, options)
+    suggestion = f"; did you mean {hint!r}?" if hint else ";"
+    return f"unknown {kind} {name!r}{suggestion} known: {options}"

@@ -1,0 +1,100 @@
+"""CLI artifact smoke tests.
+
+Every ``--out`` run must leave a non-empty artifact plus a parseable run
+manifest; ``--trace`` must add a structurally valid Chrome trace; and a
+manifest's reconstructed argv must reproduce the run byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.manifest import load_manifest, manifest_argv
+from repro.obs.tracer import validate_chrome_trace
+
+#: fast artifacts covering the static tables/figures and both sweep paths
+SMOKE = [
+    ["table1"],
+    ["table2"],
+    ["table5"],
+    ["figure1"],
+    ["figure2"],
+    ["table3", "--quick"],
+    ["figure4", "--quick"],
+    ["profile", "--workflow", "montage"],
+]
+
+
+def _smoke_id(argv):
+    return "-".join(a.lstrip("-") for a in argv)
+
+
+@pytest.mark.parametrize("argv", SMOKE, ids=_smoke_id)
+def test_artifact_writes_output_and_manifest(argv, tmp_path):
+    out = tmp_path / f"{argv[0]}.txt"
+    assert main(argv + ["--out", str(out)]) == 0
+
+    assert out.exists() and out.read_text().strip()
+
+    manifest = load_manifest(tmp_path / f"{argv[0]}.txt.manifest.json")
+    assert manifest["artifact"] == argv[0]
+    assert manifest["seed"] == manifest["config"]["seed"] == 2013
+    assert str(out) in manifest["outputs"]
+    assert manifest["wall_seconds"] > 0
+    assert manifest["versions"]["repro"]
+
+
+def test_traced_run_emits_valid_chrome_trace(tmp_path):
+    out = tmp_path / "t3.txt"
+    trace = tmp_path / "sweep.json"
+    argv = ["table3", "--quick", "--out", str(out), "--trace-out", str(trace)]
+    assert main(argv) == 0
+
+    data = json.loads(trace.read_text())
+    events = validate_chrome_trace(data)
+    assert any(e.get("cat") == "cli" for e in events)      # artifact span
+    assert any(e.get("cat") == "sweep" for e in events)    # per-cell spans
+    assert str(trace) in load_manifest(
+        tmp_path / "t3.txt.manifest.json"
+    )["outputs"]
+
+
+def test_trace_defaults_next_to_out_file(tmp_path):
+    out = tmp_path / "t3.txt"
+    assert main(["table3", "--quick", "--out", str(out), "--trace"]) == 0
+    validate_chrome_trace(json.loads((tmp_path / "t3.txt.trace.json").read_text()))
+
+
+def test_manifest_only_flag(tmp_path, capsys):
+    manifest_path = tmp_path / "run.json"
+    assert main(["table1", "--manifest", str(manifest_path)]) == 0
+    capsys.readouterr()  # artifact went to stdout
+    manifest = load_manifest(manifest_path)
+    assert manifest["artifact"] == "table1"
+
+
+def test_sweep_manifest_records_metrics(tmp_path):
+    out = tmp_path / "f4.txt"
+    assert main(["figure4", "--quick", "--out", str(out)]) == 0
+    metrics = load_manifest(tmp_path / "f4.txt.manifest.json")["metrics"]
+    counters = metrics["counters"]
+    assert counters["sweep.cells"] > 0
+    assert counters["builder.vms_rented"] > 0
+    assert counters["builder.tasks_placed"] > 0
+
+
+def test_manifest_reproduces_the_run(tmp_path):
+    first = tmp_path / "a.txt"
+    assert main(["table3", "--quick", "--seed", "5", "--out", str(first)]) == 0
+    manifest = load_manifest(tmp_path / "a.txt.manifest.json")
+
+    argv = manifest_argv(manifest)
+    assert argv[0] == "table3" and "--quick" in argv
+    second = tmp_path / "b.txt"
+    assert main(argv + ["--out", str(second)]) == 0
+
+    assert first.read_text() == second.read_text()
+    remanifest = load_manifest(tmp_path / "b.txt.manifest.json")
+    assert remanifest["config_hash"] == manifest["config_hash"]
+    assert remanifest["metrics"] == manifest["metrics"]

@@ -1,0 +1,101 @@
+"""The sweep-level observability contract.
+
+Metrics rolled up from a traced+metered sweep must be byte-identical
+across the serial, thread and process backends for the same seed, and
+the merged trace must be a structurally valid Chrome trace whatever
+backend produced the per-cell events.
+"""
+
+import pytest
+
+from repro.experiments.config import strategy
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scenario
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import validate_chrome_trace, Tracer
+from repro.workflows.generators import mapreduce, sequential
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _observed_sweep(backend):
+    tracer, metrics = Tracer(), MetricsRegistry()
+    sweep = run_sweep(
+        workflows={"sequential": sequential(), "mapreduce": mapreduce()},
+        scenarios=[scenario("best")],
+        strategies=[strategy("OneVMperTask-s"), strategy("StartParNotExceed-s")],
+        seed=11,
+        verify=True,  # DES replays emit sim-time spans + sim.* counters
+        jobs=2,
+        backend=backend,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return sweep, tracer, metrics
+
+
+class TestBackendIdentity:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        return {b: _observed_sweep(b) for b in BACKENDS}
+
+    def test_metrics_byte_identical_across_backends(self, observed):
+        texts = {b: observed[b][2].summary_text() for b in BACKENDS}
+        assert texts["serial"] == texts["thread"] == texts["process"]
+        assert texts["serial"]  # and non-trivial
+
+    def test_sweep_result_carries_the_rollup(self, observed):
+        for b in BACKENDS:
+            sweep, _, metrics = observed[b]
+            assert sweep.counters == metrics.as_dict()
+
+    def test_counters_capture_simulation_facts(self, observed):
+        counters = observed["serial"][2].counters
+        assert counters["sweep.cells"] == 2
+        assert counters["builder.vms_rented"] > 0
+        assert counters["sim.events_processed"] > 0
+        assert counters["provision.rent"] > 0
+
+    def test_traces_valid_and_equally_sized(self, observed):
+        sizes = {}
+        for b in BACKENDS:
+            tracer = observed[b][1]
+            events = validate_chrome_trace(tracer.to_chrome())
+            # one adopted process (+ name metadata) per traced cell
+            labels = [
+                e["args"]["name"] for e in events if e.get("ph") == "M"
+            ]
+            assert sorted(labels) == ["best/mapreduce", "best/sequential"]
+            sizes[b] = len([e for e in events if e.get("ph") == "X"])
+        assert sizes["serial"] == sizes["thread"] == sizes["process"]
+
+    def test_trace_has_sim_and_wall_layers(self, observed):
+        events = observed["serial"][1].events
+        cats = {e.get("cat") for e in events}
+        assert "sweep" in cats       # wall spans around strategies
+        assert "sim.task" in cats    # simulated task executions
+        assert "sim.vm" in cats      # VM rent windows
+
+
+class TestDisabledPath:
+    def test_untraced_sweep_collects_nothing(self):
+        sweep = run_sweep(
+            workflows={"sequential": sequential()},
+            scenarios=[scenario("best")],
+            strategies=[strategy("OneVMperTask-s")],
+        )
+        assert sweep.counters is None
+
+    def test_results_unchanged_by_observation(self):
+        kwargs = dict(
+            workflows={"sequential": sequential()},
+            scenarios=[scenario("best")],
+            strategies=[strategy("OneVMperTask-s")],
+            seed=11,
+            verify=True,
+        )
+        plain = run_sweep(**kwargs)
+        observed = run_sweep(
+            tracer=Tracer(), metrics=MetricsRegistry(), **kwargs
+        )
+        assert plain.metrics == observed.metrics

@@ -1,0 +1,99 @@
+"""Tests for repro.obs.manifest: config hashing, argv reconstruction
+and the manifest file round-trip."""
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    build_manifest,
+    config_hash,
+    default_manifest_path,
+    library_versions,
+    load_manifest,
+    manifest_argv,
+    write_manifest,
+)
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_ignores_non_reproducible_keys(self):
+        base = {"seed": 7, "scenario": "pareto"}
+        decorated = dict(
+            base, out="x.txt", out_dir="d", manifest="m.json",
+            trace=True, trace_out="t.json",
+        )
+        assert config_hash(base) == config_hash(decorated)
+
+    def test_sensitive_to_reproducible_keys(self):
+        assert config_hash({"seed": 7}) != config_hash({"seed": 8})
+
+
+class TestManifestArgv:
+    def test_reconstruction_rules(self):
+        manifest = build_manifest(
+            "table3",
+            {
+                "seed": 7,
+                "quick": True,
+                "verify": False,
+                "fault_boot_prob": 0.05,
+                "workflow": None,       # unset options are dropped
+                "out": "t3.txt",        # non-reproducible: dropped
+                "trace": True,          # non-reproducible: dropped
+            },
+            seed=7,
+        )
+        argv = manifest_argv(manifest)
+        assert argv[0] == "table3"
+        assert "--seed" in argv and argv[argv.index("--seed") + 1] == "7"
+        assert "--quick" in argv                 # true flag, no value
+        assert "--verify" not in argv            # false flag dropped
+        assert "--fault-boot-prob" in argv       # underscores become dashes
+        assert "--workflow" not in argv
+        assert "--out" not in argv and "--trace" not in argv
+
+    def test_requires_config(self):
+        with pytest.raises(ValueError, match="no config"):
+            manifest_argv({"artifact": "table3"})
+
+
+class TestManifestFile:
+    def test_roundtrip(self, tmp_path):
+        manifest = build_manifest(
+            "figure4",
+            {"seed": 1, "quick": True},
+            seed=1,
+            outputs=[tmp_path / "f4.txt"],
+            counters={"counters": {"sweep.cells": 2}, "gauges": {}},
+            wall_seconds=0.5,
+            simulated_seconds=123.0,
+        )
+        path = write_manifest(tmp_path / "f4.manifest.json", manifest)
+        loaded = load_manifest(path)
+        assert loaded["format"] == MANIFEST_FORMAT
+        assert loaded["artifact"] == "figure4"
+        assert loaded["config_hash"] == manifest["config_hash"]
+        assert loaded["metrics"]["counters"]["sweep.cells"] == 2
+        assert loaded["simulated_seconds"] == 123.0
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="not a repro run manifest"):
+            load_manifest(path)
+
+    def test_versions_include_core_deps(self):
+        versions = library_versions()
+        assert {"python", "numpy", "repro"} <= set(versions)
+
+
+class TestDefaultPath:
+    def test_file_artifact(self, tmp_path):
+        out = tmp_path / "t3.txt"
+        assert default_manifest_path(out).name == "t3.txt.manifest.json"
+
+    def test_directory_bundle(self, tmp_path):
+        assert default_manifest_path(tmp_path) == tmp_path / "manifest.json"

@@ -1,0 +1,120 @@
+"""Tests for repro.obs.metrics: counters, deterministic merging and the
+ambient (contextvars) activation used by the builder hot paths."""
+
+import json
+import threading
+
+from repro.obs.metrics import MetricsRegistry, current
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        m = MetricsRegistry()
+        m.inc("vms")
+        m.inc("vms", 2)
+        assert m.get("vms") == 3
+        assert m.get("absent") == 0
+        assert m.get("absent", 9) == 9
+
+    def test_gauges_take_latest(self):
+        m = MetricsRegistry()
+        m.set_gauge("depth", 3)
+        m.set_gauge("depth", 5)
+        assert m.gauges["depth"] == 5
+
+    def test_len(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.set_gauge("b", 1)
+        assert len(m) == 2
+
+
+class TestMerge:
+    def test_merge_registry_adds_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x", 2)
+        b.inc("x", 3)
+        b.inc("y")
+        b.set_gauge("g", 7)
+        a.merge(b)
+        assert a.get("x") == 5 and a.get("y") == 1
+        assert a.gauges["g"] == 7
+
+    def test_merge_as_dict_form(self):
+        a = MetricsRegistry()
+        a.inc("x")
+        b = MetricsRegistry()
+        b.inc("x", 4)
+        b.set_gauge("g", 1)
+        a.merge(b.as_dict())  # plain dicts travel through pickling
+        assert a.get("x") == 5 and a.gauges["g"] == 1
+
+    def test_merge_is_order_insensitive_for_counters(self):
+        parts = []
+        for n in (1, 2, 3):
+            m = MetricsRegistry()
+            m.inc("c", n)
+            parts.append(m)
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for p in parts:
+            fwd.merge(p)
+        for p in reversed(parts):
+            rev.merge(p)
+        assert fwd.summary_text() == rev.summary_text()
+
+
+class TestSerialization:
+    def test_as_dict_sorts_keys(self):
+        m = MetricsRegistry()
+        m.inc("zeta")
+        m.inc("alpha")
+        assert list(m.as_dict()["counters"]) == ["alpha", "zeta"]
+
+    def test_summary_text_is_canonical(self):
+        a = MetricsRegistry()
+        a.inc("b")
+        a.inc("a", 2.0)
+        b = MetricsRegistry()
+        b.inc("a", 2)  # int vs float 2.0: same rendering
+        b.inc("b")
+        assert a.summary_text() == b.summary_text()
+        assert "counter a = 2" in a.summary_text()
+
+    def test_summary_text_keeps_fractions(self):
+        m = MetricsRegistry()
+        m.inc("ratio", 0.5)
+        assert "counter ratio = 0.5" in m.summary_text()
+
+    def test_write_json_roundtrip(self, tmp_path):
+        m = MetricsRegistry()
+        m.inc("a", 2)
+        m.set_gauge("g", 1.5)
+        data = json.loads(m.write_json(tmp_path / "m.json").read_text())
+        assert data == {"counters": {"a": 2}, "gauges": {"g": 1.5}}
+
+
+class TestActivation:
+    def test_current_is_none_by_default(self):
+        assert current() is None
+
+    def test_activate_scopes_the_registry(self):
+        m = MetricsRegistry()
+        with m.activate():
+            assert current() is m
+        assert current() is None
+
+    def test_activation_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with outer.activate():
+            with inner.activate():
+                assert current() is inner
+            assert current() is outer
+
+    def test_fresh_thread_sees_no_registry(self):
+        seen = []
+        m = MetricsRegistry()
+        with m.activate():
+            t = threading.Thread(target=lambda: seen.append(current()))
+            t.start()
+            t.join()
+        assert seen == [None]

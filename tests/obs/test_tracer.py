@@ -1,0 +1,199 @@
+"""Tests for repro.obs.tracer: spans, merging, serialization, the
+null tracer's no-op contract, and the Chrome-trace structural check."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SIM_US,
+    NullTracer,
+    Tracer,
+    ensure_tracer,
+    validate_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        t = Tracer()
+        with t.span("work", cat="test", tid="main", detail=3):
+            pass
+        (ev,) = t.events
+        assert ev["ph"] == "X"
+        assert ev["name"] == "work"
+        assert ev["cat"] == "test"
+        assert ev["dur"] >= 0
+        assert ev["args"] == {"detail": 3}
+
+    def test_span_records_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("x")
+        assert [e["name"] for e in t.events] == ["boom"]
+
+    def test_nested_spans_nest_in_time(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.events
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+        validate_chrome_trace(t.to_chrome())
+
+    def test_complete_uses_sim_time_scale(self):
+        t = Tracer()
+        t.complete("task", ts=2.0, dur=3.0, tid="vm0", cat="sim.task")
+        (ev,) = t.events
+        assert ev["ts"] == 2.0 * SIM_US and ev["dur"] == 3.0 * SIM_US
+
+    def test_instant_and_counter(self):
+        t = Tracer()
+        t.instant("fail", ts=1.0, tid="vm0")
+        t.counter("vms", 4, ts=1.0)
+        kinds = [e["ph"] for e in t.events]
+        assert kinds == ["i", "C"]
+        assert t.events[1]["args"] == {"value": 4}
+
+    def test_next_run_increments(self):
+        t = Tracer()
+        assert [t.next_run(), t.next_run(), t.next_run()] == [1, 2, 3]
+
+
+class TestAdopt:
+    def test_adopt_rehomes_pid_and_names_process(self):
+        parent, worker = Tracer(), Tracer()
+        with worker.span("cell-work"):
+            pass
+        n = parent.adopt(worker.events, label="cell:best/montage")
+        assert n == 1
+        meta = [e for e in parent.events if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "cell:best/montage"
+        adopted = [e for e in parent.events if e["ph"] == "X"]
+        assert adopted[0]["pid"] != worker.pid
+        # the worker's own event list is untouched
+        assert worker.events[0]["pid"] == worker.pid
+
+    def test_adopt_assigns_distinct_pids(self):
+        parent = Tracer()
+        w1, w2 = Tracer(), Tracer()
+        with w1.span("a"):
+            pass
+        with w2.span("b"):
+            pass
+        parent.adopt(w1.events, label="one")
+        parent.adopt(w2.events, label="two")
+        pids = {e["pid"] for e in parent.events if e["ph"] == "X"}
+        assert len(pids) == 2
+        validate_chrome_trace(parent.to_chrome())
+
+
+class TestSerialization:
+    def test_write_chrome_roundtrip(self, tmp_path):
+        t = Tracer()
+        with t.span("work"):
+            t.instant("mark")
+        path = t.write_chrome(tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(validate_chrome_trace(data)) == 2
+
+    def test_write_jsonl_one_event_per_line(self, tmp_path):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        t.instant("b")
+        path = t.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["name"] in ("a", "b") for line in lines)
+
+
+class TestNullTracer:
+    def test_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_all_emission_is_noop(self):
+        with NULL_TRACER.span("x", cat="y", tid="z", arg=1):
+            pass
+        NULL_TRACER.complete("a", ts=0, dur=1)
+        NULL_TRACER.instant("b")
+        NULL_TRACER.counter("c", 1)
+        NULL_TRACER.gauge("d", 2)
+        assert NULL_TRACER.adopt([{"name": "e"}], label="w") == 0
+        assert NULL_TRACER.next_run() == 0
+        assert len(NULL_TRACER) == 0
+
+    def test_span_is_reusable_context_manager(self):
+        cm = NULL_TRACER.span("x")
+        with cm:
+            pass
+        with cm:  # the same object is handed out every time
+            pass
+        assert NULL_TRACER.events == []
+
+    def test_ensure_tracer(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        t = Tracer()
+        assert ensure_tracer(t) is t
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_envelope(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_missing_fields(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 0}]}
+        with pytest.raises(ValueError, match="lacks 'tid'"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_missing_dur_on_complete(self):
+        bad = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": "m"}
+            ]
+        }
+        with pytest.raises(ValueError, match="non-negative 'dur'"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_partial_overlap_on_one_track(self):
+        def span(name, ts, dur):
+            return {
+                "name": name, "ph": "X", "ts": ts, "dur": dur,
+                "pid": 0, "tid": "vm0",
+            }
+
+        bad = {"traceEvents": [span("a", 0, 10), span("b", 5, 10)]}
+        with pytest.raises(ValueError, match="partially overlaps"):
+            validate_chrome_trace(bad)
+
+    def test_accepts_nesting_and_disjoint(self):
+        def span(name, ts, dur, tid="vm0"):
+            return {
+                "name": name, "ph": "X", "ts": ts, "dur": dur,
+                "pid": 0, "tid": tid,
+            }
+
+        good = {
+            "traceEvents": [
+                span("outer", 0, 10),
+                span("inner", 2, 3),
+                span("later", 12, 5),
+                span("other-track", 5, 100, tid="vm1"),
+            ]
+        }
+        assert len(validate_chrome_trace(good)) == 4
+
+    def test_overlap_on_distinct_tracks_is_fine(self):
+        ok = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 0, "tid": "x"},
+                {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": "x"},
+            ]
+        }
+        validate_chrome_trace(ok)

@@ -1,0 +1,115 @@
+"""The renamed-kwarg shims: every legacy spelling still works, warns
+with the replacement's name, and collides loudly with the new one."""
+
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.util.compat import LEGACY_KWARGS, renamed_kwargs
+
+
+def _tiny_sweep_kwargs():
+    return dict(
+        workflows={"sequential": api.sequential()},
+        scenarios=[api.scenario("best")],
+        strategies=[api.strategy("OneVMperTask-s")],
+    )
+
+
+class TestDecorator:
+    def test_forwards_and_warns(self):
+        @renamed_kwargs(old="new")
+        def fn(new=None):
+            return new
+
+        with pytest.warns(DeprecationWarning, match="use new="):
+            assert fn(old=42) == 42
+
+    def test_both_spellings_is_type_error(self):
+        @renamed_kwargs(old="new")
+        def fn(new=None):
+            return new
+
+        with pytest.raises(TypeError, match="both 'old'"):
+            fn(old=1, new=2)
+
+    def test_new_spelling_is_silent(self):
+        @renamed_kwargs(old="new")
+        def fn(new=None):
+            return new
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert fn(new=7) == 7
+
+    def test_legacy_table_is_the_documented_mapping(self):
+        assert LEGACY_KWARGS == {
+            "n_jobs": "jobs",
+            "pool": "backend",
+            "rng_seed": "seed",
+            "error_mode": "on_error",
+            "faults": "fault_plan",
+            "recovery_policy": "recovery",
+        }
+
+
+class TestRunSweep:
+    def test_legacy_kwargs_work(self):
+        with pytest.warns(DeprecationWarning) as record:
+            old = api.run_sweep(n_jobs=1, rng_seed=3, **_tiny_sweep_kwargs())
+        messages = sorted(str(w.message) for w in record)
+        assert any("use jobs=" in m for m in messages)
+        assert any("use seed=" in m for m in messages)
+        new = api.run_sweep(jobs=1, seed=3, **_tiny_sweep_kwargs())
+        assert old.metrics == new.metrics
+
+    def test_pool_maps_to_backend(self):
+        with pytest.warns(DeprecationWarning, match="use backend="):
+            sweep = api.run_sweep(pool="serial", **_tiny_sweep_kwargs())
+        assert sweep.metrics
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="'n_jobs'"):
+            api.run_sweep(n_jobs=1, jobs=1, **_tiny_sweep_kwargs())
+
+
+class TestSimulatorEntryPoints:
+    def test_run_with_faults_accepts_faults(self):
+        platform = api.CloudPlatform.ec2()
+        sched = api.reference_schedule(api.sequential(), platform)
+        with pytest.warns(DeprecationWarning, match="use fault_plan="):
+            result = api.run_with_faults(sched, faults=api.FaultPlan())
+        assert result.makespan > 0
+
+    def test_run_online_accepts_recovery_policy(self):
+        platform = api.CloudPlatform.ec2()
+        with pytest.warns(DeprecationWarning, match="use recovery="):
+            result = api.run_online(
+                api.sequential(), platform, recovery_policy="retry"
+            )
+        assert result.makespan > 0
+
+
+class TestExperimentEntryPoints:
+    def test_replicate_accepts_pool(self):
+        with pytest.warns(DeprecationWarning, match="use backend="):
+            rows = api.replicate(
+                seeds=[1],
+                workflows={"sequential": api.sequential()},
+                strategies=[api.strategy("OneVMperTask-s")],
+                pool="serial",
+            )
+        assert rows
+
+    def test_run_fault_sweep_accepts_recovery_policy(self):
+        with pytest.warns(DeprecationWarning, match="use recovery="):
+            sweep = api.run_fault_sweep(
+                workflow=api.sequential(),
+                workflow_name="sequential",
+                strategies=[api.strategy("OneVMperTask-s")],
+                intensities=[0.0],
+                fault_seeds=1,
+                recovery_policy="retry",
+            )
+        assert sweep.cells

@@ -1,0 +1,54 @@
+"""Did-you-mean suggestions on every name registry in the library."""
+
+import pytest
+
+from repro.core.allocation.base import scheduling_algorithm
+from repro.core.provisioning.base import provisioning_policy
+from repro.core.recovery import recovery_policy
+from repro.errors import ExperimentError, SchedulingError
+from repro.experiments.config import strategy
+from repro.experiments.parallel import make_backend
+from repro.experiments.scenarios import scenario
+from repro.util.suggest import closest, unknown_name_message
+
+
+class TestSuggest:
+    def test_closest_is_case_insensitive(self):
+        assert closest("HEFT", ["heft", "gain"]) == "heft"
+
+    def test_closest_none_when_nothing_plausible(self):
+        assert closest("zzzzzz", ["heft", "gain"]) is None
+
+    def test_message_with_and_without_hint(self):
+        msg = unknown_name_message("backend", "threed", ["thread", "serial"])
+        assert "unknown backend 'threed'" in msg
+        assert "did you mean 'thread'?" in msg
+        cold = unknown_name_message("backend", "qqqq", ["thread", "serial"])
+        assert "did you mean" not in cold
+        assert "['serial', 'thread']" in cold
+
+
+class TestRegistries:
+    def test_provisioning_policy(self):
+        with pytest.raises(SchedulingError, match="did you mean 'StartParNotExceed'"):
+            provisioning_policy("StartParNotExeed")
+
+    def test_scheduling_algorithm(self):
+        with pytest.raises(SchedulingError, match="did you mean"):
+            scheduling_algorithm("heftt")
+
+    def test_recovery_policy(self):
+        with pytest.raises(Exception, match="did you mean 'retry'"):
+            recovery_policy("retrry")
+
+    def test_backend(self):
+        with pytest.raises(ExperimentError, match="did you mean 'thread'"):
+            make_backend("threed")
+
+    def test_strategy_label(self):
+        with pytest.raises(ExperimentError, match="did you mean 'GAIN'"):
+            strategy("GAINN")
+
+    def test_scenario(self):
+        with pytest.raises(ExperimentError, match="did you mean 'pareto'"):
+            scenario("paretto")
