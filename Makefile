@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check bench bench-scaling bench-check profile \
-  report artifacts examples faults-smoke clean
+.PHONY: install test lint check coverage bench bench-scaling bench-service \
+  bench-check profile report artifacts examples faults-smoke service-smoke \
+  clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +30,20 @@ check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 	$(MAKE) bench-check
 
+# Line coverage when pytest-cov is installed; this container image
+# does not bake it in, so fall back to running the suite plus a
+# byte-compile pass over src so the target still proves every module
+# at least parses.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+	  PYTHONPATH=src $(PYTHON) -m pytest tests/ \
+	    --cov=repro --cov-report=term-missing; \
+	else \
+	  echo "pytest-cov not installed; running suite + compileall instead"; \
+	  PYTHONPATH=src $(PYTHON) -m pytest tests/ -q && \
+	  $(PYTHON) -m compileall -q src; \
+	fi
+
 # Refreshes BENCH_sweep.json (serial vs parallel sweep baseline) so
 # future PRs have a perf trajectory to compare against.
 bench:
@@ -42,6 +57,11 @@ bench-all:
 # provisioning family, with measured speedups vs the *Reference kernels.
 bench-scaling:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py
+
+# Refreshes BENCH_service.json: the 1000-workflow/50-tenant WaaS
+# service stress run (best-of-3), appended to BENCH_history.jsonl.
+bench-service:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py
 
 # Perf-regression gate: re-runs the small scaling sizes and fails when
 # any cell is >25% slower than the committed BENCH_scaling.json.
@@ -68,6 +88,11 @@ examples:
 faults-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli faults --quick \
 	  --workflow montage --recovery retry
+
+# Fast end-to-end check of the multi-tenant service mode: a quick
+# seeded WaaS run (100 workflows, 10 tenants) through the CLI.
+service-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli service --quick
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \

@@ -1,0 +1,135 @@
+"""WaaS service-loop throughput benchmark: the 1000-workflow stress run.
+
+Times one seeded multi-tenant service run (1000 workflows over 50
+tenants by default) and records wall time, simulated throughput, tail
+latency and fleet utilization to ``BENCH_service.json`` at the repo
+root, appending one dated row to ``BENCH_history.jsonl`` — the same
+trajectory log the sweep and scaling benchmarks feed.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform as platform_module
+import sys
+import time
+from pathlib import Path
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.service import ServiceCell, build_requests
+from repro.service.loop import run_service
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_service.json"
+HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+SEED = 2013
+
+
+def bench(args) -> dict:
+    cell = ServiceCell(
+        platform=CloudPlatform.ec2(),
+        policy=args.policy,
+        admission=args.admission,
+        count=args.count,
+        tenants=args.tenants,
+        mean_interarrival=args.interarrival,
+        seed=args.seed,
+        max_concurrent=args.max_concurrent,
+    )
+    requests = build_requests(cell)
+    best, result = float("inf"), None
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        result = run_service(
+            requests,
+            cell.platform,
+            policy=cell.policy,
+            admission=cell.admission,
+            max_concurrent=cell.max_concurrent,
+        )
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None and result.completed == result.admitted
+    return {
+        "benchmark": "WaaS service loop (run_service)",
+        "seed": args.seed,
+        "workload": {
+            "workflows": args.count,
+            "tenants": args.tenants,
+            "mean_interarrival_s": args.interarrival,
+            "policy": args.policy,
+            "admission": args.admission,
+            "max_concurrent": args.max_concurrent,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform_module.python_version(),
+            "platform": platform_module.platform(),
+        },
+        "repeats_best_of": args.repeats,
+        "wall_seconds": round(best, 4),
+        "workflows_per_wall_second": round(result.completed / best, 1),
+        "simulated": {
+            "completed": result.completed,
+            "makespan_s": round(result.makespan, 1),
+            "throughput_wf_per_h": round(result.throughput_per_hour, 3),
+            "latency_p50_s": round(result.latency_p50, 1),
+            "latency_p99_s": round(result.latency_p99, 1),
+            "utilization": round(result.utilization, 4),
+            "vms_rented": result.vm_count,
+            "rent_cost": round(result.rent_cost, 2),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=1000)
+    parser.add_argument("--tenants", type=int, default=50)
+    parser.add_argument("--interarrival", type=float, default=180.0)
+    parser.add_argument("--policy", default="StartParNotExceed")
+    parser.add_argument("--admission", default="fair")
+    parser.add_argument("--max-concurrent", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    record = bench(args)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    sim = record["simulated"]
+    with HISTORY.open("a") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "date": datetime.date.today().isoformat(),
+                    "benchmark": "service",
+                    "wall_seconds": record["wall_seconds"],
+                    "workflows": record["workload"]["workflows"],
+                    "tenants": record["workload"]["tenants"],
+                    "throughput_wf_per_h": sim["throughput_wf_per_h"],
+                    "latency_p99_s": sim["latency_p99_s"],
+                    "utilization": sim["utilization"],
+                }
+            )
+            + "\n"
+        )
+    print(
+        f"{sim['completed']} workflows in {record['wall_seconds']:.2f}s wall "
+        f"({record['workflows_per_wall_second']:.0f} wf/s) | simulated "
+        f"{sim['throughput_wf_per_h']:.1f} wf/h, p99 {sim['latency_p99_s']:.0f}s, "
+        f"util {sim['utilization']:.3f}, {sim['vms_rented']} VMs"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

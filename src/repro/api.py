@@ -29,6 +29,9 @@ The surface is grouped below:
   perturbation studies, and fault injection/recovery.
 * **Experiments** — the paper sweep, replication, fault sweeps,
   summaries and reports.
+* **Service** — the multi-tenant Workflow-as-a-Service mode: shared
+  fleet, arrival streams, admission policies and the service loop
+  (:mod:`repro.service`).
 * **Observability** — tracing, metrics and run manifests
   (:mod:`repro.obs`).
 """
@@ -147,6 +150,26 @@ from repro.experiments.faults import (
     FaultSweepResult,
     run_fault_sweep,
     render_fault_sweep,
+)
+
+# --- multi-tenant service (WaaS) ---------------------------------------
+from repro.service import (
+    FleetManager,
+    FleetVM,
+    WorkflowRequest,
+    poisson_arrivals,
+    trace_arrivals,
+    AdmissionPolicy,
+    admission_policy,
+    WorkflowService,
+    ServiceResult,
+    run_service,
+)
+from repro.experiments.service import (
+    ServiceSweepResult,
+    run_service_sweep,
+    render_service,
+    render_service_sweep,
 )
 
 # --- observability -----------------------------------------------------
@@ -270,6 +293,21 @@ __all__ = [
     "FaultSweepResult",
     "run_fault_sweep",
     "render_fault_sweep",
+    # multi-tenant service (WaaS)
+    "FleetManager",
+    "FleetVM",
+    "WorkflowRequest",
+    "poisson_arrivals",
+    "trace_arrivals",
+    "AdmissionPolicy",
+    "admission_policy",
+    "WorkflowService",
+    "ServiceResult",
+    "run_service",
+    "ServiceSweepResult",
+    "run_service_sweep",
+    "render_service",
+    "render_service_sweep",
     # observability
     "Tracer",
     "NULL_TRACER",

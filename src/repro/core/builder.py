@@ -77,12 +77,19 @@ class ScheduleBuilder:
         region: Region | None = None,
         region_chooser=None,
         metrics: MetricsRegistry | None = None,
+        fleet=None,
     ) -> None:
         workflow.validate()
         self.workflow = workflow
         self.platform = platform
         self.default_itype = default_itype
         self.region = region or platform.default_region
+        #: optional rental ledger (duck-typed — anything exposing
+        #: ``on_builder_rent(builder, vm)``, in practice a
+        #: :class:`repro.service.fleet.FleetManager`); the builder's VM
+        #: records stay local, only rental *accounting* is shared, so
+        #: the service can attribute static planning work per tenant
+        self.fleet = fleet
         #: metrics sink: explicit kwarg, else the ambient registry (see
         #: :func:`repro.obs.metrics.current`); ``None`` keeps every hot
         #: path down to a single ``is not None`` branch
@@ -119,6 +126,8 @@ class ScheduleBuilder:
         #: (level, heap) candidate pool for the level currently being
         #: packed by a level-driven policy; None until first use
         self._level_pool: Optional[Tuple[int, list]] = None
+        #: ghosts handed out by :meth:`adopt_ghost` (ids go negative)
+        self._ghost_count = 0
 
     # ------------------------------------------------------------------
     # queries used by provisioning policies
@@ -469,7 +478,58 @@ class ScheduleBuilder:
             # empty VMs enter the busy/level structures on first placement
         if self.metrics is not None:
             self.metrics.inc("builder.vms_rented")
+        if self.fleet is not None:
+            self.fleet.on_builder_rent(self, vm)
         return vm
+
+    def adopt_vm(
+        self,
+        itype: InstanceType | None = None,
+        region: Region | None = None,
+        placements=(),
+    ) -> BuilderVM:
+        """Append a VM carrying already-realized history.
+
+        The replan path seeds a fresh builder with the surviving runtime
+        fleet before handing the unfinished sub-DAG to a provisioning
+        policy; *placements* rows are ``(task_id, start, finish)`` frozen
+        at their realized times.  Must run before the first indexed
+        query — the lazy indexes snapshot builder state when built.
+        """
+        if self._busy_heap is not None:
+            raise SchedulingError("adopt_vm after indexed queries began")
+        vm = BuilderVM(
+            id=len(self.vms),
+            itype=itype or self.default_itype,
+            region=region or self.region,
+        )
+        for tid, start, finish in placements:
+            vm.order.append(tid)
+            vm.timing[tid] = (start, finish)
+            vm.busy_seconds += finish - start
+            self.task_vm[tid] = vm
+            self.task_start[tid] = start
+            self.task_finish[tid] = finish
+        self.vms.append(vm)
+        return vm
+
+    def adopt_ghost(
+        self,
+        itype: InstanceType,
+        region: Region,
+        placements=(),
+    ) -> BuilderVM:
+        """Record executions whose VM is gone (crashed): the policy can
+        never place new work there — the ghost stays off ``vms`` and
+        keeps a negative id — but transfer estimates for re-placed
+        successors still need the origin's flavor and region."""
+        self._ghost_count += 1
+        ghost = BuilderVM(id=-self._ghost_count, itype=itype, region=region)
+        for tid, start, finish in placements:
+            self.task_vm[tid] = ghost
+            self.task_start[tid] = start
+            self.task_finish[tid] = finish
+        return ghost
 
     def place(self, task_id: str, vm: BuilderVM) -> None:
         """Append *task_id* to *vm*'s execution order and fix its times."""

@@ -60,3 +60,15 @@ def provisioning_policy(name: str) -> ProvisioningPolicy:
     raise SchedulingError(
         unknown_name_message("provisioning policy", name, PROVISIONING_POLICIES)
     )
+
+
+def online_policy_names() -> tuple:
+    """Registered policy names the online executor (and the service
+    loop) accepts — the registry keys, i.e. the paper's five policies.
+
+    The import forces registration so the answer does not depend on
+    what the caller happened to import first.
+    """
+    import repro.core.provisioning  # noqa: F401  (registers the five)
+
+    return tuple(PROVISIONING_POLICIES)

@@ -73,6 +73,7 @@ _ARTIFACTS = [
     "table4",
     "table5",
     "faults",
+    "service",
     "profile",
     "gantt",
     "explain",
@@ -180,6 +181,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="per-attempt VM boot failure probability (base plan)",
+    )
+    parser.add_argument(
+        "--arrivals",
+        type=int,
+        default=1000,
+        help="workflow submissions for the service artifact",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=50,
+        help="tenant population for the service artifact",
+    )
+    parser.add_argument(
+        "--interarrival",
+        type=float,
+        default=180.0,
+        help="mean seconds between submissions (service artifact)",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=["fifo", "fair", "budget"],
+        default="fifo",
+        help="admission/queueing policy for the service artifact",
+    )
+    parser.add_argument(
+        "--tenant-budget",
+        type=float,
+        default=0.0,
+        help="per-tenant USD budget for the service artifact "
+        "(0 = unconstrained)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="StartParNotExceed",
+        help="online provisioning policy for the service artifact",
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=32,
+        help="concurrently executing workflows in the service "
+        "(0 = unlimited)",
     )
     parser.add_argument("--out", help="write the report to a file instead of stdout")
     parser.add_argument(
@@ -403,6 +447,40 @@ def _run_artifact(args, platform, sweep, outputs) -> str:
             backend=args.backend,
         )
         text = render_fault_sweep(fault_sweep)
+    elif args.artifact == "service":
+        from repro.experiments.service import (
+            ServiceCell,
+            build_requests,
+            render_service,
+        )
+        from repro.service.loop import run_service
+
+        cell = ServiceCell(
+            platform=platform,
+            policy=args.policy,
+            admission=args.admission,
+            count=100 if args.quick else args.arrivals,
+            tenants=10 if args.quick else args.tenants,
+            mean_interarrival=args.interarrival,
+            seed=args.seed,
+            budget=args.tenant_budget if args.tenant_budget > 0 else float("inf"),
+            max_concurrent=args.max_concurrent or None,
+        )
+        result = run_service(
+            build_requests(cell),
+            platform,
+            policy=cell.policy,
+            admission=cell.admission,
+            max_concurrent=cell.max_concurrent,
+        )
+        text = render_service(
+            result,
+            title=(
+                f"WaaS service — {cell.count} workflows, {cell.tenants} "
+                f"tenants, policy={cell.policy}, admission={cell.admission}, "
+                f"seed={cell.seed}"
+            ),
+        )
     elif args.artifact == "profile":
         text = _render_profile(args.workflow)
     elif args.artifact == "gantt":

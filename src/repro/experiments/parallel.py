@@ -238,11 +238,25 @@ class CellFailure:
 def _call_with_timeout(fn: Callable[[T], R], item: T, timeout: float) -> R:
     """Run ``fn(item)`` with a wall-clock deadline.
 
-    Uses a single-use helper thread so it works inside process-pool
-    workers (where signal-based deadlines are unavailable).  On timeout
-    the helper thread is abandoned, not killed — python offers no safe
-    thread cancellation — so a timed-out cell leaks one thread until its
-    work finishes; acceptable for the sweep sizes this repo runs.
+    Deliberately **not** ``SIGALRM``: signal handlers can only be
+    installed from the main thread of the main interpreter, and guarded
+    cells routinely run elsewhere — thread-backend workers, process-pool
+    workers dispatching from their own threads, and pytest runs where
+    the simulator test suite already owns the alarm for its per-test
+    deadline (``tests/simulator/conftest.py``, which itself no-ops off
+    the main thread for the same reason).  A signal-based deadline here
+    would either crash with ``ValueError: signal only works in main
+    thread`` or silently clobber that fixture's alarm.
+
+    Instead a single-use helper thread runs the cell and the caller
+    waits with ``Future.result(timeout=...)``, which works identically
+    on every thread of every backend.  On timeout the helper thread is
+    abandoned, not killed — python offers no safe thread cancellation —
+    so a timed-out cell leaks one thread until its work finishes;
+    acceptable for the sweep sizes this repo runs.  The timeout is
+    reported as a :class:`CellFailure` by :class:`_GuardedCall`, so a
+    hung cell lands in the sweep's ``failure_summary()`` instead of
+    wedging the whole run.
     """
     pool = ThreadPoolExecutor(max_workers=1)
     future = pool.submit(fn, item)

@@ -1,0 +1,159 @@
+"""Admission and queueing policies for the service loop.
+
+When a :class:`~repro.service.arrivals.WorkflowRequest` arrives (or a
+concurrency slot frees up), an admission policy answers two questions:
+
+* :meth:`AdmissionPolicy.admit` — may this request run at all?  A
+  ``False`` is a *reject*: the workflow never executes (the
+  hard-constraint framing of Thai et al., arXiv:1507.05470 — constrained
+  services refuse work rather than kill it mid-flight).
+* :meth:`AdmissionPolicy.select_next` — which queued request starts
+  when a slot opens?
+
+Policies are deterministic functions of service state, so a seeded
+service run admits, queues and rejects identically on every backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Sequence
+
+from repro.errors import ExperimentError
+from repro.service.arrivals import WorkflowRequest
+from repro.util.suggest import unknown_name_message
+
+
+class AdmissionPolicy(abc.ABC):
+    """Strategy deciding admit/queue/reject per submission."""
+
+    #: registry key and report label
+    name: str = "base"
+
+    def admit(self, request: WorkflowRequest, service) -> bool:
+        """May *request* run (now or later)?  Decided once, at arrival;
+        the loop takes any noted estimate as a budget commitment the
+        moment this returns ``True``, so queued requests of one tenant
+        can never jointly overshoot its budget."""
+        return True
+
+    def select_next(self, queue: Sequence[WorkflowRequest], service) -> int:
+        """Index of the queued request to start next (queue is in
+        arrival order).  Default: FIFO."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class FifoAdmission(AdmissionPolicy):
+    """Admit everything; start queued requests strictly in arrival
+    order.  The throughput-oriented baseline."""
+
+    name = "fifo"
+
+
+class FairShareAdmission(AdmissionPolicy):
+    """Admit everything; when a slot frees, pick the queued request of
+    the tenant with the fewest workflows currently running (ties: fewer
+    admitted so far, then arrival order).
+
+    This is per-tenant fair-share queueing: one tenant submitting a
+    burst cannot starve the others — the WaaS fairness lever of Hilman
+    et al. (arXiv:1903.01113).
+    """
+
+    name = "fair"
+
+    def select_next(self, queue: Sequence[WorkflowRequest], service) -> int:
+        def rank(i: int):
+            acct = service.account(queue[i].tenant)
+            return (acct.running, acct.admitted, i)
+
+        return min(range(len(queue)), key=rank)
+
+
+def default_estimator(request: WorkflowRequest, service) -> float:
+    """Conservative-by-construction rent estimate for one request.
+
+    Builds the request's workflow through a static
+    :class:`~repro.core.builder.ScheduleBuilder` under the
+    ``OneVMperTask`` provisioning policy — on the *service's* instance
+    type, with the builder's rentals recorded in the shared
+    :class:`~repro.service.fleet.FleetManager` ledger — and prices the
+    result.  With no cross-VM transfers this equals the realized online
+    cost of the workflow exactly (each task pays its own BTUs); with
+    transfers the realized cost can exceed it, because online staging
+    happens after placement.
+    """
+    from repro.core.builder import ScheduleBuilder
+    from repro.core.provisioning.base import provisioning_policy
+
+    builder = ScheduleBuilder(
+        request.workflow,
+        service.platform,
+        service.itype,
+        region=service.region,
+        fleet=service.fleet,
+    )
+    policy = provisioning_policy("OneVMperTask")
+    for tid in request.workflow.topological_order():
+        builder.begin_task(tid)
+        builder.place(tid, policy.select_vm(tid, builder))
+    return builder.build("estimate", "OneVMperTask").rent_cost
+
+
+class BudgetGuardAdmission(AdmissionPolicy):
+    """Reject a request when its tenant's budget cannot cover it.
+
+    A tenant account carries ``spent`` (realized rent of finished
+    work, from the fleet bill) plus ``committed`` (estimates of its
+    still-running workflows); a request is admitted only while
+    ``spent + committed + estimate <= budget``.  Queue order stays
+    FIFO.  Estimates come from *estimator* (default:
+    :func:`default_estimator`); when estimates upper-bound realized
+    cost, per-tenant spend provably never exceeds the budget.
+    """
+
+    name = "budget"
+
+    def __init__(
+        self,
+        estimator: Callable[[WorkflowRequest, object], float] | None = None,
+    ) -> None:
+        self.estimator = estimator or default_estimator
+
+    def admit(self, request: WorkflowRequest, service) -> bool:
+        if request.budget == float("inf"):
+            return True
+        acct = service.account(request.tenant)
+        estimate = self.estimator(request, service)
+        if acct.spent + acct.committed + estimate > request.budget + 1e-9:
+            return False
+        # stash the estimate: the loop commits it against the budget on
+        # admit, without pricing the workflow a second time
+        service.note_estimate(request, estimate)
+        return True
+
+
+#: registry: name -> zero-argument factory
+ADMISSION_POLICIES: Dict[str, Callable[[], AdmissionPolicy]] = {
+    "fifo": FifoAdmission,
+    "fair": FairShareAdmission,
+    "budget": BudgetGuardAdmission,
+}
+
+
+def admission_policy(policy: "str | AdmissionPolicy | None") -> AdmissionPolicy:
+    """Resolve a policy instance from a name, instance or ``None``
+    (FIFO), with a did-you-mean error on unknown names."""
+    if policy is None:
+        return FifoAdmission()
+    if isinstance(policy, AdmissionPolicy):
+        return policy
+    for key, factory in ADMISSION_POLICIES.items():
+        if key.lower() == str(policy).lower():
+            return factory()
+    raise ExperimentError(
+        unknown_name_message("admission policy", str(policy), ADMISSION_POLICIES)
+    )

@@ -1,0 +1,257 @@
+"""Shared VM-fleet ownership: rent, reuse, idle-expiry, billing.
+
+Historically every scheduling run owned its fleet privately — the
+static :class:`~repro.core.builder.ScheduleBuilder` kept a ``vms`` list
+and the online executor kept a ``fleet`` list, so VM state died with
+the run.  A :class:`FleetManager` lifts that ownership out: it assigns
+VM ids, stores the records, marks idle VMs dead at their BTU horizon,
+and attributes rent to the tenant that requested each VM — so *many*
+workflow executions (the WaaS service loop) can share one long-lived
+fleet, while a run that builds its own private manager behaves exactly
+as before.
+
+The manager is deliberately mechanism, not policy: *which* VM a task
+lands on stays with the provisioning policies; the manager only owns
+the records and their lifecycle.  It imports nothing above the cloud
+layer, so the static builder, the online executor and the service loop
+can all depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.cloud.billing import BillingModel
+from repro.cloud.instance import InstanceType
+from repro.cloud.region import Region
+from repro.errors import SimulationError
+
+
+@dataclass
+class FleetVM:
+    """One VM of a live (simulated) fleet.
+
+    This is the record the online executor historically kept as its
+    private ``_OnlineVM``; lifted here so a fleet can outlive any one
+    workflow run.  ``owner`` names the tenant whose submission rented
+    the VM — the attribution key for per-tenant billing.
+    """
+
+    id: int
+    itype: InstanceType
+    started_at: float
+    free_at: float
+    busy_seconds: float = 0.0
+    tasks: List[str] = field(default_factory=list)
+    levels: set = field(default_factory=set)
+    finished_at: float = 0.0
+    dead: bool = False
+    crashed: bool = False
+    crashed_at: float = 0.0
+    #: seconds of completed executions (fault accounting)
+    useful_seconds: float = 0.0
+    #: tenant whose workflow rented this VM ("" for single-run fleets)
+    owner: str = ""
+
+    def horizon(self, btu: float) -> float:
+        """End of the last started BTU — deprovision time when idle."""
+        uptime = max(self.free_at - self.started_at, 1e-9)
+        return self.started_at + math.ceil(uptime / btu - 1e-9) * btu
+
+
+@dataclass(frozen=True)
+class OwnerBill:
+    """Realized rent attributed to one owner (tenant)."""
+
+    owner: str
+    vm_count: int
+    btus: int
+    rent_cost: float
+    busy_seconds: float
+    paid_seconds: float
+
+
+class FleetManager:
+    """Owns a fleet of :class:`FleetVM` records shared across runs.
+
+    One manager may back a single online run (the executor builds a
+    private one by default — byte-identical to the pre-lift behavior)
+    or a whole service loop, where per-workflow executors rent from and
+    reuse the same live fleet.
+
+    The manager also acts as the rental *ledger* for static
+    :class:`~repro.core.builder.ScheduleBuilder` runs: a builder
+    constructed with ``fleet=manager`` reports every ``new_vm`` through
+    :meth:`on_builder_rent`, so static planning (e.g. the budget-guard
+    admission estimate) is accounted per owner without the builder
+    giving up its local VM indexing.
+    """
+
+    def __init__(self, region: Region | None = None) -> None:
+        self.region = region
+        self.vms: List[FleetVM] = []
+        #: executors (or any callables) notified when a VM crashes, so
+        #: every run with work on the VM can recover its own tasks
+        self._crash_listeners: List[Callable[[FleetVM], None]] = []
+        #: static-planning ledger: owner -> builder VM rentals
+        self.static_rents: Dict[str, int] = {}
+        #: the owner attributed builder rentals (and rentals made with
+        #: no explicit owner); the service sets this around each run
+        self.active_owner: str = ""
+
+    # ------------------------------------------------------------------
+    # live-fleet lifecycle
+    # ------------------------------------------------------------------
+    def rent(
+        self,
+        itype: InstanceType,
+        started_at: float,
+        free_at: float,
+        owner: str | None = None,
+    ) -> FleetVM:
+        """Create the next VM record; ids are fleet-global and dense."""
+        vm = FleetVM(
+            id=len(self.vms),
+            itype=itype,
+            started_at=started_at,
+            free_at=free_at,
+            owner=self.active_owner if owner is None else owner,
+        )
+        self.vms.append(vm)
+        return vm
+
+    def alive(self, owner: str | None = None) -> List[FleetVM]:
+        """Living VMs in rental order; *owner* restricts to one tenant's
+        rentals (tenant-scoped sharing)."""
+        if owner is None:
+            return [vm for vm in self.vms if not vm.dead]
+        return [vm for vm in self.vms if not vm.dead and vm.owner == owner]
+
+    def reap(self, now: float, btu: float) -> List[FleetVM]:
+        """Mark VMs idle past their BTU horizon dead; returns the newly
+        dead ones (callers record their own ``vm_stop`` events)."""
+        reaped: List[FleetVM] = []
+        for vm in self.vms:
+            if not vm.dead and vm.free_at <= now and vm.horizon(btu) < now - 1e-9:
+                vm.dead = True
+                vm.finished_at = vm.free_at
+                reaped.append(vm)
+        return reaped
+
+    def mark_crashed(self, vm: FleetVM, now: float) -> None:
+        """Void a VM at *now*; reservations are reclaimed by listeners."""
+        vm.crashed = True
+        vm.dead = True
+        vm.crashed_at = now
+        vm.finished_at = now
+
+    # ------------------------------------------------------------------
+    # crash fan-out (shared fleets host tasks of many runs)
+    # ------------------------------------------------------------------
+    def add_crash_listener(self, listener: Callable[[FleetVM], None]) -> None:
+        self._crash_listeners.append(listener)
+
+    def notify_crash(self, vm: FleetVM) -> None:
+        """Let every attached run reclaim its victims on *vm* (in
+        attachment order, so recovery interleaving is deterministic)."""
+        for listener in self._crash_listeners:
+            listener(vm)
+
+    # ------------------------------------------------------------------
+    # static-builder ledger
+    # ------------------------------------------------------------------
+    def on_builder_rent(self, builder, vm) -> None:
+        """Record one static ``ScheduleBuilder.new_vm`` rental.
+
+        Called by builders constructed with ``fleet=manager``; the VM
+        record stays local to the builder (static schedules all start
+        at t=0, so cross-run reuse is meaningless there), only the
+        accounting is shared.
+        """
+        owner = self.active_owner
+        self.static_rents[owner] = self.static_rents.get(owner, 0) + 1
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def uptime(self, vm: FleetVM) -> float:
+        """Billable uptime: rent stops at the crash for crashed VMs."""
+        end = vm.crashed_at if vm.crashed else vm.free_at
+        return max(end - vm.started_at, 0.0)
+
+    def bill(
+        self, billing: BillingModel, region: Region | None = None
+    ) -> Dict[str, OwnerBill]:
+        """Per-owner realized rent over the whole fleet.
+
+        Each VM's cost goes to the tenant that rented it (reuse by
+        another tenant's tasks extends ``busy_seconds`` but never moves
+        the bill — the renter keeps the meter).
+        """
+        region = region or self.region
+        if region is None:
+            raise SimulationError("bill() needs a region (none configured)")
+        rows: Dict[str, Dict[str, float]] = {}
+        for vm in self.vms:
+            up = self.uptime(vm)
+            acc = rows.setdefault(
+                vm.owner,
+                {"vms": 0, "btus": 0, "cost": 0.0, "busy": 0.0, "paid": 0.0},
+            )
+            acc["vms"] += 1
+            acc["btus"] += billing.btus(up)
+            acc["cost"] += billing.btus(up) * region.price(vm.itype)
+            acc["busy"] += vm.busy_seconds
+            acc["paid"] += billing.paid_seconds(up)
+        return {
+            owner: OwnerBill(
+                owner=owner,
+                vm_count=int(acc["vms"]),
+                btus=int(acc["btus"]),
+                rent_cost=acc["cost"],
+                busy_seconds=acc["busy"],
+                paid_seconds=acc["paid"],
+            )
+            for owner, acc in sorted(rows.items())
+        }
+
+    def utilization(self, billing: BillingModel) -> float:
+        """Busy seconds over paid seconds across the fleet (0 when the
+        fleet never rented anything)."""
+        paid = sum(billing.paid_seconds(self.uptime(vm)) for vm in self.vms)
+        if paid <= 0:
+            return 0.0
+        busy = sum(vm.busy_seconds for vm in self.vms)
+        return busy / paid
+
+    # ------------------------------------------------------------------
+    # invariants (used by the test harness and the service loop)
+    # ------------------------------------------------------------------
+    def check_conservation(self) -> None:
+        """Raise :class:`SimulationError` unless fleet bookkeeping is
+        conserved: dense ids, crashed ⊆ dead, and no VM freed before it
+        started."""
+        for idx, vm in enumerate(self.vms):
+            if vm.id != idx:
+                raise SimulationError(f"fleet ids not dense: vm{vm.id} at slot {idx}")
+            if vm.crashed and not vm.dead:
+                raise SimulationError(f"vm{vm.id} crashed but not dead")
+            if vm.free_at < vm.started_at - 1e-9:
+                raise SimulationError(
+                    f"vm{vm.id} freed at {vm.free_at} before start {vm.started_at}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        alive = sum(1 for vm in self.vms if not vm.dead)
+        return f"FleetManager(vms={len(self.vms)}, alive={alive})"
+
+
+#: the owner attributed to VMs rented outside any tenant context
+DEFAULT_OWNER = ""
+
+
+def private_fleet(region: Region | None = None) -> FleetManager:
+    """A fresh single-run manager (the pre-lift behavior)."""
+    return FleetManager(region=region)

@@ -45,6 +45,11 @@ class Simulator:
     def processed_events(self) -> int:
         return self._processed
 
+    @property
+    def pending_events(self) -> int:
+        """Events still queued — the service loop's liveness probe."""
+        return len(self._queue)
+
     def at(self, time: float, action: Callable[[], None], label: str = "") -> None:
         """Schedule *action* at absolute *time* (>= now)."""
         if time < self._now - 1e-9:

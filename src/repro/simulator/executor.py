@@ -511,7 +511,7 @@ class ScheduleExecutor:
         the failure instant); actual timing is still re-derived
         event-by-event, so the realized trace stays exact.
         """
-        from repro.core.builder import BuilderVM, ScheduleBuilder
+        from repro.core.builder import ScheduleBuilder
         from repro.core.provisioning.base import provisioning_policy as _provision
 
         assert self.recovery is not None
@@ -549,38 +549,39 @@ class ScheduleExecutor:
         survivors = [
             evm for evm in self._vms if not evm.crashed and evm.queue
         ]
-        for idx, evm in enumerate(survivors):
-            bvm = BuilderVM(id=idx, itype=evm.itype, region=evm.region)
-            for tid in evm.queue:
-                start = self.result.task_start[tid]
-                end = (
-                    self.result.task_finish[tid]
-                    if tid in self._done
-                    else self._exp_end[tid]
-                )
-                bvm.order.append(tid)
-                bvm.timing[tid] = (start, end)
-                bvm.busy_seconds += end - start
-                builder.task_vm[tid] = bvm
-                builder.task_start[tid] = start
-                builder.task_finish[tid] = end
-            builder.vms.append(bvm)
+        for evm in survivors:
+            builder.adopt_vm(
+                evm.itype,
+                evm.region,
+                placements=[
+                    (
+                        tid,
+                        self.result.task_start[tid],
+                        self.result.task_finish[tid]
+                        if tid in self._done
+                        else self._exp_end[tid],
+                    )
+                    for tid in evm.queue
+                ],
+            )
         # ghost entries for executions on crashed VMs: the policy cannot
         # place anything there, but transfer estimates need their origin
-        ghost_id = -1
         for evm in self._vms:
             if not evm.crashed:
                 continue
-            ghost = BuilderVM(id=ghost_id, itype=evm.itype, region=evm.region)
-            ghost_id -= 1
-            for tid in evm.queue:
-                if tid not in self._done:
-                    continue
-                start = self.result.task_start[tid]
-                end = self.result.task_finish[tid]
-                builder.task_vm[tid] = ghost
-                builder.task_start[tid] = start
-                builder.task_finish[tid] = end
+            builder.adopt_ghost(
+                evm.itype,
+                evm.region,
+                placements=[
+                    (
+                        tid,
+                        self.result.task_start[tid],
+                        self.result.task_finish[tid],
+                    )
+                    for tid in evm.queue
+                    if tid in self._done
+                ],
+            )
         # hand the unfinished sub-DAG back to the provisioning policy
         for tid in pending:
             builder.begin_task(tid)

@@ -31,56 +31,28 @@ the task against the fleet state at recovery time.  With ``fault_plan``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.cloud.instance import SMALL, InstanceType
 from repro.cloud.platform import CloudPlatform
 from repro.cloud.region import Region
+from repro.core.provisioning.base import online_policy_names
 from repro.core.recovery import FailureEvent, RecoveryPolicy, recovery_policy
 from repro.errors import FaultError, SchedulingError, SimulationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.metrics import current as current_metrics
 from repro.obs.tracer import Tracer, ensure_tracer
+from repro.service.fleet import FleetManager, FleetVM
 from repro.simulator.engine import Simulator
 from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.trace import TraceEvent
 from repro.util.compat import renamed_kwargs
 from repro.workflows.dag import Workflow
 
-_SUPPORTED = (
-    "OneVMperTask",
-    "StartParNotExceed",
-    "StartParExceed",
-    "AllParNotExceed",
-    "AllParExceed",
-)
-
-
-@dataclass
-class _OnlineVM:
-    """Fleet state during an online run."""
-
-    id: int
-    itype: InstanceType
-    started_at: float
-    free_at: float
-    busy_seconds: float = 0.0
-    tasks: List[str] = field(default_factory=list)
-    levels: set = field(default_factory=set)
-    finished_at: float = 0.0
-    dead: bool = False
-    crashed: bool = False
-    crashed_at: float = 0.0
-    #: seconds of completed executions (fault accounting)
-    useful_seconds: float = 0.0
-
-    def horizon(self, btu: float) -> float:
-        """End of the last started BTU — deprovision time when idle."""
-        import math
-
-        uptime = max(self.free_at - self.started_at, 1e-9)
-        return self.started_at + math.ceil(uptime / btu - 1e-9) * btu
+#: the fleet record was lifted into :mod:`repro.service.fleet` so a
+#: fleet can outlive one run; the old private name stays as an alias
+_OnlineVM = FleetVM
 
 
 @dataclass
@@ -100,7 +72,17 @@ class OnlineResult:
 
 
 class OnlineCloudExecutor:
-    """Run *workflow* with runtime placement decisions."""
+    """Run *workflow* with runtime placement decisions.
+
+    By default the executor owns its world: a private
+    :class:`~repro.simulator.engine.Simulator` and a private
+    :class:`~repro.service.fleet.FleetManager`.  The service loop
+    instead passes a shared *sim* and *fleet* (plus an *owner* for
+    billing attribution and a unique *run_name* so task ids from
+    different submissions cannot collide on a shared VM roster) and
+    drives :meth:`start` itself; :meth:`finish` stays private-fleet
+    only — fleet-wide billing of a shared fleet is the service's job.
+    """
 
     def __init__(
         self,
@@ -116,10 +98,16 @@ class OnlineCloudExecutor:
         recovery: "str | RecoveryPolicy | None" = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        sim: Simulator | None = None,
+        fleet: FleetManager | None = None,
+        owner: str = "",
+        run_name: str = "",
+        on_complete: Callable[[], None] | None = None,
     ) -> None:
-        if policy not in _SUPPORTED:
+        supported = online_policy_names()
+        if policy not in supported:
             raise SchedulingError(
-                f"unsupported online policy {policy!r}; known: {_SUPPORTED}"
+                f"unsupported online policy {policy!r}; known: {supported}"
             )
         workflow.validate()
         self.workflow = workflow
@@ -132,8 +120,12 @@ class OnlineCloudExecutor:
         self.release_times = dict(release_times or {})
         self.tracer = ensure_tracer(tracer)
         self.metrics = metrics if metrics is not None else current_metrics()
-        self.sim = Simulator(max_events=max_events, tracer=tracer)
-        self.fleet: List[_OnlineVM] = []
+        self.sim = sim if sim is not None else Simulator(max_events=max_events, tracer=tracer)
+        self._fleet_mgr = fleet if fleet is not None else FleetManager(region=self.region)
+        self._shared_fleet = fleet is not None
+        self.owner = owner
+        self.run_name = run_name
+        self.on_complete = on_complete
         self.levels = workflow.level_of()
         self.level_sizes: Dict[int, int] = {}
         for lvl in self.levels.values():
@@ -157,26 +149,37 @@ class OnlineCloudExecutor:
         self._completed: set = set()
         #: tasks whose next placement must rent a fresh VM (resubmit)
         self._force_fresh: set = set()
+        if self.fault_plan is not None:
+            # crash recovery goes through the manager so every run with
+            # reservations on a crashed shared VM reclaims its own tasks
+            self._fleet_mgr.add_crash_listener(self._reclaim_crash_victims)
+
+    @property
+    def fleet(self) -> List[FleetVM]:
+        """The (possibly shared) VM records, in rental order."""
+        return self._fleet_mgr.vms
+
+    def _roster_key(self, task_id: str) -> str:
+        """VM-roster entry for *task_id*.  On a shared fleet task ids
+        from different submissions can collide (two tenants running the
+        same DAG shape), so entries are qualified by the run name."""
+        return f"{self.run_name}:{task_id}" if self.run_name else task_id
 
     # ------------------------------------------------------------------
     # fleet queries at current simulation time
     # ------------------------------------------------------------------
     def _reap(self) -> None:
         """Deprovision VMs idle past their BTU horizon."""
-        now = self.sim.now
         btu = self.platform.btu_seconds
-        for vm in self.fleet:
-            if not vm.dead and vm.free_at <= now and vm.horizon(btu) < now - 1e-9:
-                vm.dead = True
-                vm.finished_at = vm.free_at
-                self.events.append(
-                    TraceEvent(vm.horizon(btu), "vm_stop", "", f"vm{vm.id}")
-                )
+        for vm in self._fleet_mgr.reap(self.sim.now, btu):
+            self.events.append(
+                TraceEvent(vm.horizon(btu), "vm_stop", "", f"vm{vm.id}")
+            )
 
-    def _alive(self) -> List[_OnlineVM]:
-        return [vm for vm in self.fleet if not vm.dead]
+    def _alive(self) -> List[FleetVM]:
+        return self._fleet_mgr.alive()
 
-    def _rent(self) -> _OnlineVM:
+    def _rent(self) -> FleetVM:
         # Cold starts: the VM is requested now but cannot execute until
         # it has booted (the paper pre-boots; online cannot).
         boot = 0.0 if self.platform.prebooted else self.platform.boot_seconds
@@ -198,13 +201,12 @@ class OnlineCloudExecutor:
                 if attempt >= self.recovery.max_attempts:
                     raise FaultError(f"vm{vm_id} failed to boot {attempt} times")
             boot = total
-        vm = _OnlineVM(
-            id=vm_id,
-            itype=self.itype,
+        vm = self._fleet_mgr.rent(
+            self.itype,
             started_at=self.sim.now,
             free_at=self.sim.now + boot,
+            owner=self.owner,
         )
-        self.fleet.append(vm)
         self.events.append(TraceEvent(self.sim.now, "vm_start", "", f"vm{vm.id}"))
         if self.fault_plan is not None:
             uptime = self.fault_plan.vm_crash_uptime(f"vm{vm.id}")
@@ -302,13 +304,14 @@ class OnlineCloudExecutor:
         vm.free_at = finish
         vm.busy_seconds += duration
         prev = self.task_vm.get(task_id)
+        key = self._roster_key(task_id)
         if prev is not None and prev != vm.id:
             # re-placement after a failure: leave the old VM's roster
             old = self.fleet[prev]
-            if task_id in old.tasks:
-                old.tasks.remove(task_id)
-        if task_id not in vm.tasks:
-            vm.tasks.append(task_id)
+            if key in old.tasks:
+                old.tasks.remove(key)
+        if key not in vm.tasks:
+            vm.tasks.append(key)
         self.task_vm[task_id] = vm.id
         self.task_start[task_id] = start
         self.task_finish[task_id] = finish
@@ -348,6 +351,8 @@ class OnlineCloudExecutor:
             self._pending[succ] -= 1
             if self._pending[succ] == 0:
                 self.sim.at(self.sim.now, lambda s=succ: self._on_ready(s), f"ready:{succ}")
+        if self.on_complete is not None and len(self._completed) == len(self._pending):
+            self.on_complete()
 
     # ------------------------------------------------------------------
     # fault handling
@@ -420,13 +425,29 @@ class OnlineCloudExecutor:
             return  # released before the crash would have hit
         assert self.stats is not None
         now = self.sim.now
-        vm.crashed = True
-        vm.dead = True
-        vm.crashed_at = now
-        vm.finished_at = now
+        self._fleet_mgr.mark_crashed(vm, now)
         self.stats.vm_crashes += 1
         self.events.append(TraceEvent(now, "vm_crash", "", f"vm{vm.id}"))
-        victims = [t for t in vm.tasks if t not in self._completed]
+        self._fleet_mgr.notify_crash(vm)
+
+    def _reclaim_crash_victims(self, vm: FleetVM) -> None:
+        """Fail and re-dispatch *this run's* unfinished reservations on
+        a crashed VM (shared fleets host tasks of many runs — each
+        attached executor reclaims only its own roster entries)."""
+        assert self.stats is not None
+        now = self.sim.now
+        prefix = f"{self.run_name}:" if self.run_name else ""
+        victims = []
+        for entry in vm.tasks:
+            if prefix:
+                if not entry.startswith(prefix):
+                    continue
+                tid = entry[len(prefix):]
+            else:
+                tid = entry
+            if tid in self._pending and self.task_vm.get(tid) == vm.id:
+                if tid not in self._completed:
+                    victims.append(tid)
         for tid in victims:
             started = self.task_start.get(tid, now)
             wasted = max(min(now, self.task_finish[tid]) - started, 0.0)
@@ -508,14 +529,26 @@ class OnlineCloudExecutor:
             self.metrics.inc("recovery.replans", self.stats.replans)
 
     # ------------------------------------------------------------------
-    def run(self) -> OnlineResult:
+    def start(self) -> None:
+        """Schedule the entry-task ready events.  On a shared simulator
+        the caller owns the event loop; entry tasks released in the past
+        become ready *now* (the clock never rewinds)."""
         for tid in self.workflow.entry_tasks():
-            at = self.release_times.get(tid, 0.0)
+            at = max(self.release_times.get(tid, 0.0), self.sim.now)
             self.sim.at(at, lambda t=tid: self._on_ready(t), f"ready:{tid}")
+
+    def run(self) -> OnlineResult:
+        self.start()
         with self.tracer.span(
             "online.run", cat="executor", workflow=self.workflow.name, policy=self.policy
         ):
             self.sim.run()
+        return self.finish()
+
+    def finish(self) -> OnlineResult:
+        """Validate completion and bill the fleet.  Private-fleet only:
+        the totals span *every* VM in the manager, so on a shared fleet
+        the service loop does the billing instead (per owner)."""
         missing = [t for t in self.workflow.task_ids if t not in self.task_finish]
         if missing:
             raise SimulationError(f"online run never completed: {missing}")

@@ -1,5 +1,7 @@
 """Shared fixtures: the EC2 platform, the paper's workflows, and small
-hand-built DAGs with known-by-construction schedules."""
+hand-built DAGs with known-by-construction schedules — plus the
+:func:`assert_schedule_invariants` checker every execution-path test
+can apply to a simulated result."""
 
 from __future__ import annotations
 
@@ -9,6 +11,69 @@ from repro.cloud.platform import CloudPlatform
 from repro.workflows.dag import Workflow
 from repro.workflows.generators import cstem, mapreduce, montage, sequential
 from repro.workflows.task import Task
+
+_TOL = 1e-6
+
+
+def assert_schedule_invariants(result, workflow=None, complete=True, tol=_TOL):
+    """Assert the structural invariants of one simulated execution.
+
+    Works on any result exposing ``task_start``/``task_finish`` dicts —
+    both :class:`repro.simulator.trace.SimulationResult` (task→VM read
+    from the event stream) and :class:`repro.simulator.online.
+    OnlineResult` (read from ``task_vm``).  Checks:
+
+    * every finished task started, and ``finish >= start``;
+    * no VM runs two tasks at once (realized intervals on one VM are
+      disjoint up to *tol*);
+    * with *workflow*: every task starts no earlier than each
+      predecessor's finish, and (when *complete*, the default) every
+      task of the DAG completed.  Pass ``complete=False`` for
+      fault-injected runs without recovery, where tasks may die with
+      their VM and never rerun.
+    """
+    starts = dict(result.task_start)
+    finishes = dict(result.task_finish)
+    for tid, fin in finishes.items():
+        assert tid in starts, f"task {tid!r} finished without starting"
+        assert fin >= starts[tid] - tol, (
+            f"task {tid!r} finished at {fin} before its start {starts[tid]}"
+        )
+    task_vm = getattr(result, "task_vm", None)
+    if task_vm is not None:
+        placement = {tid: f"vm{vid}" for tid, vid in task_vm.items()}
+    else:
+        placement = {
+            ev.task_id: ev.vm
+            for ev in result.events
+            if ev.kind == "task_start" and ev.vm
+        }
+    by_vm = {}
+    for tid, fin in finishes.items():
+        vm = placement.get(tid)
+        assert vm is not None, f"task {tid!r} has no VM placement"
+        by_vm.setdefault(vm, []).append((starts[tid], fin, tid))
+    for vm, intervals in by_vm.items():
+        intervals.sort()
+        for (_, f1, t1), (s2, _, t2) in zip(intervals, intervals[1:]):
+            assert s2 >= f1 - tol, (
+                f"{vm} runs {t2!r} (start {s2}) before {t1!r} ends ({f1})"
+            )
+    if workflow is not None:
+        if complete:
+            missing = [t for t in workflow.task_ids if t not in finishes]
+            assert not missing, f"tasks never completed: {missing}"
+        for tid in workflow.task_ids:
+            if tid not in starts:
+                continue
+            for pred in workflow.predecessors(tid):
+                assert pred in finishes, (
+                    f"task {tid!r} ran but predecessor {pred!r} never finished"
+                )
+                assert starts[tid] >= finishes[pred] - tol, (
+                    f"task {tid!r} starts at {starts[tid]} before "
+                    f"predecessor {pred!r} finishes at {finishes[pred]}"
+                )
 
 
 @pytest.fixture(scope="session")

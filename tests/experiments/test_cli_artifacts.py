@@ -23,6 +23,7 @@ SMOKE = [
     ["table3", "--quick"],
     ["figure4", "--quick"],
     ["profile", "--workflow", "montage"],
+    ["service", "--quick"],
 ]
 
 

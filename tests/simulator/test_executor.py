@@ -11,6 +11,7 @@ from repro.core.schedule import Schedule
 from repro.errors import SimulationError
 from repro.simulator.executor import ScheduleExecutor, simulate_schedule
 from repro.simulator.trace import SimulationResult, TraceEvent
+from tests.conftest import assert_schedule_invariants
 
 
 @pytest.fixture(scope="module")
@@ -27,12 +28,14 @@ class TestReplayMatchesPlan:
         sched = HeftScheduler(provisioning).schedule(diamond, platform)
         result = simulate_schedule(sched, check=True)
         assert result.makespan == pytest.approx(sched.makespan)
+        assert_schedule_invariants(result, diamond)
 
     @pytest.mark.parametrize("exceed", [True, False])
     def test_allpar_schedules(self, fan7, platform, exceed):
         sched = AllParScheduler(exceed=exceed).schedule(fan7, platform)
         result = simulate_schedule(sched, check=True)
         assert result.makespan == pytest.approx(sched.makespan)
+        assert_schedule_invariants(result, fan7)
 
     def test_chain_serializes(self, chain3, platform):
         sched = HeftScheduler("StartParExceed").schedule(chain3, platform)

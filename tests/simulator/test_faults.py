@@ -202,9 +202,12 @@ def _spec():
 # ----------------------------------------------------------------------
 class TestRecoveryMechanics:
     def test_all_tasks_complete_under_faults(self, schedule):
+        from tests.conftest import assert_schedule_invariants
+
         for recovery in ("retry", "resubmit", "replan"):
             result = run_with_faults(schedule, AGGRESSIVE, recovery=recovery)
             assert set(result.task_finish) == set(schedule.workflow.task_ids)
+            assert_schedule_invariants(result, schedule.workflow)
 
     def test_faults_fire_and_are_recovered(self, schedule):
         result = run_with_faults(schedule, AGGRESSIVE)
@@ -271,6 +274,8 @@ class TestRecoveryMechanics:
             assert result.task_finish[v] >= result.task_finish[u] - 1e-6
 
     def test_online_crash_recovery_completes(self, platform):
+        from tests.conftest import assert_schedule_invariants
+
         result = run_online(
             montage(),
             platform,
@@ -280,6 +285,7 @@ class TestRecoveryMechanics:
         )
         assert result.faults.vm_crashes > 0
         assert set(result.task_finish) == set(montage().task_ids)
+        assert_schedule_invariants(result, montage())
 
 
 class TestFaultStats:

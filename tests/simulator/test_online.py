@@ -10,6 +10,7 @@ from repro.simulator.perturb import lognormal_jitter
 from repro.workloads.base import apply_model
 from repro.workloads.pareto import ParetoModel
 from repro.workflows.generators import cstem, mapreduce, montage, sequential
+from tests.conftest import assert_schedule_invariants
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +38,7 @@ class TestBasics:
         assert set(result.task_finish) == set(paper_workflow.task_ids)
         assert result.makespan == max(result.task_finish.values())
         assert result.rent_cost > 0 and result.idle_seconds >= 0
+        assert_schedule_invariants(result, paper_workflow)
 
     def test_dependencies_respected(self, platform):
         wf = montage()
@@ -47,6 +49,7 @@ class TestBasics:
     def test_vm_serialization(self, platform):
         wf = apply_model(montage(), ParetoModel(), seed=2)
         result = run_online(wf, platform, policy="StartParExceed")
+        assert_schedule_invariants(result, wf)
         by_vm = {}
         for tid, vm in result.task_vm.items():
             by_vm.setdefault(vm, []).append(tid)
