@@ -64,15 +64,22 @@ bench-service:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py
 
 # Perf-regression gate: re-runs the small scaling sizes and fails when
-# any cell is >25% slower than the committed BENCH_scaling.json.
+# any cell is >25% slower than the committed BENCH_scaling.json, then
+# gates the parallel sweep (serial/parallel identity always; process
+# speedup only on multi-core hosts, where losing to serial means the
+# shard-aware dispatch regressed).
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py --check
 
-# cProfile one representative sweep cell; top-25 cumulative entries go
-# to artifacts/profile.txt for before/after comparisons.
+# cProfile one representative sweep cell plus the 50k columnar fused
+# pipeline; top-25 cumulative entries go to artifacts/profile*.txt for
+# before/after comparisons.
 profile:
 	mkdir -p artifacts
 	PYTHONPATH=src $(PYTHON) benchmarks/profile_cell.py --out artifacts/profile.txt
+	PYTHONPATH=src $(PYTHON) benchmarks/profile_cell.py --columnar \
+	  --out artifacts/profile_columnar.txt
 
 report:
 	$(PYTHON) -m repro.experiments.cli all

@@ -1,12 +1,15 @@
 """Large-workflow scaling benchmark and perf-regression gate.
 
 Times the full generate -> provision -> allocate -> validate pipeline at
-1k / 10k / 50k tasks for each provisioning family (AllPar* under the
-level scheduler, StartPar* and OneVMperTask under HEFT), plus the
+1k / 10k / 50k / 200k tasks for each provisioning family (AllPar* under
+the level scheduler, StartPar* and OneVMperTask under HEFT), plus the
 pre-index ``*Reference`` kernels at 10k tasks so the speedup of the
-indexed kernels is measured, not asserted.  At 1k tasks the optimized
-and reference schedules are compared trace-for-trace — the equivalence
-column is measured on every run, complementing the property tests.
+indexed kernels is measured, not asserted.  Trace equivalence is
+measured on every run, complementing the property tests: at 1k tasks
+the indexed kernels are compared to the quadratic reference, and at 50k
+the columnar fused kernels (the default at that size) are compared to
+the indexed ones.  A full refresh also runs a single-shot 1M-task
+completion smoke through one policy.
 
 Results go to ``BENCH_scaling.json`` at the repo root (``make
 bench-scaling`` refreshes it).  ``--check`` re-runs the small sizes and
@@ -33,6 +36,7 @@ from pathlib import Path
 from repro.cloud.platform import CloudPlatform
 from repro.core.allocation import HeftScheduler, LevelScheduler
 from repro.core.provisioning import PROVISIONING_POLICIES, REFERENCE_POLICIES
+from repro.kernels.dispatch import columnar_disabled
 from repro.workflows.generators import mapreduce, montage
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -42,10 +46,21 @@ HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 #: montage(p) has 3p + 6 tasks — parameters chosen so the generated DAG
 #: lands on ~the advertised task count
 SIZES = {
-    "1k": 332,      # montage(332)  -> 1002 tasks
-    "10k": 3332,    # montage(3332) -> 10002 tasks
+    "1k": 332,      # montage(332)   -> 1002 tasks
+    "10k": 3332,    # montage(3332)  -> 10002 tasks
     "50k": 16665,   # montage(16665) -> 50001 tasks
+    "200k": 66665,  # montage(66665) -> 200001 tasks
 }
+
+#: the 1M-task smoke: one policy, one shot — proves the columnar path
+#: completes at paper-beyond scale, not a timing cell
+SMOKE_1M_PROJECTIONS = 333331  # montage(333331) -> 999999 tasks
+SMOKE_1M_POLICY = ("AllParExceed", "level")
+
+#: minimum absolute slowdown (on top of the ratio tolerance) before the
+#: regression gate fires — sub-second cells swing by ~100ms from
+#: scheduler jitter alone on a shared 1-core host
+ABS_SLACK_SECONDS = 0.15
 
 #: the paper's pairing: AllPar* needs level knowledge, the rest HEFT
 FAMILIES = [
@@ -58,8 +73,13 @@ FAMILIES = [
 
 #: reference kernels are quadratic: only timed at this size
 REFERENCE_SIZE = "10k"
-#: trace equivalence is checked at this size on every run
+#: trace equivalence vs the quadratic *Reference kernels at this size
 EQUIVALENCE_SIZE = "1k"
+#: trace equivalence of the columnar kernels vs the indexed kernels at
+#: this size (the quadratic reference is infeasible here, but the
+#: indexed kernels are themselves reference-identical — see the 1k
+#: column — so the chain closes)
+COLUMNAR_EQUIVALENCE_SIZE = "50k"
 
 
 def _scheduler(kind: str, policy) -> object:
@@ -86,8 +106,8 @@ def _fingerprint(schedule):
 
 #: best-of-N repeats per size — single-shot wall timings swing by tens
 #: of percent on shared containers, which is noise the 25% gate cannot
-#: absorb; the 50k cell stays single-shot to keep refreshes bounded
-REPEATS = {"1k": 3, "10k": 3, "50k": 1}
+#: absorb; the 200k cell stays single-shot to keep refreshes bounded
+REPEATS = {"1k": 3, "10k": 3, "50k": 3, "200k": 1}
 
 
 def _time_pipeline(projections: int, kind: str, policy_factory, platform,
@@ -139,6 +159,18 @@ def bench(sizes: dict) -> dict:
                 entry["identical_to_reference"] = (
                     _fingerprint(opt) == _fingerprint(ref)
                 )
+            if size_label == COLUMNAR_EQUIVALENCE_SIZE:
+                # the timed run above went through the columnar fused
+                # kernels (the default at this size); one indexed run
+                # pins the trace
+                with columnar_disabled():
+                    _, indexed = _time_pipeline(
+                        projections, kind, PROVISIONING_POLICIES[policy_name],
+                        platform,
+                    )
+                entry["identical_to_reference"] = (
+                    _fingerprint(schedule) == _fingerprint(indexed)
+                )
             row[size_label] = entry
         cells[policy_name] = row
 
@@ -156,7 +188,7 @@ def bench(sizes: dict) -> dict:
             "vms": s.vm_count,
         }
 
-    return {
+    record = {
         "benchmark": "large-workflow scaling (generate+provision+allocate+validate)",
         "sizes": {k: {"projections": v} for k, v in sizes.items()},
         "machine": {
@@ -168,6 +200,21 @@ def bench(sizes: dict) -> dict:
         "mapreduce_10k": mr_row,
     }
 
+    if "200k" in sizes:  # full refresh only: the 1M completion smoke
+        policy_name, kind = SMOKE_1M_POLICY
+        t0 = time.perf_counter()
+        wf = montage(SMOKE_1M_PROJECTIONS)
+        s = _scheduler(kind, PROVISIONING_POLICIES[policy_name]()).schedule(
+            wf, platform
+        )
+        record["smoke_1m"] = {
+            "policy": policy_name,
+            "seconds": round(time.perf_counter() - t0, 4),
+            "tasks": len(s.workflow.task_ids),
+            "vms": s.vm_count,
+        }
+    return record
+
 
 def check(baseline_path: Path, tolerance: float) -> int:
     """Regression gate: re-run the small sizes, compare to baseline."""
@@ -175,7 +222,7 @@ def check(baseline_path: Path, tolerance: float) -> int:
         print(f"no baseline at {baseline_path}; run without --check first")
         return 2
     baseline = json.loads(baseline_path.read_text())
-    small = {k: v for k, v in SIZES.items() if k != "50k"}
+    small = {k: v for k, v in SIZES.items() if k in ("1k", "10k")}
     current = bench(small)
     failures = []
     for policy_name, row in current["cells"].items():
@@ -189,16 +236,24 @@ def check(baseline_path: Path, tolerance: float) -> int:
             if base["seconds"] < 0.05:
                 continue
             ratio = entry["seconds"] / base["seconds"]
-            status = "OK" if ratio <= 1 + tolerance else "REGRESSION"
+            # a regression must clear the ratio AND an absolute slack:
+            # the columnar kernels pushed 10k cells to ~0.15s, where
+            # ±100ms of scheduler jitter on this 1-core box flips the
+            # ratio alone; a real algorithmic slowdown shows a far
+            # larger absolute delta
+            slack = entry["seconds"] - base["seconds"]
+            regressed = ratio > 1 + tolerance and slack > ABS_SLACK_SECONDS
+            status = "OK" if not regressed else "REGRESSION"
             print(
                 f"{policy_name:20s} {size_label:4s} "
                 f"base {base['seconds']:8.3f}s  now {entry['seconds']:8.3f}s  "
                 f"x{ratio:5.2f}  {status}"
             )
-            if ratio > 1 + tolerance:
+            if regressed:
                 failures.append(
                     f"{policy_name}/{size_label}: {ratio:.2f}x baseline "
-                    f"(tolerance {1 + tolerance:.2f}x)"
+                    f"(+{slack:.3f}s; tolerance {1 + tolerance:.2f}x "
+                    f"and +{ABS_SLACK_SECONDS:.2f}s)"
                 )
     if failures:
         print("\nperf regression gate FAILED:")
@@ -230,31 +285,41 @@ def main(argv=None) -> int:
 
     record = bench(SIZES)
     args.out.write_text(json.dumps(record, indent=2) + "\n")
+    history_row = {
+        "date": datetime.date.today().isoformat(),
+        "benchmark": "scaling",
+        "cells": {
+            pol: {sz: e["seconds"] for sz, e in row.items()}
+            for pol, row in record["cells"].items()
+        },
+    }
+    if "smoke_1m" in record:
+        history_row["smoke_1m_seconds"] = record["smoke_1m"]["seconds"]
     with HISTORY.open("a") as fh:
-        fh.write(
-            json.dumps(
-                {
-                    "date": datetime.date.today().isoformat(),
-                    "benchmark": "scaling",
-                    "cells": {
-                        pol: {sz: e["seconds"] for sz, e in row.items()}
-                        for pol, row in record["cells"].items()
-                    },
-                }
-            )
-            + "\n"
-        )
+        fh.write(json.dumps(history_row) + "\n")
     for policy_name, row in record["cells"].items():
         parts = [f"{sz} {e['seconds']:.2f}s" for sz, e in row.items()]
         extra = row.get(REFERENCE_SIZE, {})
         if "speedup_vs_reference" in extra:
             parts.append(f"[{extra['speedup_vs_reference']:.0f}x vs reference @10k]")
         ident = row.get(EQUIVALENCE_SIZE, {}).get("identical_to_reference")
-        parts.append(f"identical={ident}")
+        ident_50k = row.get(COLUMNAR_EQUIVALENCE_SIZE, {}).get(
+            "identical_to_reference"
+        )
+        parts.append(f"identical={ident}/{ident_50k}@50k")
         print(f"{policy_name:20s} " + "  ".join(parts))
+    if "smoke_1m" in record:
+        sm = record["smoke_1m"]
+        print(
+            f"smoke_1m             {sm['policy']} {sm['tasks']} tasks "
+            f"in {sm['seconds']:.2f}s ({sm['vms']} vms)"
+        )
     print(f"wrote {args.out}")
     ok = all(
         row.get(EQUIVALENCE_SIZE, {}).get("identical_to_reference", True)
+        and row.get(COLUMNAR_EQUIVALENCE_SIZE, {}).get(
+            "identical_to_reference", True
+        )
         for row in record["cells"].values()
     )
     return 0 if ok else 1

@@ -6,9 +6,18 @@ one, checks the two produce identical metrics, and persists the numbers
 to ``BENCH_sweep.json`` at the repo root so the performance trajectory
 is tracked across PRs (``make bench`` refreshes it).
 
+``--check`` is the parallel-dispatch regression gate (wired into ``make
+bench-check``): it re-runs the measurement without rewriting the
+baseline and fails when the parallel sweep diverges from the serial one
+or, on a multi-core host, when the process backend is more than 10%
+slower than serial.  On a single-core host the speedup is recorded but
+not gated — there is no parallelism to win, only fork overhead the
+shard-aware dispatch avoids.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_sweep.py --check
 """
 
 from __future__ import annotations
@@ -88,6 +97,41 @@ def bench(jobs: int, backend_name: str, repeats: int, seed: int) -> dict:
     }
 
 
+#: --check fails on a multi-core host when process is slower than this
+#: fraction of serial throughput
+MIN_SPEEDUP = 0.9
+
+
+def check(jobs: int, backend_name: str, repeats: int, seed: int) -> int:
+    """Parallel-dispatch gate: identity always, speedup when cores exist."""
+    record = bench(jobs, backend_name, repeats, seed)
+    par = record["parallel"]
+    cpus = record["machine"]["cpu_count"]
+    print(
+        f"serial {record['serial_seconds']:.2f}s | "
+        f"{par['backend']} {par['seconds']:.2f}s | "
+        f"speedup {par['speedup']:.2f}x on {cpus} cpu(s) | "
+        f"identical={record['parallel_identical_to_serial']}"
+    )
+    failures = []
+    if not record["parallel_identical_to_serial"]:
+        failures.append("parallel sweep diverged from serial")
+    if (cpus or 1) >= 2 and par["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"process backend {par['speedup']:.2f}x serial "
+            f"(gate {MIN_SPEEDUP:.2f}x on {cpus} cpus)"
+        )
+    if failures:
+        print("\nparallel dispatch gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    if (cpus or 1) < 2:
+        print("single core: speedup recorded, not gated")
+    print("parallel dispatch gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -113,7 +157,15 @@ def main(argv=None) -> int:
         default=DEFAULT_OUT,
         help=f"output JSON path (default {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate identity + multi-core speedup instead of rewriting the baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        return check(args.jobs, args.backend, args.repeats, args.seed)
 
     record = bench(args.jobs, args.backend, args.repeats, args.seed)
     args.out.write_text(json.dumps(record, indent=2) + "\n")

@@ -6,9 +6,15 @@ cumulative time to a text report (``make profile`` puts it at
 ``artifacts/profile.txt``).  Use it to find the next hot spot before
 and to prove the fix after an optimization PR.
 
+``--columnar`` profiles the large-workflow columnar path instead: one
+50k-task montage generation plus all five provisioning families through
+the fused kernels (``make profile`` writes that report to
+``artifacts/profile_columnar.txt``).
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/profile_cell.py --out artifacts/profile.txt
+    PYTHONPATH=src python benchmarks/profile_cell.py --columnar
 """
 
 from __future__ import annotations
@@ -45,6 +51,37 @@ def build_cell(scenario_index: int, workflow_index: int, seed: int) -> SweepCell
     )
 
 
+def profile_columnar(projections: int, top: int) -> str:
+    """Profile 50k-scale generation + all fused provisioning families."""
+    from repro.core.allocation import HeftScheduler, LevelScheduler
+    from repro.core.provisioning import PROVISIONING_POLICIES
+    from repro.workflows.generators import montage
+
+    platform = CloudPlatform.ec2()
+    families = [
+        ("AllParExceed", LevelScheduler),
+        ("AllParNotExceed", LevelScheduler),
+        ("StartParExceed", HeftScheduler),
+        ("StartParNotExceed", HeftScheduler),
+        ("OneVMperTask", HeftScheduler),
+    ]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for name, cls in families:
+        wf = montage(projections)
+        cls(PROVISIONING_POLICIES[name]()).schedule(wf, platform)
+    profiler.disable()
+
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(top)
+    header = (
+        f"columnar pipeline: montage({projections}) "
+        f"({3 * projections + 6} tasks) x {len(families)} families\n"
+        f"top {top} by cumulative time\n\n"
+    )
+    return header + buf.getvalue()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", type=int, default=0, help="scenario index")
@@ -52,7 +89,28 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2013)
     parser.add_argument("--top", type=int, default=25, help="rows in the report")
     parser.add_argument("--out", type=Path, default=None, help="report path (default stdout)")
+    parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="profile the 50k columnar fused pipeline instead of a sweep cell",
+    )
+    parser.add_argument(
+        "--projections",
+        type=int,
+        default=16665,
+        help="montage size for --columnar (default 16665 -> 50001 tasks)",
+    )
     args = parser.parse_args(argv)
+
+    if args.columnar:
+        report = profile_columnar(args.projections, args.top)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(report)
+            print(f"wrote {args.out}")
+        else:
+            print(report)
+        return 0
 
     cell = build_cell(args.scenario, args.workflow, args.seed)
     profiler = cProfile.Profile()

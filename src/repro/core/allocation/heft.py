@@ -15,7 +15,10 @@ from repro.core.allocation.base import SchedulingAlgorithm, register_algorithm
 from repro.core.allocation.ranking import heft_order
 from repro.core.builder import ScheduleBuilder
 from repro.core.provisioning.base import ProvisioningPolicy, provisioning_policy
+from repro.core.provisioning.one_vm_per_task import OneVMperTask
+from repro.core.provisioning.start_par import StartParExceed, StartParNotExceed
 from repro.core.schedule import Schedule
+from repro.kernels.dispatch import columnar_active, platform_eligible
 from repro.workflows.dag import Workflow
 
 
@@ -47,6 +50,38 @@ class HeftScheduler(SchedulingAlgorithm):
         itype: InstanceType = SMALL,
         region: Region | None = None,
     ) -> Schedule:
+        # Large stock-model runs take the fused columnar kernel (see
+        # LevelScheduler.schedule).  Exact-type checks keep subclasses
+        # (e.g. LocalityHeftScheduler's region chooser) and the
+        # ``try_all_vms`` StartPar variant on the indexed kernels.
+        policy = self.provisioning
+        fused_policy = (
+            "onevm"
+            if type(policy) is OneVMperTask
+            else "startpar"
+            if type(policy) is StartParExceed
+            or (type(policy) is StartParNotExceed and not policy.try_all_vms)
+            else None
+        )
+        if (
+            type(self) is HeftScheduler
+            and fused_policy is not None
+            and columnar_active(len(workflow))
+            and platform_eligible(platform, itype)
+        ):
+            from repro.kernels.provision import fused_heft_schedule
+
+            return fused_heft_schedule(
+                workflow,
+                platform,
+                itype,
+                region,
+                policy=fused_policy,
+                exceed=getattr(policy, "exceed_btu", True),
+                include_transfers=self.include_transfers,
+                algorithm=self.name,
+                provisioning=policy.name,
+            )
         builder = self._make_builder(workflow, platform, itype, region)
         for tid in heft_order(workflow, platform, itype, self.include_transfers):
             builder.begin_task(tid)

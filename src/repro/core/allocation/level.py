@@ -15,8 +15,10 @@ from repro.cloud.region import Region
 from repro.core.allocation.base import SchedulingAlgorithm, register_algorithm
 from repro.core.allocation.ranking import level_order
 from repro.core.builder import ScheduleBuilder
+from repro.core.provisioning.all_par import AllParExceed, AllParNotExceed
 from repro.core.provisioning.base import ProvisioningPolicy, provisioning_policy
 from repro.core.schedule import Schedule
+from repro.kernels.dispatch import columnar_active, platform_eligible
 from repro.workflows.dag import Workflow
 
 
@@ -43,6 +45,29 @@ class LevelScheduler(SchedulingAlgorithm):
         itype: InstanceType = SMALL,
         region: Region | None = None,
     ) -> Schedule:
+        # Large stock-model runs take the fused columnar kernel —
+        # byte-identical schedules and counters (property-tested), one
+        # array pass instead of per-object queries.  Exact-type checks:
+        # a subclassed scheduler/policy may override behavior the fused
+        # kernel inlines.
+        if (
+            type(self) in (LevelScheduler, AllParScheduler)
+            and type(self.provisioning) in (AllParExceed, AllParNotExceed)
+            and columnar_active(len(workflow))
+            and platform_eligible(platform, itype)
+        ):
+            from repro.kernels.provision import fused_level_schedule
+
+            return fused_level_schedule(
+                workflow,
+                platform,
+                itype,
+                region,
+                exceed=self.provisioning.exceed_btu,
+                descending_exec=self.descending_exec,
+                algorithm=self.name,
+                provisioning=self.provisioning.name,
+            )
         builder = ScheduleBuilder(workflow, platform, itype, region)
         for level in level_order(workflow, platform, itype, self.descending_exec):
             for tid in level:
@@ -75,10 +100,15 @@ class AllParScheduler(LevelScheduler):
     ) -> Schedule:
         out = super().schedule(workflow, platform, itype=itype, region=region)
         # Report under the provisioning name, matching the paper's plots.
-        return Schedule(
+        relabeled = Schedule(
             workflow=out.workflow,
             platform=out.platform,
             vms=out.vms,
             algorithm=self.provisioning.name,
             provisioning=self.provisioning.name,
         )
+        if out._checked:
+            # same workflow/platform/vms, only labels changed: the
+            # feasibility verdict carries over
+            object.__setattr__(relabeled, "_checked", True)
+        return relabeled

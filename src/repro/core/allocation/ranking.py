@@ -34,6 +34,15 @@ def upward_rank(
     """
     if not workflow.validated:
         workflow.validate()
+    from repro.kernels.dispatch import columnar_active, platform_eligible
+
+    if columnar_active(len(workflow)) and platform_eligible(platform, itype):
+        # Vectorized level-synchronous sweep — same per-edge additions
+        # and ``max`` folds, byte-identical ranks (property-tested).
+        from repro.kernels.columnar import get_columnar, upward_rank_values
+
+        vals = upward_rank_values(workflow, platform, itype, include_transfers)
+        return dict(zip(get_columnar(workflow).ids, vals.tolist()))
     # Single iterative O(V+E) sweep over the cached reversed-topo order,
     # against the uncopied adjacency/edge maps.  ``max`` over the same
     # operands is grouping-independent, so the ranks are byte-identical

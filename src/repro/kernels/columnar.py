@@ -1,0 +1,323 @@
+"""Columnar DAG representation and vectorized graph sweeps.
+
+A :class:`ColumnarDAG` flattens a :class:`~repro.workflows.dag.Workflow`
+into numpy arrays once per (workflow, mutation) generation — CSR
+predecessor/successor adjacency with per-edge data volumes, a work
+vector, lexicographic id ranks for string tie-breaks, and longest-path
+levels — and is memoized in the workflow's structural cache, so every
+kernel and every policy run over the same workflow shares one build.
+
+The sweeps (:func:`level_values`, :func:`upward_rank_values`,
+:func:`critical_path_columnar`) are level-synchronous: tasks are
+processed one level per wave with ``np.maximum.reduceat`` over gathered
+CSR segments.  ``max`` over float64 always returns one of its operands,
+and each candidate is formed by the same single addition the scalar
+kernels perform, so the values are byte-identical to the reference
+sweeps — the property the kernel-equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkflowError
+
+_GET_GB = itemgetter("data_gb")
+
+__all__ = [
+    "ColumnarDAG",
+    "get_columnar",
+    "level_of_columnar",
+    "upward_rank_values",
+    "critical_path_columnar",
+]
+
+
+class ColumnarDAG:
+    """Array view of a validated workflow (read-only once built)."""
+
+    __slots__ = (
+        "ids",
+        "index",
+        "works",
+        "str_rank",
+        "pred_ptr",
+        "pred_idx",
+        "pred_gb",
+        "succ_ptr",
+        "succ_idx",
+        "succ_gb",
+        "levels",
+        "n_levels",
+        "level_sizes",
+    )
+
+    def __init__(self, workflow) -> None:
+        graph = workflow._graph
+        #: task index <-> id, in workflow insertion order
+        self.ids: List[str] = list(workflow._tasks)
+        n = len(self.ids)
+        self.index: Dict[str, int] = {t: i for i, t in enumerate(self.ids)}
+        self.works = np.fromiter(
+            (t.work for t in workflow._tasks.values()), dtype=np.float64, count=n
+        )
+        # Lexicographic rank of each id: order-isomorphic to the id
+        # string, so integer comparisons reproduce string tie-breaks.
+        by_id = sorted(range(n), key=self.ids.__getitem__)
+        str_rank = np.empty(n, dtype=np.int64)
+        str_rank[by_id] = np.arange(n, dtype=np.int64)
+        self.str_rank = str_rank
+
+        # Predecessor CSR in *edge-insertion* order per task (the
+        # ``nx.DiGraph.predecessors`` order critical_path tie-breaks on).
+        index = self.index
+        self.pred_ptr, self.pred_idx, self.pred_gb = _csr(
+            self.ids, index, graph._pred, n
+        )
+        # Successor CSR derived by transposition — rows are ordered by
+        # child index rather than ``_succ`` insertion order, which no
+        # consumer observes: every successor sweep is a max/indegree
+        # fold, and each (child, gb) pairing is preserved per edge.
+        dst = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.pred_ptr))
+        by_src = np.argsort(self.pred_idx, kind="stable")
+        self.succ_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self.pred_idx, minlength=n), out=self.succ_ptr[1:])
+        self.succ_idx = dst[by_src]
+        self.succ_gb = self.pred_gb[by_src]
+
+        self.levels = _peel_levels(
+            n, self.pred_ptr, self.succ_ptr, self.succ_idx, workflow.name
+        )
+        self.n_levels = int(self.levels.max()) + 1 if n else 0
+        self.level_sizes = np.bincount(self.levels, minlength=self.n_levels)
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.pred_idx.shape[0])
+
+    # ------------------------------------------------------------------
+    def level_groups(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(order, starts)``: task indices grouped by level (stable
+        within a level, i.e. insertion order) and the per-level offsets
+        into that order (length ``n_levels + 1``)."""
+        order = np.argsort(self.levels, kind="stable")
+        starts = np.zeros(self.n_levels + 1, dtype=np.int64)
+        np.cumsum(self.level_sizes, out=starts[1:])
+        return order, starts
+
+
+def _csr(ids, index, adj, n):
+    """Flatten a networkx adjacency dict-of-dicts into CSR arrays.
+
+    Row contents are gathered with C-level ``map``/``extend`` — at 50k
+    tasks the per-item generator bytecode this replaces dominated the
+    whole build.
+    """
+    counts = np.fromiter((len(adj[t]) for t in ids), dtype=np.int64, count=n)
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    lookup = index.__getitem__
+    flat_idx: list = []
+    flat_gb: list = []
+    put_idx = flat_idx.extend
+    put_gb = flat_gb.extend
+    for t in ids:
+        row = adj[t]
+        if row:
+            put_idx(map(lookup, row))
+            put_gb(_row_gb(row))
+    idx = np.array(flat_idx, dtype=np.int64)
+    gb = np.array(flat_gb, dtype=np.float64)
+    return ptr, idx, gb
+
+
+def _row_gb(row) -> list:
+    """Edge volumes of one adjacency row, tolerant of missing keys
+    (``add_dependency`` always sets ``data_gb``; hand-built graphs may
+    not)."""
+    try:
+        return list(map(_GET_GB, row.values()))
+    except KeyError:
+        return [d.get("data_gb", 0.0) for d in row.values()]
+
+
+def _peel_levels(n, pred_ptr, succ_ptr, succ_idx, name) -> np.ndarray:
+    """Longest-path depth per task via level-synchronous Kahn peeling.
+
+    One wave per DAG level: peel every task whose predecessors are all
+    peeled, decrement successor in-degrees in bulk.  Values match
+    ``Workflow.level_of`` (1 + max over predecessors) exactly — the
+    depth is order-independent.
+    """
+    indeg = np.diff(pred_ptr).copy()
+    succ_cnt = np.diff(succ_ptr)
+    levels = np.full(n, -1, dtype=np.int64)
+    frontier = np.flatnonzero(indeg == 0)
+    lvl = 0
+    done = 0
+    while frontier.size:
+        levels[frontier] = lvl
+        done += frontier.size
+        targets = succ_idx[gather_csr(succ_ptr, frontier, succ_cnt[frontier])]
+        if targets.size:
+            indeg -= np.bincount(targets, minlength=n)
+        frontier = np.flatnonzero((indeg == 0) & (levels == -1))
+        lvl += 1
+    if done != n:  # pragma: no cover - guarded by Workflow.validate()
+        raise WorkflowError(f"workflow {name!r} has a cycle")
+    return levels
+
+
+def gather_csr(ptr, nodes, counts) -> np.ndarray:
+    """Flat positions of the CSR rows of *nodes* (segments contiguous,
+    in *nodes* order); ``counts`` must be ``ptr`` row lengths."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    excl = np.cumsum(counts) - counts
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(excl, counts)
+        + np.repeat(ptr[nodes], counts)
+    )
+
+
+# ----------------------------------------------------------------------
+# workflow-level cache
+# ----------------------------------------------------------------------
+def get_columnar(workflow) -> ColumnarDAG:
+    """The memoized :class:`ColumnarDAG` of *workflow* (built on first
+    use, dropped by the workflow's mutation invalidation)."""
+    workflow.validate()
+    return workflow._memo("columnar_dag", lambda: ColumnarDAG(workflow))
+
+
+# ----------------------------------------------------------------------
+# vectorized sweeps
+# ----------------------------------------------------------------------
+def level_of_columnar(workflow) -> Dict[str, int]:
+    """``Workflow.level_of`` values from the columnar peel.
+
+    Identical values; the dict is built in task-insertion order rather
+    than topological order (no caller depends on iteration order — the
+    builder does lookups, ``levels()`` re-sorts).
+    """
+    cd = get_columnar(workflow)
+    return dict(zip(cd.ids, cd.levels.tolist()))
+
+
+def remote_transfer_seconds(gb: np.ndarray, platform, itype) -> np.ndarray:
+    """Per-edge cross-VM transfer time at a uniform flavor, intra-region.
+
+    Inlines ``NetworkModel.transfer_time`` (the dispatch layer only
+    engages for the stock model): ``gb * 8 / bottleneck_gbps + latency``,
+    with a pure latency for zero-size control edges.  Identical
+    elementwise IEEE operations to the scalar formula.
+    """
+    lat = platform.network.intra_region_latency_s
+    bw = itype.link_gbps
+    if gb.size == 0:
+        return gb.copy()
+    return np.where(gb == 0.0, lat, gb * 8.0 / bw + lat)
+
+
+def upward_rank_values(
+    workflow, platform, itype, include_transfers: bool = True
+) -> np.ndarray:
+    """HEFT upward ranks as a vector over the columnar index.
+
+    Byte-identical to :func:`repro.core.allocation.ranking.upward_rank`
+    — same per-edge ``transfer + rank`` additions, max over the same
+    operands, same final ``runtime + best`` addition.
+    """
+    cd = get_columnar(workflow)
+    n = cd.n
+    runt = cd.works / itype.speedup
+    succ_cnt = np.diff(cd.succ_ptr)
+    tr = (
+        remote_transfer_seconds(cd.succ_gb, platform, itype)
+        if include_transfers
+        else None
+    )
+    ranks = np.empty(n, dtype=np.float64)
+    order, starts = cd.level_groups()
+    for lvl in range(cd.n_levels - 1, -1, -1):
+        nodes = order[starts[lvl] : starts[lvl + 1]]
+        ranks[nodes] = runt[nodes]
+        cnt = succ_cnt[nodes]
+        nz = nodes[cnt > 0]
+        if not nz.size:
+            continue
+        cnz = succ_cnt[nz]
+        flat = gather_csr(cd.succ_ptr, nz, cnz)
+        vals = ranks[cd.succ_idx[flat]]
+        if tr is not None:
+            vals = tr[flat] + vals
+        seg_starts = np.cumsum(cnz) - cnz
+        best = np.maximum.reduceat(vals, seg_starts)
+        # the scalar kernel folds from best = 0.0; candidates are
+        # strictly positive (work > 0), so the max is unchanged — kept
+        # for exactness with empty-successor semantics
+        np.maximum(best, 0.0, out=best)
+        ranks[nz] = runt[nz] + best
+    return ranks
+
+
+def critical_path_columnar(workflow) -> Tuple[List[str], float]:
+    """``Workflow.critical_path()`` with default weights, vectorized.
+
+    Longest path by task ``work`` with zero edge cost.  Tie-breaks match
+    the scalar sweep exactly: per-task best predecessor is the *first*
+    (edge-insertion order) predecessor achieving the max, and the end
+    task is the first maximum in ``nx_topo`` order — the topo order is
+    only materialized when the global max actually ties.
+    """
+    cd = get_columnar(workflow)
+    n = cd.n
+    w = cd.works
+    pred_cnt = np.diff(cd.pred_ptr)
+    dist = np.empty(n, dtype=np.float64)
+    best_pred = np.full(n, -1, dtype=np.int64)
+    order, starts = cd.level_groups()
+    for lvl in range(cd.n_levels):
+        nodes = order[starts[lvl] : starts[lvl + 1]]
+        cnt = pred_cnt[nodes]
+        nz = nodes[cnt > 0]
+        dist[nodes] = w[nodes]
+        if not nz.size:
+            continue
+        cnz = pred_cnt[nz]
+        flat = gather_csr(cd.pred_ptr, nz, cnz)
+        vals = dist[cd.pred_idx[flat]]
+        seg_starts = np.cumsum(cnz) - cnz
+        best = np.maximum.reduceat(vals, seg_starts)
+        # first flat position achieving the segment max (dist > 0, so a
+        # predecessor always beats the scalar sweep's 0.0 starting best)
+        total = vals.shape[0]
+        pos = np.where(
+            vals == np.repeat(best, cnz), np.arange(total, dtype=np.int64), total
+        )
+        first = np.minimum.reduceat(pos, seg_starts)
+        best_pred[nz] = cd.pred_idx[flat[first]]
+        dist[nz] = best + w[nz]
+    top = float(dist.max()) if n else 0.0
+    ties = np.flatnonzero(dist == top)
+    if ties.size == 1:
+        end = int(ties[0])
+    else:
+        # several tasks share the exact maximum: the scalar sweep
+        # returns the first in nx topological order
+        tie_set = {cd.ids[i] for i in ties.tolist()}
+        end = cd.index[next(t for t in workflow._nx_topo() if t in tie_set)]
+    path = [end]
+    while best_pred[path[-1]] >= 0:
+        path.append(int(best_pred[path[-1]]))
+    path.reverse()
+    return [cd.ids[i] for i in path], float(dist[end])

@@ -1,0 +1,571 @@
+"""Fused columnar placement kernels for the paper's provisioning loops.
+
+Each kernel runs one (allocation order x provisioning policy) pass with
+all per-task and per-VM state held in flat Python lists over the
+:class:`~repro.kernels.columnar.ColumnarDAG` index — no ``BuilderVM``
+objects, no per-placement dicts, no memo-dict lookups in
+``platform.transfer_time`` — and assembles the final :class:`Schedule`
+plus a vectorized feasibility validation at the end.
+
+The kernels are *transcriptions*, not re-designs: every branch mirrors
+the corresponding :class:`~repro.core.builder.ScheduleBuilder` query and
+the policy's ``select_vm`` exactly, including
+
+* the float operations (single additions, ``max`` folds over the same
+  operands, the ``1e-9`` reuse/fit epsilons, BTU rounding via
+  ``max(1, ceil(uptime/btu - 1e-9))``),
+* the heap/pool disciplines (stale-stamp entries dropped on pop,
+  rejected candidates deferred, the chosen level-pool entry consumed,
+  the chosen busy-heap entry kept),
+* and the ``MetricsRegistry`` counter semantics — one data-ready memo
+  miss per task on its first generic evaluation, a hit per repeat, no
+  counters on the exact predecessor-hosting path, totals flushed once
+  at the end (key-identical because zero totals are not flushed).
+
+Eligibility is decided by the dispatch sites (size threshold + stock
+model types + no fleet/region-chooser/metrics-kwarg extras — see
+:mod:`repro.kernels.dispatch`); the property tests in
+``tests/core/test_kernel_equivalence.py`` assert byte-identical
+schedules and counters against the indexed kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List
+
+import numpy as np
+
+from repro.cloud.vm import VM, Placement
+from repro.core.schedule import Schedule
+from repro.errors import InvalidScheduleError
+from repro.kernels.columnar import (
+    get_columnar,
+    remote_transfer_seconds,
+    upward_rank_values,
+)
+from repro.obs.metrics import current as current_metrics
+
+__all__ = ["fused_level_schedule", "fused_heft_schedule"]
+
+_INF = float("inf")
+_EPS = 1e-6
+
+
+class _State:
+    """Shared flat state + closures of one fused placement run."""
+
+    __slots__ = (
+        "n",
+        "runt",
+        "runt_v",
+        "pp",
+        "pi",
+        "rtr",
+        "sr",
+        "tstart",
+        "tfin",
+        "tvm",
+        "dr_gen",
+        "pred_vms",
+        "vm_order",
+        "vm_busy",
+        "vm_ready",
+        "vm_startt",
+        "vm_paid",
+        "stamps",
+        "ctr",
+        "cold",
+        "boot",
+        "btu",
+        "rent",
+        "reuse_pred",
+        "reuse_pool",
+    )
+
+    def __init__(self, cd, platform, itype) -> None:
+        self.n = cd.n
+        self.runt_v = cd.works / itype.speedup
+        self.runt = self.runt_v.tolist()
+        self.pp = cd.pred_ptr.tolist()
+        self.pi = cd.pred_idx.tolist()
+        self.rtr = remote_transfer_seconds(cd.pred_gb, platform, itype).tolist()
+        self.sr = cd.str_rank.tolist()
+        n = self.n
+        self.tstart = [0.0] * n
+        self.tfin = [0.0] * n
+        self.tvm = [-1] * n
+        #: per-task memoized generic (non-predecessor-hosting) data-ready
+        self.dr_gen: List = [None] * n
+        #: per-task memoized set of predecessor-hosting VM ids (fixed
+        #: once the predecessors are placed — allocation order is
+        #: topological); keeps ``es`` O(1) on wide fan-in tasks
+        self.pred_vms: List = [None] * n
+        # preallocated to the VM-count ceiling (one per task); only the
+        # first ``len(vm_order)`` slots are live
+        self.vm_order: List[List[int]] = []
+        self.vm_busy: List[float] = [0.0] * n
+        self.vm_ready: List[float] = [0.0] * n
+        self.vm_startt: List[float] = [0.0] * n
+        self.vm_paid: List[float] = [_INF] * n
+        self.stamps: List[int] = [0] * n
+        #: [memo misses, memo hits]
+        self.ctr = [0, 0]
+        self.cold = not platform.prebooted
+        self.boot = platform.boot_seconds
+        self.btu = platform.billing.btu_seconds
+        self.rent = 0
+        self.reuse_pred = 0
+        self.reuse_pool = 0
+
+    # ------------------------------------------------------------------
+    def es(self, t: int, v: int) -> float:
+        """``ScheduleBuilder.earliest_start`` over the flat state —
+        including the per-call data-ready counter semantics."""
+        pp = self.pp
+        lo = pp[t]
+        hi = pp[t + 1]
+        ready = self.vm_ready[v]
+        if lo != hi:
+            pi = self.pi
+            tvm = self.tvm
+            tfin = self.tfin
+            pv = self.pred_vms[t]
+            if pv is None:
+                pv = self.pred_vms[t] = {tvm[pi[e]] for e in range(lo, hi)}
+            if v in pv:
+                # exact per-predecessor pass (same_vm transfers are 0.0;
+                # fin + 0.0 == fin for fin > 0), never counted
+                rtr = self.rtr
+                best = 0.0
+                for e in range(lo, hi):
+                    p = pi[e]
+                    cand = tfin[p] if tvm[p] == v else tfin[p] + rtr[e]
+                    if cand > best:
+                        best = cand
+            else:
+                # all candidate VMs share one (flavor, region): the
+                # builder's per-task memo collapses to a single slot
+                best = self.dr_gen[t]
+                if best is None:
+                    self.ctr[0] += 1
+                    rtr = self.rtr
+                    best = 0.0
+                    for e in range(lo, hi):
+                        cand = tfin[pi[e]] + rtr[e]
+                        if cand > best:
+                            best = cand
+                    self.dr_gen[t] = best
+                else:
+                    self.ctr[1] += 1
+            if best > ready:
+                ready = best
+        if self.cold and not self.vm_order[v]:
+            ready += self.boot
+        return ready
+
+    def new_vm(self) -> int:
+        # slots are preallocated with fresh-VM defaults and never
+        # recycled, so claiming one is just growing the order list
+        v = len(self.vm_order)
+        self.vm_order.append([])
+        return v
+
+    def place(self, t: int, v: int) -> None:
+        """``ScheduleBuilder.place`` + eager paid-horizon maintenance."""
+        s = self.es(t, v)
+        d = self.runt[t]
+        f = s + d
+        order = self.vm_order[v]
+        if not order:
+            self.vm_startt[v] = s
+        order.append(t)
+        self.tvm[t] = v
+        self.tstart[t] = s
+        self.tfin[t] = f
+        self.vm_ready[v] = f
+        self.vm_busy[v] += d
+        self.stamps[v] += 1
+        up = f - self.vm_startt[v]
+        btu = self.btu
+        k = math.ceil(up / btu - 1e-9)
+        if k < 1:
+            k = 1
+        self.vm_paid[v] = self.vm_startt[v] + k * btu
+
+    def largest_pred_vm(self, t: int) -> int:
+        """``vm_of_largest_predecessor``: max over placed predecessors by
+        ``(execution time, id)`` — ids are unique, so the max is too."""
+        lo = self.pp[t]
+        hi = self.pp[t + 1]
+        if lo == hi:
+            return -1
+        pi = self.pi
+        tfin = self.tfin
+        tstart = self.tstart
+        sr = self.sr
+        bd = -1.0
+        bs = -1
+        pv = -1
+        for e in range(lo, hi):
+            p = pi[e]
+            d = tfin[p] - tstart[p]
+            if d > bd or (d == bd and sr[p] > bs):
+                bd = d
+                bs = sr[p]
+                pv = self.tvm[p]
+        return pv
+
+    def flush_metrics(self) -> None:
+        metrics = current_metrics()
+        if metrics is None:
+            return
+        metrics.inc("builder.vms_rented", len(self.vm_order))
+        metrics.inc("builder.tasks_placed", self.n)
+        if self.ctr[0]:
+            metrics.inc("builder.data_ready_memo_misses", self.ctr[0])
+        if self.ctr[1]:
+            metrics.inc("builder.data_ready_memo_hits", self.ctr[1])
+        if self.rent:
+            metrics.inc("provision.rent", self.rent)
+        if self.reuse_pred:
+            metrics.inc("provision.reuse_pred", self.reuse_pred)
+        if self.reuse_pool:
+            metrics.inc("provision.reuse_pool", self.reuse_pool)
+
+
+# ----------------------------------------------------------------------
+# AllPar[Not]Exceed over level order
+# ----------------------------------------------------------------------
+def fused_level_schedule(
+    workflow,
+    platform,
+    itype,
+    region,
+    exceed: bool,
+    descending_exec: bool,
+    algorithm: str,
+    provisioning: str,
+) -> Schedule:
+    """Level-ranked AllPar[Not]Exceed as one fused pass."""
+    cd = get_columnar(workflow)
+    st = _State(cd, platform, itype)
+    es = st.es
+    place = st.place
+    runt = st.runt
+    stamps = st.stamps
+    vm_paid = st.vm_paid
+    vm_order = st.vm_order
+    require_fit = not exceed
+    order, lv_starts = cd.level_groups()
+    neg_runt = -st.runt_v
+    sr_v = cd.str_rank
+    #: per-VM last hosted level — levels are packed in ascending order,
+    #: so "hosts the current level" is exactly ``vm_lastlvl == lvl``
+    vm_lastlvl: List[int] = []
+    pool: list = []
+    pool_lvl = -1
+
+    for lvl in range(cd.n_levels):
+        nodes = order[lv_starts[lvl] : lv_starts[lvl + 1]]
+        if descending_exec:
+            sel = np.lexsort((sr_v[nodes], neg_runt[nodes]))
+        else:
+            sel = np.lexsort((sr_v[nodes], st.runt_v[nodes]))
+        tasks = nodes[sel].tolist()
+        parallel = len(tasks) > 1
+        for t in tasks:
+            pv = st.largest_pred_vm(t)
+            if parallel:
+                # qualifies_for_level on the largest predecessor's VM:
+                # level exclusion, then is_reusable, then the fit —
+                # each with its own earliest-start evaluation
+                ok = False
+                if pv != -1 and vm_lastlvl[pv] != lvl:
+                    ok = es(t, pv) <= vm_paid[pv] + 1e-9
+                    if ok and require_fit:
+                        ok = es(t, pv) + runt[t] <= vm_paid[pv] + 1e-9
+                if ok:
+                    st.reuse_pred += 1
+                    place(t, pv)
+                    vm_lastlvl[pv] = lvl
+                    continue
+                # best_level_candidate: pool rebuilt on first query per
+                # level, stale/claimed entries dropped, task-specific
+                # rejections deferred, the chosen entry consumed
+                if pool_lvl != lvl:
+                    pool = [
+                        (-st.vm_busy[v], v, stamps[v])
+                        for v in range(len(vm_order))
+                        if vm_order[v] and vm_lastlvl[v] != lvl
+                    ]
+                    heapq.heapify(pool)
+                    pool_lvl = lvl
+                chosen = -1
+                deferred = []
+                while pool:
+                    entry = heapq.heappop(pool)
+                    vid = entry[1]
+                    if entry[2] != stamps[vid] or vm_lastlvl[vid] == lvl:
+                        continue
+                    ok = es(t, vid) <= vm_paid[vid] + 1e-9
+                    if ok and require_fit:
+                        ok = es(t, vid) + runt[t] <= vm_paid[vid] + 1e-9
+                    if ok:
+                        chosen = vid
+                        break
+                    deferred.append(entry)
+                for entry in deferred:
+                    heapq.heappush(pool, entry)
+                if chosen != -1:
+                    st.reuse_pool += 1
+                    place(t, chosen)
+                    vm_lastlvl[chosen] = lvl
+                else:
+                    st.rent += 1
+                    v = st.new_vm()
+                    vm_lastlvl.append(-1)
+                    place(t, v)
+                    vm_lastlvl[v] = lvl
+            else:
+                # sequential task: largest predecessor's VM when it is
+                # still alive (and fits, for NotExceed), else rent
+                ok = False
+                if pv != -1:
+                    ok = es(t, pv) <= vm_paid[pv] + 1e-9
+                    if ok and require_fit:
+                        ok = es(t, pv) + runt[t] <= vm_paid[pv] + 1e-9
+                if ok:
+                    st.reuse_pred += 1
+                    place(t, pv)
+                    vm_lastlvl[pv] = lvl
+                else:
+                    st.rent += 1
+                    v = st.new_vm()
+                    vm_lastlvl.append(-1)
+                    place(t, v)
+                    vm_lastlvl[v] = lvl
+
+    st.flush_metrics()
+    return _assemble(workflow, platform, itype, region, cd, st, algorithm, provisioning)
+
+
+# ----------------------------------------------------------------------
+# StartPar[Not]Exceed / OneVMperTask over HEFT order
+# ----------------------------------------------------------------------
+def fused_heft_schedule(
+    workflow,
+    platform,
+    itype,
+    region,
+    policy: str,
+    exceed: bool,
+    include_transfers: bool,
+    algorithm: str,
+    provisioning: str,
+) -> Schedule:
+    """Rank-ordered StartPar*/OneVMperTask as one fused pass.
+
+    *policy* is ``"startpar"`` or ``"onevm"``; *exceed* only applies to
+    the former (the ``try_all_vms`` variant is not fused — the dispatch
+    site keeps it on the indexed kernels).
+    """
+    cd = get_columnar(workflow)
+    st = _State(cd, platform, itype)
+    es = st.es
+    place = st.place
+    runt = st.runt
+    pp = st.pp
+    stamps = st.stamps
+    vm_paid = st.vm_paid
+    vm_order = st.vm_order
+    ranks = upward_rank_values(workflow, platform, itype, include_transfers)
+    order = np.lexsort((cd.str_rank, -ranks)).tolist()
+
+    if policy == "onevm":
+        # never queries the busy heap, so (like the lazy indexed
+        # builder) none is ever built
+        for t in order:
+            st.rent += 1
+            place(t, st.new_vm())
+        st.flush_metrics()
+        return _assemble(
+            workflow, platform, itype, region, cd, st, algorithm, provisioning
+        )
+
+    busy_heap: list = []
+    heap_live = False
+
+    for t in order:
+        if pp[t] == pp[t + 1]:  # entry task: always its own VM
+            st.rent += 1
+            v = st.new_vm()
+            place(t, v)
+            if heap_live:
+                heapq.heappush(busy_heap, (-st.vm_busy[v], v, stamps[v]))
+            continue
+        # busiest_reusable: built lazily on first query; the current
+        # entry is kept (deferred) whether or not it is chosen
+        if not heap_live:
+            busy_heap = [
+                (-st.vm_busy[v], v, stamps[v])
+                for v in range(len(vm_order))
+                if vm_order[v]
+            ]
+            heapq.heapify(busy_heap)
+            heap_live = True
+        target = -1
+        deferred = []
+        while busy_heap:
+            entry = heapq.heappop(busy_heap)
+            vid = entry[1]
+            if entry[2] != stamps[vid]:
+                continue
+            deferred.append(entry)
+            if es(t, vid) <= vm_paid[vid] + 1e-9:
+                target = vid
+                break
+        for entry in deferred:
+            heapq.heappush(busy_heap, entry)
+        if target == -1:
+            st.rent += 1
+            v = st.new_vm()
+        elif exceed or es(t, target) + runt[t] <= vm_paid[target] + 1e-9:
+            st.reuse_pool += 1
+            v = target
+        else:
+            st.rent += 1
+            v = st.new_vm()
+        place(t, v)
+        heapq.heappush(busy_heap, (-st.vm_busy[v], v, stamps[v]))
+
+    st.flush_metrics()
+    return _assemble(workflow, platform, itype, region, cd, st, algorithm, provisioning)
+
+
+# ----------------------------------------------------------------------
+# schedule assembly + vectorized validation
+# ----------------------------------------------------------------------
+def _assemble(
+    workflow, platform, itype, region, cd, st: _State, algorithm: str, provisioning: str
+) -> Schedule:
+    """Freeze the flat state into a validated :class:`Schedule`.
+
+    Mirrors ``ScheduleBuilder.build`` (placement end is
+    ``start + (finish - start)``, the exact IEEE ops of the indexed
+    freeze) and ``Schedule.validate`` (durations, per-VM serialization,
+    dependency + transfer feasibility), then marks the schedule checked
+    so the object-walking ``validate()`` short-circuits.
+    """
+    n = st.n
+    starts = np.asarray(st.tstart)
+    fins = np.asarray(st.tfin)
+    ends = starts + (fins - starts)
+    runt_v = st.runt_v
+    ids = cd.ids
+    region = region or platform.default_region
+
+    def vm_name(v: int) -> str:
+        return f"vm{v}-{itype.short}"
+
+    # (c) durations equal work / speedup
+    bad = np.flatnonzero(np.abs((ends - starts) - runt_v) > _EPS * np.maximum(1.0, runt_v))
+    if bad.size:
+        t = int(bad[0])
+        expect = float(runt_v[t])
+        got = float(ends[t] - starts[t])
+        raise InvalidScheduleError(
+            f"{vm_name(st.tvm[t])}: {ids[t]!r} runs {got:.6f}s, "
+            f"expected {expect:.6f}s on {itype.name}"
+        )
+    # (a) per-VM non-overlap: placements are appended in start order, so
+    # adjacent rows of the per-VM sequences are the sorted pairs
+    if n > 1:
+        seq = np.fromiter(
+            (t for o in st.vm_order for t in o), dtype=np.int64, count=n
+        )
+        lens = np.fromiter(
+            (len(o) for o in st.vm_order), dtype=np.int64, count=len(st.vm_order)
+        )
+        inner = np.ones(n - 1, dtype=bool)
+        inner[np.cumsum(lens)[:-1] - 1] = False
+        a = seq[:-1]
+        b = seq[1:]
+        viol = inner & (ends[a] > starts[b] + _EPS)
+        if viol.any():
+            i = int(np.flatnonzero(viol)[0])
+            raise InvalidScheduleError(
+                f"{vm_name(st.tvm[seq[i]])}: {ids[seq[i]]!r} and "
+                f"{ids[seq[i + 1]]!r} overlap"
+            )
+    # (b) dependencies + transfers
+    if cd.n_edges:
+        u = np.repeat(np.arange(n, dtype=np.int64), np.diff(cd.succ_ptr))
+        v = cd.succ_idx
+        tvm_v = np.asarray(st.tvm)
+        dt = np.where(
+            tvm_v[u] == tvm_v[v],
+            0.0,
+            remote_transfer_seconds(cd.succ_gb, platform, itype),
+        )
+        viol = starts[v] + _EPS < ends[u] + dt
+        if viol.any():
+            i = int(np.flatnonzero(viol)[0])
+            raise InvalidScheduleError(
+                f"dependency violated: {ids[int(v[i])]!r} starts at "
+                f"{float(starts[v[i]]):.3f} but {ids[int(u[i])]!r} finishes at "
+                f"{float(ends[u[i]]):.3f} + transfer {float(dt[i]):.3f}"
+            )
+
+    starts_l = starts.tolist()
+    ends_l = ends.tolist()
+    boot = platform.boot_seconds
+    vms: List[VM] = []
+    task_vm: dict = {}
+    task_placement: dict = {}
+    new_vm = VM.__new__
+    new_p = Placement.__new__
+    for o in st.vm_order:
+        # direct dict fill skips the frozen-dataclass init; the
+        # ``__post_init__`` range invariant (0 <= start <= end) holds by
+        # construction — starts are chained ``max`` folds over values
+        # >= 0 and the duration check above pinned ``end - start`` to
+        # the non-negative runtime
+        placements = []
+        addp = placements.append
+        for t in o:
+            p = new_p(Placement)
+            d = p.__dict__
+            d["task_id"] = ids[t]
+            d["start"] = starts_l[t]
+            d["end"] = ends_l[t]
+            addp(p)
+        # direct construction: same state ``VM(...)`` would produce
+        # (placements appended in start order, so ``_max_end`` is the
+        # last end), without 50k dataclass-init walks
+        vm = new_vm(VM)
+        vm.id = len(vms)
+        vm.itype = itype
+        vm.region = region
+        vm.boot_seconds = boot
+        vm.placements = placements
+        vm._max_end = placements[-1].end if placements else float("-inf")
+        vms.append(vm)
+        for t, p in zip(o, placements):
+            tid = ids[t]
+            task_vm[tid] = vm
+            task_placement[tid] = p
+    # the pre-built maps cover every task exactly once by construction,
+    # so ``__post_init__`` skips its indexing walk
+    sched = Schedule(
+        workflow=workflow,
+        platform=platform,
+        vms=vms,
+        algorithm=algorithm,
+        provisioning=provisioning,
+        _task_vm=task_vm,
+        _task_placement=task_placement,
+    )
+    object.__setattr__(sched, "_checked", True)
+    return sched

@@ -16,12 +16,23 @@ may mutate the returned lists freely.
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Dict, Iterator, List, Mapping, Tuple
 
 import networkx as nx
 
 from repro.errors import WorkflowError
 from repro.workflows.task import Task
+
+_str_eq = operator.eq
+
+
+def _columnar_active(n_tasks: int) -> bool:
+    """Size-aware dispatch gate (imported lazily so the workflow layer
+    keeps no import-time dependency on the kernel/cloud layers)."""
+    from repro.kernels.dispatch import columnar_active
+
+    return columnar_active(n_tasks)
 
 
 class Workflow:
@@ -55,6 +66,33 @@ class Workflow:
         self._invalidate()
         return task
 
+    def add_tasks(self, tasks) -> List[Task]:
+        """Register many tasks at once — the batch twin of
+        :meth:`add_task` (one bulk node insert, one cache invalidation),
+        used by the generators for large workflows."""
+        registry = self._tasks
+        added: List[Task] = []
+        for task in tasks:
+            if task.id in registry:
+                raise WorkflowError(
+                    f"duplicate task id {task.id!r} in {self.name!r}"
+                )
+            registry[task.id] = task
+            added.append(task)
+        # Direct node insert — the ``add_nodes_from`` layout for fresh
+        # hashable nodes (attr dict + empty adjacency rows in both
+        # directions) without its per-node membership dispatch.
+        node = self._graph._node
+        succ = self._graph._succ
+        pred = self._graph._pred
+        for t in added:
+            tid = t.id
+            node[tid] = {}
+            succ[tid] = {}
+            pred[tid] = {}
+        self._invalidate()
+        return added
+
     def add_dependency(self, parent: str, child: str, data_gb: float = 0.0) -> None:
         """Add a *parent -> child* edge shipping *data_gb* gigabytes."""
         for tid in (parent, child):
@@ -65,6 +103,38 @@ class Workflow:
         if data_gb < 0:
             raise WorkflowError(f"negative data size on {parent!r}->{child!r}")
         self._graph.add_edge(parent, child, data_gb=float(data_gb))
+        self._invalidate()
+
+    def add_dependencies(self, deps) -> None:
+        """Add many ``(parent, child, data_gb)`` edges at once — same
+        checks and insertion order as per-edge :meth:`add_dependency`,
+        validated in bulk (C-level set/min scans; the per-edge loop is
+        re-run only to name the offender when a check fails)."""
+        deps = list(deps)
+        if not deps:
+            return
+        us, vs, gbs = zip(*deps)
+        registry = self._tasks
+        if not (registry.keys() >= set(us) and registry.keys() >= set(vs)):
+            for parent, child, _ in deps:
+                for tid in (parent, child):
+                    if tid not in registry:
+                        raise WorkflowError(f"unknown task {tid!r} in dependency")
+        if any(map(_str_eq, us, vs)):
+            parent = next(u for u, v, _ in deps if u == v)
+            raise WorkflowError(f"self-dependency on {parent!r}")
+        if min(gbs) < 0:
+            parent, child, _ = next((u, v, g) for u, v, g in deps if g < 0)
+            raise WorkflowError(f"negative data size on {parent!r}->{child!r}")
+        # Direct adjacency insert: one shared data dict per edge in both
+        # directions, exactly the ``DiGraph.add_edge`` layout (nodes all
+        # exist — checked above), minus its per-edge dispatch.
+        succ = self._graph._succ
+        pred = self._graph._pred
+        dds = [{"data_gb": float(gb)} for gb in gbs]
+        for u, v, dd in zip(us, vs, dds):
+            succ[u][v] = dd
+            pred[v][u] = dd
         self._invalidate()
 
     def _invalidate(self) -> None:
@@ -91,6 +161,22 @@ class Workflow:
             return self
         if not self._tasks:
             raise WorkflowError(f"workflow {self.name!r} has no tasks")
+        if _columnar_active(len(self._tasks)):
+            # One Kahn peel doubles as the acyclicity check *and* seeds
+            # the columnar cache every downstream kernel reuses, so the
+            # networkx DAG walk is paid only by small workflows.
+            from repro.kernels.columnar import ColumnarDAG
+
+            self._validated = True  # the builder reads structural memos
+            try:
+                self._cache["columnar_dag"] = ColumnarDAG(self)
+            except WorkflowError:
+                self._validated = False
+                cycle = nx.find_cycle(self._graph)
+                raise WorkflowError(
+                    f"workflow {self.name!r} has a cycle: {cycle}"
+                ) from None
+            return self
         if not nx.is_directed_acyclic_graph(self._graph):
             cycle = nx.find_cycle(self._graph)
             raise WorkflowError(f"workflow {self.name!r} has a cycle: {cycle}")
@@ -273,6 +359,15 @@ class Workflow:
         self._require_valid()
 
         def build():
+            if _columnar_active(len(self._tasks)):
+                # Kahn wave peel over the CSR arrays (one bincount pass
+                # per level).  Values are identical — depth is
+                # order-independent — and every consumer (lookups,
+                # ``levels()`` regrouping, dict equality) is iteration-
+                # order-agnostic, so the insertion-order dict is safe.
+                from repro.kernels.columnar import level_of_columnar
+
+                return level_of_columnar(self)
             # Single O(V+E) sweep over the cached topo order and plain
             # dict adjacency — no networkx traversal per query.  The
             # value (1 + max over preds) is order-independent, and the
@@ -319,6 +414,16 @@ class Workflow:
         Returns ``(path_task_ids, path_length_seconds)``.
         """
         self._require_valid()
+        if (
+            exec_time is None
+            and transfer_time is None
+            and _columnar_active(len(self._tasks))
+        ):
+            # default weights: the vectorized level sweep reproduces the
+            # scalar first-maximum tie-breaks (property-tested)
+            from repro.kernels.columnar import critical_path_columnar
+
+            return critical_path_columnar(self)
         w = exec_time or (lambda tid: self._tasks[tid].work)
         c = transfer_time or (lambda u, v: 0.0)
         # One O(V+E) sweep over the cached traversal order.  Iteration

@@ -172,3 +172,51 @@ def test_custom_unpicklable_strategy_works_on_threads(platform):
 def test_backend_is_abstract():
     with pytest.raises(TypeError):
         ExecutionBackend()
+
+
+# ----------------------------------------------------------------------
+# shard-aware process dispatch
+# ----------------------------------------------------------------------
+class TestProcessDispatch:
+    """The probe-based fallback: process(N) must never lose to serial on
+    payloads too small (or hosts too narrow) to amortize a fork."""
+
+    def test_small_payload_runs_in_parent(self):
+        import os as _os
+
+        backend = ProcessBackend(jobs=2)  # default threshold
+        pids = backend.map(lambda _: _os.getpid(), range(8))
+        assert pids == [_os.getpid()] * 8
+
+    def test_high_threshold_forces_serial(self):
+        import os as _os
+
+        backend = ProcessBackend(jobs=2, min_parallel_seconds=1e9)
+        pids = backend.map(lambda _: _os.getpid(), range(8))
+        assert pids == [_os.getpid()] * 8
+
+    def test_zero_threshold_forces_pool(self):
+        # min_parallel_seconds=0 bypasses both the single-core guard and
+        # the probe, so the pool path is exercised even on 1-cpu CI
+        backend = ProcessBackend(jobs=2, min_parallel_seconds=0.0)
+        assert backend.map(_square, range(20)) == [i * i for i in range(20)]
+
+    def test_pool_path_preserves_order_and_matches_serial(self):
+        items = list(range(37))
+        forced = ProcessBackend(jobs=3, min_parallel_seconds=0.0)
+        assert forced.map(_square, items) == SerialBackend().map(_square, items)
+
+    def test_single_item_never_probes_a_pool(self):
+        backend = ProcessBackend(jobs=4, min_parallel_seconds=0.0)
+        assert backend.map(_square, [9]) == [81]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ExperimentError):
+            ProcessBackend(jobs=2, min_parallel_seconds=-0.1)
+
+    def test_describe_unchanged(self):
+        assert ProcessBackend(jobs=2).describe() == "process(2)"
+
+
+def _square(x):
+    return x * x
