@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint check coverage bench bench-scaling bench-service \
-  bench-check profile report artifacts examples faults-smoke service-smoke \
-  clean
+  bench-pricing bench-check profile report artifacts examples faults-smoke \
+  service-smoke pricing-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -63,6 +63,11 @@ bench-scaling:
 bench-service:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py
 
+# Refreshes BENCH_pricing.json: the 120-cell market-aware pricing
+# sweep (best-of-3), appended to BENCH_history.jsonl.
+bench-pricing:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pricing.py
+
 # Perf-regression gate: re-runs the small scaling sizes and fails when
 # any cell is >25% slower than the committed BENCH_scaling.json, then
 # gates the parallel sweep (serial/parallel identity always; process
@@ -71,6 +76,7 @@ bench-service:
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pricing.py --check
 
 # cProfile one representative sweep cell plus the 50k columnar fused
 # pipeline; top-25 cumulative entries go to artifacts/profile*.txt for
@@ -100,6 +106,12 @@ faults-smoke:
 # seeded WaaS run (100 workflows, 10 tenants) through the CLI.
 service-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli service --quick
+
+# Fast end-to-end check of the spot-market pipeline: the five
+# provisioning policies under a reduced price/boot grid, through the CLI.
+pricing-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli pricing --quick \
+	  --workflow montage
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \

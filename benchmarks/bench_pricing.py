@@ -1,0 +1,184 @@
+"""Pricing-sweep benchmark: the market-aware replay grid under load.
+
+Times one seeded pricing sweep (the 5 provisioning policies x 4 price
+scenarios x 2 boot regimes x 3 market seeds = 120 market-replayed
+cells by default) and records wall time plus the headline market
+outcomes (preemption volume, spot savings on the frontier) to
+``BENCH_pricing.json`` at the repo root, appending one dated row to
+``BENCH_history.jsonl`` — the same trajectory log the sweep, scaling
+and service benchmarks feed.
+
+``--check`` re-runs a reduced grid and fails when it is more than
+``--tolerance`` (default 25%) slower than the committed baseline, with
+an absolute slack so timer noise on sub-second cells cannot trip the
+gate — the ``make bench-check`` regression hook.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_pricing.py
+    PYTHONPATH=src python benchmarks/bench_pricing.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform as platform_module
+import sys
+import time
+from pathlib import Path
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.pricing import run_pricing_sweep
+from repro.workflows.generators import montage
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_pricing.json"
+HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+#: minimum absolute slowdown (on top of the ratio tolerance) before the
+#: check fails — the whole grid runs in well under a second, where timer
+#: noise alone can exceed a 25% ratio.
+ABS_SLACK_SECONDS = 0.15
+
+
+def run_grid(tasks: int, seeds: int, jobs: int | None, backend: str | None):
+    return run_pricing_sweep(
+        platform=CloudPlatform.ec2(),
+        workflow=montage(tasks),
+        workflow_name="montage",
+        seeds=seeds,
+        jobs=jobs,
+        backend=backend,
+    )
+
+
+def bench(args) -> dict:
+    best, sweep = float("inf"), None
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        sweep = run_grid(args.tasks, args.seeds, args.jobs, args.backend)
+        best = min(best, time.perf_counter() - t0)
+    assert sweep is not None and sweep.complete
+
+    spot_cells = [c for c in sweep.cells if c.scenario != "on_demand"]
+    preemptions = sum(c.stats.preemptions for c in spot_cells)
+    rebids = sum(c.stats.rebids for c in spot_cells)
+    # headline: cheapest frontier policy under the spike vs the same
+    # policy menu's cheapest fixed-price rent (prebooted control cell)
+    spike = sweep.mean_points("spot_spike", "prebooted")
+    control = sweep.mean_points("on_demand", "prebooted")
+    cheapest_spot = min(c for c, _ in spike.values())
+    cheapest_od = min(c for c, _ in control.values())
+    return {
+        "benchmark": "pricing sweep (run_pricing_sweep)",
+        "workload": {
+            "workflow": f"montage({args.tasks})",
+            "cells": len(sweep.cells),
+            "seeds": args.seeds,
+            "backend": args.backend or "serial",
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform_module.python_version(),
+            "platform": platform_module.platform(),
+        },
+        "repeats_best_of": args.repeats,
+        "wall_seconds": round(best, 4),
+        "cells_per_wall_second": round(len(sweep.cells) / best, 1),
+        "market": {
+            "preemptions": preemptions,
+            "rebids": rebids,
+            "cheapest_spot_spike_cost": round(cheapest_spot, 4),
+            "cheapest_on_demand_cost": round(cheapest_od, 4),
+            "spot_savings_fraction": round(
+                1.0 - cheapest_spot / cheapest_od, 4
+            ),
+        },
+    }
+
+
+def check(baseline_path: Path, tolerance: float, args) -> int:
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run without --check first")
+        return 0
+    base = json.loads(baseline_path.read_text())
+    # re-run the committed grid shape once (cold) and compare walls
+    t0 = time.perf_counter()
+    sweep = run_grid(args.tasks, args.seeds, args.jobs, args.backend)
+    seconds = time.perf_counter() - t0
+    assert sweep.complete
+    ratio = seconds / base["wall_seconds"]
+    slack = seconds - base["wall_seconds"]
+    regressed = ratio > 1 + tolerance and slack > ABS_SLACK_SECONDS
+    status = "REGRESSED" if regressed else "ok"
+    print(
+        f"pricing sweep: {seconds:6.3f}s vs baseline "
+        f"{base['wall_seconds']:6.3f}s  x{ratio:5.2f}  {status}"
+    )
+    if regressed:
+        print(
+            f"pricing sweep {ratio:.2f}x baseline (+{slack:.3f}s; "
+            f"tolerance {1 + tolerance:.2f}x and >{ABS_SLACK_SECONDS}s)"
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=50, help="montage size")
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--backend", default=None)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of refreshing it",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction for --check (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check(args.out, args.tolerance, args)
+
+    record = bench(args)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    market = record["market"]
+    with HISTORY.open("a") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "date": datetime.date.today().isoformat(),
+                    "benchmark": "pricing",
+                    "wall_seconds": record["wall_seconds"],
+                    "cells": record["workload"]["cells"],
+                    "preemptions": market["preemptions"],
+                    "spot_savings_fraction": market["spot_savings_fraction"],
+                }
+            )
+            + "\n"
+        )
+    print(
+        f"{record['workload']['cells']} cells in "
+        f"{record['wall_seconds']:.3f}s wall "
+        f"({record['cells_per_wall_second']:.0f} cells/s) | "
+        f"{market['preemptions']} preemptions, {market['rebids']} rebids, "
+        f"spot saves {market['spot_savings_fraction']:.0%} under the spike"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

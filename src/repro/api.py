@@ -152,6 +152,33 @@ from repro.experiments.faults import (
     render_fault_sweep,
 )
 
+# --- spot markets, cold starts, variable pricing -----------------------
+from repro.market import (
+    ConstantPrice,
+    StepTracePrice,
+    MeanRevertingPrice,
+    price_path,
+    PurchaseOption,
+    ON_DEMAND,
+    spot,
+    Market,
+    SpotInterruptionPlan,
+    RebidHigher,
+    FallbackOnDemand,
+)
+from repro.experiments.scenarios import (
+    PriceScenario,
+    price_scenario,
+    price_scenarios,
+)
+from repro.experiments.pricing import (
+    BootSetting,
+    PricingSweepResult,
+    paper_boot_settings,
+    run_pricing_sweep,
+    render_pricing_sweep,
+)
+
 # --- multi-tenant service (WaaS) ---------------------------------------
 from repro.service import (
     FleetManager,
@@ -293,6 +320,26 @@ __all__ = [
     "FaultSweepResult",
     "run_fault_sweep",
     "render_fault_sweep",
+    # spot markets, cold starts, variable pricing
+    "ConstantPrice",
+    "StepTracePrice",
+    "MeanRevertingPrice",
+    "price_path",
+    "PurchaseOption",
+    "ON_DEMAND",
+    "spot",
+    "Market",
+    "SpotInterruptionPlan",
+    "RebidHigher",
+    "FallbackOnDemand",
+    "PriceScenario",
+    "price_scenario",
+    "price_scenarios",
+    "BootSetting",
+    "PricingSweepResult",
+    "paper_boot_settings",
+    "run_pricing_sweep",
+    "render_pricing_sweep",
     # multi-tenant service (WaaS)
     "FleetManager",
     "FleetVM",

@@ -60,6 +60,13 @@ class BillingModel:
         """USD rent for a VM of *itype* in *region* up for *uptime*."""
         return self.btus(uptime_seconds) * region.price(itype)
 
+    def paid_window(self, start: float, uptime_seconds: float) -> tuple:
+        """The absolute time window actually billed for a rental that
+        opened at *start* and ran *uptime* — the integration range for
+        time-varying (spot) pricing, where cost is the price integral
+        over the paid window rather than ``price × BTUs``."""
+        return (start, start + self.paid_seconds(uptime_seconds))
+
     def remaining_in_btu(self, uptime_seconds: float) -> float:
         """Seconds left before the *next* BTU boundary after ``uptime``.
 

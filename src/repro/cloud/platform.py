@@ -38,6 +38,13 @@ class CloudPlatform:
     #: and independent of fleet size, per Mao & Humphrey).
     boot_seconds: float = 0.0
     prebooted: bool = True
+    #: ambient price environment (a :class:`repro.market.spot.Market`,
+    #: typed loosely to keep the cloud layer free of upward imports).
+    #: ``None`` is the paper's fixed-price on-demand market.  Executors
+    #: pick an ambient market up automatically (synthesizing a
+    #: ``FaultPlan(market=...)``); a market inside an explicit fault
+    #: plan takes precedence.
+    market: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.default_region.name not in self.regions:
@@ -67,6 +74,12 @@ class CloudPlatform:
     def ec2(cls, **overrides) -> "CloudPlatform":
         """The paper's EC2 platform; keyword overrides for variants."""
         return cls(**overrides)
+
+    def with_market(self, market: "object | None") -> "CloudPlatform":
+        """This platform under another price environment (or none)."""
+        import dataclasses
+
+        return dataclasses.replace(self, market=market)
 
     # ------------------------------------------------------------------
     @property

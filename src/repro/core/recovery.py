@@ -39,10 +39,15 @@ class FailureEvent:
     vm_id: int
     attempt: int
     time: float
-    #: ``"task"`` (transient task failure) or ``"vm_crash"``
+    #: ``"task"`` (transient task failure), ``"vm_crash"`` (random
+    #: crash), or ``"spot_preempt"`` (price-correlated spot reclamation)
     reason: str
     #: whether the hosting VM survived the failure
     vm_alive: bool
+    #: how the failed VM was bought (a
+    #: :class:`~repro.market.spot.PurchaseOption`); ``None`` outside
+    #: market runs — lets bidding-aware policies raise the bid
+    purchase: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -54,10 +59,18 @@ class RecoveryAction:
     ``"abort"`` (give up; the executor raises
     :class:`~repro.errors.FaultError`).  ``delay`` is the recovery
     latency in seconds before the chosen action takes effect.
+
+    ``purchase`` (a :class:`~repro.market.spot.PurchaseOption`), when
+    set, overrides how the replacement VM is bought — the bidding axis:
+    rebid higher, or fall back to on-demand.  ``tag`` sub-labels the
+    decision for metrics/decision logs (``recovery.decision.<tag>``);
+    empty outside market runs so existing logs are unchanged.
     """
 
     kind: str
     delay: float = 0.0
+    purchase: Optional[object] = None
+    tag: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in ("retry", "resubmit", "replan", "abort"):
@@ -78,6 +91,11 @@ class RecoveryPolicy(abc.ABC):
     #: whether an online retry should stick to the VM of the failed
     #: attempt (inputs are already staged there) when it is still alive
     prefer_same_vm: bool = False
+    #: market hooks (see :mod:`repro.market.recovery`): checkpoint the
+    #: running task when a spot reclamation warning fires, and the extra
+    #: seconds a checkpointed restart costs
+    checkpoint_on_warning: bool = False
+    restart_cost_seconds: float = 0.0
 
     def __init__(
         self,
@@ -115,6 +133,8 @@ class RecoveryPolicy(abc.ABC):
         metrics = current_metrics()
         if metrics is not None:
             metrics.inc(f"recovery.decision.{action.kind}")
+            if action.tag:
+                metrics.inc(f"recovery.decision.{action.tag}")
         return action
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -208,6 +228,9 @@ def recovery_policy(policy: "str | RecoveryPolicy | None") -> RecoveryPolicy:
     if isinstance(policy, RecoveryPolicy):
         return policy
     key = str(policy).lower()
+    if key not in RECOVERY_POLICIES:
+        # the bidding-aware policies register themselves on import
+        import repro.market.recovery  # noqa: F401
     try:
         return RECOVERY_POLICIES[key]()
     except KeyError:

@@ -73,6 +73,7 @@ _ARTIFACTS = [
     "table4",
     "table5",
     "faults",
+    "pricing",
     "service",
     "profile",
     "gantt",
@@ -181,6 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="per-attempt VM boot failure probability (base plan)",
+    )
+    parser.add_argument(
+        "--price-scenarios",
+        default="on_demand,spot_calm,spot_spike,spot_volatile",
+        help="comma-separated price scenarios for the pricing artifact",
+    )
+    parser.add_argument(
+        "--boot-settings",
+        default="prebooted,cold_start",
+        help="comma-separated boot regimes for the pricing artifact",
+    )
+    parser.add_argument(
+        "--price-seeds",
+        type=int,
+        default=3,
+        help="market-sample replications per pricing grid cell",
     )
     parser.add_argument(
         "--arrivals",
@@ -328,7 +345,7 @@ def main(argv=None) -> int:
     # fan-out artifacts (faults, replicate) are excluded: their workers
     # do not inherit the context, and a serial-only leak would break the
     # counters' backend-independence guarantee.
-    ambient = args.artifact not in ("faults", "replicate")
+    ambient = args.artifact not in ("faults", "pricing", "replicate")
     with contextlib.ExitStack() as scope:
         if ambient:
             scope.enter_context(metrics.activate())
@@ -447,6 +464,44 @@ def _run_artifact(args, platform, sweep, outputs) -> str:
             backend=args.backend,
         )
         text = render_fault_sweep(fault_sweep)
+    elif args.artifact == "pricing":
+        from repro.experiments.pricing import (
+            paper_boot_settings,
+            render_pricing_sweep,
+            run_pricing_sweep,
+        )
+        from repro.experiments.scenarios import price_scenario
+
+        scenarios = [
+            price_scenario(name)
+            for name in args.price_scenarios.split(",")
+            if name.strip()
+        ]
+        boot_map = {b.name: b for b in paper_boot_settings()}
+        try:
+            boots = [
+                boot_map[name.strip()]
+                for name in args.boot_settings.split(",")
+                if name.strip()
+            ]
+        except KeyError as exc:
+            raise SystemExit(
+                f"unknown boot setting {exc.args[0]!r}; "
+                f"known: {', '.join(sorted(boot_map))}"
+            )
+        if args.quick:
+            scenarios = scenarios[:2]
+        pricing_sweep = run_pricing_sweep(
+            platform=platform,
+            workflow=_WORKFLOWS[args.workflow](),
+            workflow_name=args.workflow,
+            scenarios=scenarios,
+            boots=boots,
+            seeds=1 if args.quick else args.price_seeds,
+            jobs=args.jobs,
+            backend=args.backend,
+        )
+        text = render_pricing_sweep(pricing_sweep)
     elif args.artifact == "service":
         from repro.experiments.service import (
             ServiceCell,

@@ -54,6 +54,10 @@ def _eligible(schedule: Schedule, tracer) -> bool:
         return False
     if not platform.prebooted and platform.boot_seconds > 0:
         return False
+    if getattr(platform, "market", None) is not None:
+        # market runs are priced/interrupted through the DES fault
+        # machinery; the columnar recurrence cannot replay them
+        return False
     region_name = vms[0].region.name
     for vm in vms:
         if type(vm.itype) is not InstanceType:

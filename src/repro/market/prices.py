@@ -1,0 +1,323 @@
+"""Seed-deterministic price processes per (flavor, region).
+
+A :class:`PriceProcess` describes *how* the unit price of an instance
+flavor moves over simulated time; realizing it for a concrete
+``(seed, flavor, region)`` yields a :class:`PricePath` — a
+piecewise-constant **multiplier** of the region's list price.  A
+multiplier of exactly ``1.0`` is the paper's fixed on-demand price;
+spot markets quote multipliers well below 1 that occasionally spike
+above it.
+
+Three generators cover the scenario axes of the pricing sweep:
+
+* :class:`ConstantPrice` — a flat multiplier (the degenerate market; a
+  multiplier of 1.0 is byte-identical to no market at all);
+* :class:`StepTracePrice` — an explicit piecewise-constant trace
+  (replayed price histories, adversarial spike scenarios);
+* :class:`MeanRevertingPrice` — a clipped AR(1) random walk around a
+  mean, the standard stylized model of spot price series.
+
+Determinism contract
+--------------------
+Paths follow the :mod:`repro.simulator.faults` keyed-hash rule: every
+random draw comes from a private stream keyed by
+``(seed, "price", flavor, region, chunk)`` — never a shared generator —
+so a path depends only on its identity, not on when or how often the
+simulation asks for prices.  The walk is generated lazily in fixed-size
+chunks; chunk *k* is a pure function of the seed and the end state of
+chunk *k − 1*, so extending the path never perturbs already-queried
+prefixes.  Identical seeds reproduce identical price paths (and hence
+identical interruption times) across the serial, thread, and process
+execution backends.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulator.faults import _stream
+
+#: steps per lazily generated random-walk chunk
+_WALK_CHUNK = 256
+
+
+class PricePath:
+    """A realized piecewise-constant price-multiplier path.
+
+    Subclasses implement :meth:`multiplier_at`, :meth:`integral`, and
+    :meth:`next_crossing_above`; all times are absolute simulation
+    seconds from 0.
+    """
+
+    #: True only for the constant path — lets billing take the exact
+    #: ``price × btus × multiplier`` shortcut (no float re-association).
+    is_constant: bool = False
+
+    def multiplier_at(self, t: float) -> float:
+        """Price multiplier in effect at time *t*."""
+        raise NotImplementedError
+
+    def integral(self, start: float, end: float) -> float:
+        """``∫ multiplier(t) dt`` over ``[start, end]`` (seconds)."""
+        raise NotImplementedError
+
+    def next_crossing_above(
+        self, threshold: float, start: float, horizon: float
+    ) -> float:
+        """First time in ``[start, horizon]`` where the multiplier
+        *exceeds* *threshold*, or ``inf`` if it never does.
+
+        A path already above the threshold at *start* returns *start*
+        itself (an immediately out-bid spot request).
+        """
+        raise NotImplementedError
+
+
+class _ConstantPath(PricePath):
+    is_constant = True
+
+    def __init__(self, multiplier: float) -> None:
+        self.multiplier = multiplier
+
+    def multiplier_at(self, t: float) -> float:
+        return self.multiplier
+
+    def integral(self, start: float, end: float) -> float:
+        return (end - start) * self.multiplier
+
+    def next_crossing_above(
+        self, threshold: float, start: float, horizon: float
+    ) -> float:
+        return start if self.multiplier > threshold else math.inf
+
+
+class _StepPath(PricePath):
+    """Piecewise-constant path from explicit ``(times, multipliers)``.
+
+    ``times[0]`` must be 0; the final multiplier holds forever.
+    """
+
+    def __init__(self, times: Tuple[float, ...], values: Tuple[float, ...]) -> None:
+        self.times = list(times)
+        self.values = list(values)
+        # cumulative integral up to each segment start, for O(log n) queries
+        self._cum = [0.0]
+        for i in range(1, len(self.times)):
+            seg = (self.times[i] - self.times[i - 1]) * self.values[i - 1]
+            self._cum.append(self._cum[-1] + seg)
+
+    def _index(self, t: float) -> int:
+        return max(bisect.bisect_right(self.times, t) - 1, 0)
+
+    def multiplier_at(self, t: float) -> float:
+        return self.values[self._index(t)]
+
+    def _cum_at(self, t: float) -> float:
+        i = self._index(t)
+        return self._cum[i] + (t - self.times[i]) * self.values[i]
+
+    def integral(self, start: float, end: float) -> float:
+        return self._cum_at(end) - self._cum_at(start)
+
+    def next_crossing_above(
+        self, threshold: float, start: float, horizon: float
+    ) -> float:
+        i = self._index(start)
+        if self.values[i] > threshold:
+            return start
+        for j in range(i + 1, len(self.times)):
+            if self.times[j] > horizon:
+                return math.inf
+            if self.values[j] > threshold:
+                return self.times[j]
+        return math.inf
+
+
+class _WalkPath(PricePath):
+    """Lazily generated mean-reverting AR(1) walk on a fixed time grid.
+
+    ``v[k+1] = v[k] + reversion · (mean − v[k]) + sigma · ε[k]``, clipped
+    to ``[floor, cap]``; each value holds for ``step_seconds``.  Values
+    are generated chunk-by-chunk from private keyed streams, so the path
+    is a pure function of ``(seed, flavor, region)``.
+    """
+
+    def __init__(
+        self,
+        process: "MeanRevertingPrice",
+        seed: int,
+        flavor: str,
+        region: str,
+    ) -> None:
+        self.p = process
+        self.seed = seed
+        self.flavor = flavor
+        self.region = region
+        start = process.start if process.start is not None else process.mean
+        self.values: List[float] = [float(np.clip(start, process.floor, process.cap))]
+        # cumulative integral (in multiplier-seconds) up to step k
+        self._cum: List[float] = [0.0]
+        # paths are shared across cells of the thread backend
+        self._lock = threading.Lock()
+
+    def _ensure(self, steps: int) -> None:
+        """Extend the realized path to cover at least *steps* values."""
+        p = self.p
+        with self._lock:
+            while len(self.values) <= steps:
+                chunk = len(self.values) // _WALK_CHUNK
+                rng = _stream(self.seed, "price", self.flavor, self.region, chunk)
+                eps = rng.standard_normal(_WALK_CHUNK)
+                v = self.values[-1]
+                for e in eps:
+                    v = v + p.reversion * (p.mean - v) + p.sigma * float(e)
+                    v = min(max(v, p.floor), p.cap)
+                    self.values.append(v)
+                    self._cum.append(self._cum[-1] + self.values[-2] * p.step_seconds)
+
+    def _step(self, t: float) -> int:
+        return max(int(t // self.p.step_seconds), 0)
+
+    def multiplier_at(self, t: float) -> float:
+        k = self._step(t)
+        self._ensure(k)
+        return self.values[k]
+
+    def _cum_at(self, t: float) -> float:
+        k = self._step(t)
+        self._ensure(k)
+        return self._cum[k] + (t - k * self.p.step_seconds) * self.values[k]
+
+    def integral(self, start: float, end: float) -> float:
+        return self._cum_at(end) - self._cum_at(start)
+
+    def next_crossing_above(
+        self, threshold: float, start: float, horizon: float
+    ) -> float:
+        if threshold >= self.p.cap:
+            return math.inf  # the clip bound can never be exceeded
+        k = self._step(start)
+        self._ensure(k)
+        if self.values[k] > threshold:
+            return start
+        last = self._step(horizon) if math.isfinite(horizon) else k
+        while k < last:
+            k += 1
+            self._ensure(k)
+            if self.values[k] > threshold:
+                return k * self.p.step_seconds
+        return math.inf
+
+
+# ----------------------------------------------------------------------
+# processes (immutable descriptions; build_path realizes them)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PriceProcess:
+    """Describes a price-multiplier process; hashable and immutable so a
+    process can key caches and ride inside a frozen ``FaultPlan``."""
+
+    def build_path(self, seed: int, flavor: str, region: str) -> PricePath:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantPrice(PriceProcess):
+    """A flat multiplier of the list price (1.0 ≡ the paper's market)."""
+
+    multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 0:
+            raise SimulationError(
+                f"price multiplier must be >= 0, got {self.multiplier}"
+            )
+
+    def build_path(self, seed: int, flavor: str, region: str) -> PricePath:
+        return _ConstantPath(self.multiplier)
+
+
+@dataclass(frozen=True)
+class StepTracePrice(PriceProcess):
+    """An explicit piecewise-constant multiplier trace.
+
+    ``times`` must start at 0 and strictly increase; ``multipliers[i]``
+    holds on ``[times[i], times[i+1])`` and the last one holds forever.
+    """
+
+    times: Tuple[float, ...] = (0.0,)
+    multipliers: Tuple[float, ...] = (1.0,)
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.multipliers) or not self.times:
+            raise SimulationError("times and multipliers must pair up, non-empty")
+        if self.times[0] != 0.0:
+            raise SimulationError("a price trace must start at time 0")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise SimulationError("price trace times must strictly increase")
+        if any(m < 0 for m in self.multipliers):
+            raise SimulationError("price multipliers must be >= 0")
+
+    def build_path(self, seed: int, flavor: str, region: str) -> PricePath:
+        return _StepPath(self.times, self.multipliers)
+
+
+@dataclass(frozen=True)
+class MeanRevertingPrice(PriceProcess):
+    """A clipped mean-reverting AR(1) random walk (stylized spot series).
+
+    Defaults model a spot market quoting ~35% of list price with
+    occasional excursions above it; raise ``sigma`` or ``cap`` for more
+    violent markets.
+    """
+
+    mean: float = 0.35
+    sigma: float = 0.08
+    reversion: float = 0.05
+    step_seconds: float = 300.0
+    floor: float = 0.05
+    cap: float = 4.0
+    #: starting multiplier; ``None`` starts at the mean
+    start: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.step_seconds <= 0:
+            raise SimulationError("step_seconds must be > 0")
+        if not 0 <= self.floor <= self.cap:
+            raise SimulationError("need 0 <= floor <= cap")
+        if not 0 <= self.reversion <= 1:
+            raise SimulationError("reversion must be in [0, 1]")
+        if self.sigma < 0:
+            raise SimulationError("sigma must be >= 0")
+
+    def build_path(self, seed: int, flavor: str, region: str) -> PricePath:
+        return _WalkPath(self, seed, flavor, region)
+
+
+# ----------------------------------------------------------------------
+# realized-path cache
+# ----------------------------------------------------------------------
+#: (process, seed, flavor, region) -> PricePath.  Paths are pure
+#: functions of their key, so the cache is only an amortization of the
+#: lazy walk generation; entries never go stale.
+_PATHS: dict = {}
+
+
+def price_path(
+    process: PriceProcess, seed: int, flavor: str, region: str
+) -> PricePath:
+    """The realized (memoized) path of *process* for one identity."""
+    key = (process, int(seed), str(flavor), str(region))
+    path = _PATHS.get(key)
+    if path is None:
+        built = process.build_path(int(seed), str(flavor), str(region))
+        # setdefault keeps all threads on one shared instance
+        path = _PATHS.setdefault(key, built)
+    return path

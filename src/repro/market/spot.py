@@ -1,0 +1,186 @@
+"""Purchase options, the market bundle, and spot interruption times.
+
+A :class:`PurchaseOption` says *how* a VM is bought: on-demand at the
+fixed list price (the paper's only mode), or spot with a bid expressed
+as a multiplier of the list price.  A :class:`Market` bundles a
+:class:`~repro.market.prices.PriceProcess` with a default purchase
+option and the provider's termination-grace window, and owns the two
+derived quantities the simulator needs:
+
+* **cost** — a spot VM pays the integral of the realized price over its
+  *paid* window (uptime ceiled to the BTU grid), instead of
+  ``list price × BTUs``;
+* **interruption** — a spot VM is reclaimed when the realized price
+  first exceeds its bid.  :class:`SpotInterruptionPlan` turns that
+  price-crossing event into ``(warning, kill)`` times with the same
+  keyed-hash determinism contract as
+  :class:`~repro.simulator.faults.FaultPlan`: both are pure functions of
+  ``(seed, flavor, region, bid, rent time)``, so interruptions correlate
+  across all spot VMs of one flavor in one region — the defining hazard
+  of spot markets that independent-crash fault models miss.
+
+Grace semantics: the provider issues a reclamation *warning* at the
+price-crossing instant and kills the VM ``grace_seconds`` later (EC2's
+two-minute warning).  A bid already under water at rent time still gets
+the full grace window, so every spot rental makes at least
+``grace_seconds`` of progress.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.errors import SimulationError
+from repro.market.prices import PriceProcess, PricePath, price_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.billing import BillingModel
+    from repro.cloud.instance import InstanceType
+    from repro.cloud.region import Region
+
+
+@dataclass(frozen=True)
+class PurchaseOption:
+    """How one VM is bought: ``"on_demand"`` or ``"spot"`` with a bid.
+
+    ``bid_multiplier`` is the bid as a multiple of the list price; an
+    infinite bid never loses the capacity (but still pays the spot
+    price).  On-demand ignores the bid entirely.
+    """
+
+    kind: str = "on_demand"
+    bid_multiplier: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("on_demand", "spot"):
+            raise SimulationError(f"unknown purchase kind {self.kind!r}")
+        if not self.bid_multiplier > 0:
+            raise SimulationError(
+                f"bid_multiplier must be > 0, got {self.bid_multiplier}"
+            )
+
+    @property
+    def is_spot(self) -> bool:
+        return self.kind == "spot"
+
+    def label(self) -> str:
+        if not self.is_spot:
+            return "on_demand"
+        if math.isinf(self.bid_multiplier):
+            return "spot(inf)"
+        return f"spot({self.bid_multiplier:g})"
+
+
+#: the paper's (and the default) purchase mode
+ON_DEMAND = PurchaseOption()
+
+
+def spot(bid_multiplier: float = math.inf) -> PurchaseOption:
+    """A spot purchase bidding *bid_multiplier* × list price."""
+    return PurchaseOption("spot", bid_multiplier)
+
+
+@dataclass(frozen=True)
+class Market:
+    """A price environment: process + default purchase + grace window.
+
+    Frozen and hashable so it can ride inside a frozen
+    :class:`~repro.simulator.faults.FaultPlan` and key caches; the
+    realized paths live in the :func:`~repro.market.prices.price_path`
+    cache, seeded by the fault plan's seed.
+    """
+
+    process: PriceProcess
+    #: purchase option for VMs that do not choose one explicitly
+    purchase: PurchaseOption = ON_DEMAND
+    #: seconds between the reclamation warning and the kill (EC2: 120)
+    grace_seconds: float = 120.0
+    #: how far ahead of a rent to scan for a price crossing; beyond it a
+    #: bid is treated as never out-bid
+    horizon_seconds: float = 30 * 86400.0
+
+    def __post_init__(self) -> None:
+        if self.grace_seconds < 0:
+            raise SimulationError("grace_seconds must be >= 0")
+        if self.horizon_seconds <= 0:
+            raise SimulationError("horizon_seconds must be > 0")
+
+    # ------------------------------------------------------------------
+    def path(self, seed: int, itype: "InstanceType", region: "Region") -> PricePath:
+        """The realized price path for one (flavor, region) identity."""
+        return price_path(self.process, seed, itype.name, region.name)
+
+    def vm_cost(
+        self,
+        billing: "BillingModel",
+        seed: int,
+        start: float,
+        uptime: float,
+        itype: "InstanceType",
+        region: "Region",
+        purchase: PurchaseOption,
+    ) -> float:
+        """USD rent for one VM under this market.
+
+        On-demand VMs pay the fixed list price — exactly
+        ``billing.vm_cost`` — whatever the spot market does.  Spot VMs
+        pay the price integral over their paid window ``[start,
+        start + paid_seconds]``; under a constant multiplier the cost is
+        computed as ``list price × BTUs × multiplier`` so a multiplier
+        of 1.0 reproduces the on-demand arithmetic bit-for-bit.
+        """
+        if not purchase.is_spot:
+            return billing.vm_cost(uptime, itype, region)
+        btus = billing.btus(uptime)
+        if btus == 0:
+            return 0.0
+        price = region.price(itype)
+        path = self.path(seed, itype, region)
+        if path.is_constant:
+            return price * btus * path.multiplier_at(start)
+        lo, hi = billing.paid_window(start, uptime)
+        return price * path.integral(lo, hi) / billing.btu_seconds
+
+
+@dataclass(frozen=True)
+class SpotInterruptionPlan:
+    """Derives spot reclamation times from the market's price stream.
+
+    The analogue of :meth:`FaultPlan.vm_crash_uptime` for the
+    price-correlated crash process: :meth:`preemption` is a pure
+    function of its arguments (no mutable state, no draw ordering), so
+    identical seeds reproduce identical interruption times across
+    execution backends.
+    """
+
+    market: Market
+    seed: int = 0
+
+    def preemption(
+        self,
+        itype: "InstanceType",
+        region: "Region",
+        purchase: PurchaseOption,
+        rent_time: float,
+    ) -> Tuple[float, float]:
+        """``(warning_time, kill_time)`` for a VM rented at *rent_time*.
+
+        ``(inf, inf)`` when the VM is on-demand, its bid is infinite, or
+        the price never exceeds the bid within the market horizon.  The
+        warning fires at the price-crossing instant (clamped to the rent
+        time) and the kill follows ``grace_seconds`` later.
+        """
+        if not purchase.is_spot or math.isinf(purchase.bid_multiplier):
+            return math.inf, math.inf
+        path = self.market.path(self.seed, itype, region)
+        cross = path.next_crossing_above(
+            purchase.bid_multiplier,
+            rent_time,
+            rent_time + self.market.horizon_seconds,
+        )
+        if math.isinf(cross):
+            return math.inf, math.inf
+        warn = max(cross, rent_time)
+        return warn, warn + self.market.grace_seconds

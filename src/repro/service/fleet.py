@@ -54,6 +54,13 @@ class FleetVM:
     useful_seconds: float = 0.0
     #: tenant whose workflow rented this VM ("" for single-run fleets)
     owner: str = ""
+    #: how the VM was bought (a market ``PurchaseOption``); ``None``
+    #: outside market runs — fixed-price on-demand billing
+    purchase: object | None = None
+    #: whether the crash was a spot reclamation (price crossing)
+    preempted: bool = False
+    #: whether the acquisition hit the warm pool (cold-start scenarios)
+    booted_warm: bool = False
 
     def horizon(self, btu: float) -> float:
         """End of the last started BTU — deprovision time when idle."""
@@ -95,6 +102,10 @@ class FleetManager:
         #: executors (or any callables) notified when a VM crashes, so
         #: every run with work on the VM can recover its own tasks
         self._crash_listeners: List[Callable[[FleetVM], None]] = []
+        #: notified at a spot reclamation *warning* (checkpoint hook)
+        self._warning_listeners: List[Callable[[FleetVM], None]] = []
+        #: warm-pool acquisitions consumed so far, by flavor name
+        self.warm_used: Dict[str, int] = {}
         #: static-planning ledger: owner -> builder VM rentals
         self.static_rents: Dict[str, int] = {}
         #: the owner attributed builder rentals (and rentals made with
@@ -110,6 +121,7 @@ class FleetManager:
         started_at: float,
         free_at: float,
         owner: str | None = None,
+        purchase: object | None = None,
     ) -> FleetVM:
         """Create the next VM record; ids are fleet-global and dense."""
         vm = FleetVM(
@@ -118,9 +130,26 @@ class FleetManager:
             started_at=started_at,
             free_at=free_at,
             owner=self.active_owner if owner is None else owner,
+            purchase=purchase,
         )
         self.vms.append(vm)
         return vm
+
+    def take_warm(self, itype: InstanceType, pool: int) -> bool:
+        """Claim one warm-pool slot for a new *itype* acquisition.
+
+        The pool is fleet-global (the provider keeps a few instances
+        warm per flavor): the first *pool* acquisitions of each flavor
+        across *all* runs sharing this manager boot warm.  Returns
+        whether the claim succeeded.
+        """
+        if pool <= 0:
+            return False
+        used = self.warm_used.get(itype.name, 0)
+        if used >= pool:
+            return False
+        self.warm_used[itype.name] = used + 1
+        return True
 
     def alive(self, owner: str | None = None) -> List[FleetVM]:
         """Living VMs in rental order; *owner* restricts to one tenant's
@@ -159,6 +188,15 @@ class FleetManager:
         for listener in self._crash_listeners:
             listener(vm)
 
+    def add_warning_listener(self, listener: Callable[[FleetVM], None]) -> None:
+        self._warning_listeners.append(listener)
+
+    def notify_warning(self, vm: FleetVM) -> None:
+        """Fan a spot reclamation warning out to every attached run, so
+        each can checkpoint its own work on *vm* before the kill."""
+        for listener in self._warning_listeners:
+            listener(vm)
+
     # ------------------------------------------------------------------
     # static-builder ledger
     # ------------------------------------------------------------------
@@ -182,13 +220,20 @@ class FleetManager:
         return max(end - vm.started_at, 0.0)
 
     def bill(
-        self, billing: BillingModel, region: Region | None = None
+        self,
+        billing: BillingModel,
+        region: Region | None = None,
+        market: object | None = None,
+        seed: int = 0,
     ) -> Dict[str, OwnerBill]:
         """Per-owner realized rent over the whole fleet.
 
         Each VM's cost goes to the tenant that rented it (reuse by
         another tenant's tasks extends ``busy_seconds`` but never moves
-        the bill — the renter keeps the meter).
+        the bill — the renter keeps the meter).  With a *market* (a
+        :class:`~repro.market.spot.Market`), VMs carrying a purchase
+        option are billed at the realized price integral under *seed*;
+        all others keep the fixed-price arithmetic.
         """
         region = region or self.region
         if region is None:
@@ -196,13 +241,19 @@ class FleetManager:
         rows: Dict[str, Dict[str, float]] = {}
         for vm in self.vms:
             up = self.uptime(vm)
+            if market is not None and vm.purchase is not None:
+                cost = market.vm_cost(
+                    billing, seed, vm.started_at, up, vm.itype, region, vm.purchase
+                )
+            else:
+                cost = billing.btus(up) * region.price(vm.itype)
             acc = rows.setdefault(
                 vm.owner,
                 {"vms": 0, "btus": 0, "cost": 0.0, "busy": 0.0, "paid": 0.0},
             )
             acc["vms"] += 1
             acc["btus"] += billing.btus(up)
-            acc["cost"] += billing.btus(up) * region.price(vm.itype)
+            acc["cost"] += cost
             acc["busy"] += vm.busy_seconds
             acc["paid"] += billing.paid_seconds(up)
         return {

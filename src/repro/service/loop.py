@@ -188,6 +188,10 @@ class WorkflowService:
         self.admission = admission_policy(admission)
         self.max_concurrent = max_concurrent
         self.runtime_fn = runtime_fn
+        if fault_plan is None and getattr(platform, "market", None) is not None:
+            # ambient platform market: same synthesis as the executors,
+            # done here so the service's billing sees the market too
+            fault_plan = FaultPlan(market=platform.market)
         self.fault_plan = fault_plan
         self.recovery = recovery
         self.tracer = ensure_tracer(tracer)
@@ -340,7 +344,13 @@ class WorkflowService:
             raise SimulationError("event queue not drained")  # pragma: no cover
         self.fleet.check_conservation()
         billing = self.platform.billing
-        bills = self.fleet.bill(billing, self.region) if self.fleet.vms else {}
+        market = self.fault_plan.market if self.fault_plan is not None else None
+        seed = self.fault_plan.seed if self.fault_plan is not None else 0
+        bills = (
+            self.fleet.bill(billing, self.region, market=market, seed=seed)
+            if self.fleet.vms
+            else {}
+        )
         latencies = sorted(r.latency for r in self.reports)
         makespan = max((r.finished for r in self.reports), default=0.0)
         completed = len(self.reports)

@@ -76,6 +76,13 @@ class _ExecVM:
     boot_started: bool = False
     boot_done: bool = False
     boot_attempt: int = 0
+    #: how this VM was bought (a market ``PurchaseOption``); ``None``
+    #: outside market runs
+    purchase: Optional[object] = None
+    #: whether the crash that killed this VM was a spot reclamation
+    preempted: bool = False
+    #: whether the acquisition hit the warm pool (cold-start scenarios)
+    booted_warm: bool = False
 
 
 class ScheduleExecutor:
@@ -113,7 +120,15 @@ class ScheduleExecutor:
     ) -> None:
         self.schedule = schedule
         self.runtime_fn = runtime_fn
+        if fault_plan is None:
+            # a platform-level market makes the run fault-injected even
+            # without an explicit plan (the price process is a fault)
+            ambient = getattr(schedule.platform, "market", None)
+            if ambient is not None:
+                fault_plan = FaultPlan(market=ambient)
         self.fault_plan = fault_plan
+        self.market = fault_plan.market if fault_plan is not None else None
+        self._spot = fault_plan.spot_plan() if fault_plan is not None else None
         self.recovery: Optional[RecoveryPolicy] = (
             recovery_policy(recovery) if fault_plan is not None else None
         )
@@ -130,6 +145,9 @@ class ScheduleExecutor:
             tid: len(wf.predecessors(tid)) for tid in wf.task_ids
         }
         # Runtime fleet: starts as the planned VMs, may grow on recovery.
+        self._default_purchase = (
+            self.market.purchase if self.market is not None else None
+        )
         self._vms: List[_ExecVM] = [
             _ExecVM(
                 id=vm.id,
@@ -137,6 +155,7 @@ class ScheduleExecutor:
                 itype=vm.itype,
                 region=vm.region,
                 queue=list(vm.task_ids),
+                purchase=self._default_purchase,
             )
             for vm in schedule.vms
         ]
@@ -153,6 +172,21 @@ class ScheduleExecutor:
         self._gen: Dict[str, int] = {tid: 0 for tid in wf.task_ids}
         #: estimated end of the currently running attempt (replan input)
         self._exp_end: Dict[str, float] = {}
+        #: seconds of work checkpointed at a reclamation warning, by task
+        self._ckpt: Dict[str, float] = {}
+        #: warm-pool acquisitions consumed so far, by flavor name
+        self._warm_used: Dict[str, int] = {}
+        # whether starting a fresh VM involves a boot phase at all: the
+        # platform's cold-boot switch, or plan-level cold-start/warm-pool
+        # fields that only matter on non-prebooted platforms
+        platform = schedule.platform
+        self._boot_needed = not platform.prebooted and (
+            platform.boot_seconds > 0
+            or (
+                fault_plan is not None
+                and (fault_plan.boot_cold_seconds > 0 or fault_plan.boot_warm_pool > 0)
+            )
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -181,6 +215,43 @@ class ScheduleExecutor:
                 self.sim.after(
                     uptime, lambda v=vm: self._vm_crash(v), f"crash:{vm.name}"
                 )
+        self._arm_preemption(vm)
+
+    def _arm_preemption(self, vm: _ExecVM) -> None:
+        """Arm the price-correlated reclamation of a spot VM: a warning
+        at the price-crossing instant, the kill a grace window later."""
+        if self._spot is None or vm.purchase is None:
+            return
+        warn, kill = self._spot.preemption(
+            vm.itype, vm.region, vm.purchase, self.sim.now
+        )
+        if kill == float("inf"):
+            return
+        if warn < kill:  # a zero-grace market kills without warning
+            self.sim.after(
+                warn - self.sim.now,
+                lambda v=vm: self._spot_warning(v),
+                f"spot_warn:{vm.name}",
+            )
+        self.sim.after(
+            kill - self.sim.now,
+            lambda v=vm: self._vm_crash(v, preempt=True),
+            f"preempt:{vm.name}",
+        )
+
+    def _spot_warning(self, vm: _ExecVM) -> None:
+        """The provider's reclamation warning: count it, and checkpoint
+        the running attempt when the recovery policy asks for it."""
+        if vm.crashed or not vm.rent_open:
+            return
+        assert self.stats is not None and self.recovery is not None
+        now = self.sim.now
+        self.stats.grace_warnings += 1
+        self.result.record(TraceEvent(now, "spot_warning", vm.running or "", vm.name))
+        if self.recovery.checkpoint_on_warning and vm.running is not None:
+            done = max(now - self.result.task_start[vm.running], 0.0)
+            if done > 0:
+                self._ckpt[vm.running] = done
 
     def _try_start(self, task_id: str) -> None:
         if task_id in self._started or task_id in self._done:
@@ -193,11 +264,7 @@ class ScheduleExecutor:
         if self._pending_inputs[task_id] > 0:
             return
         platform = self.schedule.platform
-        if (
-            not platform.prebooted
-            and platform.boot_seconds > 0
-            and not vm.boot_done
-        ):
+        if self._boot_needed and not vm.boot_done:
             # first task is ready: the VM is requested now and boots
             if not vm.boot_started:
                 vm.boot_started = True
@@ -214,6 +281,15 @@ class ScheduleExecutor:
             if duration < 0:
                 raise SimulationError(
                     f"runtime_fn returned negative duration for {task_id!r}"
+                )
+        if self._ckpt:
+            # resume from the state checkpointed at a reclamation
+            # warning: only the remainder runs, plus the restore cost
+            done = self._ckpt.pop(task_id, 0.0)
+            if done > 0:
+                assert self.recovery is not None
+                duration = (
+                    max(duration - done, 0.0) + self.recovery.restart_cost_seconds
                 )
         self.result.record(TraceEvent(now, "task_start", task_id, vm.name))
         vm.running = task_id
@@ -247,8 +323,14 @@ class ScheduleExecutor:
         delay = platform.boot_seconds
         fails = False
         if self.fault_plan is not None:
-            fails, factor = self.fault_plan.boot_outcome(vm.name, attempt)
-            delay *= factor
+            if attempt == 1 and self.fault_plan.boot_warm_pool > 0:
+                used = self._warm_used.get(vm.itype.name, 0)
+                if used < self.fault_plan.boot_warm_pool:
+                    self._warm_used[vm.itype.name] = used + 1
+                    vm.booted_warm = True
+            fails, delay = self.fault_plan.boot_delay_outcome(
+                vm.name, attempt, platform.boot_seconds, warm=vm.booted_warm
+            )
 
         def boot_complete(v=vm, failed=fails):
             if v.crashed:
@@ -351,9 +433,10 @@ class ScheduleExecutor:
             time=now,
             reason="task",
             vm_alive=True,
+            purchase=vm.purchase,
         )
         action = self.recovery.decide(failure)
-        self.stats.decisions.append(f"{action.kind}:{task_id}@{now:.3f}")
+        self._log_decision(action, task_id, now)
         if action.kind == "abort":
             raise FaultError(
                 f"task {task_id!r} failed {attempt} times; recovery gave up"
@@ -367,12 +450,22 @@ class ScheduleExecutor:
             )
         elif action.kind == "resubmit":
             self.stats.resubmits += 1
-            self._resubmit(task_id, vm, action.delay)
+            self._resubmit(task_id, vm, action.delay, action.purchase)
         else:  # replan
             self.stats.replans += 1
             self._replan(action.delay)
 
-    def _vm_crash(self, vm: _ExecVM) -> None:
+    def _log_decision(self, action: RecoveryAction, task_id: str, now: float) -> None:
+        """Append one decision-log line; market tags suffix the historic
+        format, so zero-market logs are unchanged byte-for-byte."""
+        assert self.stats is not None
+        line = f"{action.kind}:{task_id}@{now:.3f}"
+        if action.tag:
+            line += f"[{action.tag}]"
+            self.stats.rebids += 1
+        self.stats.decisions.append(line)
+
+    def _vm_crash(self, vm: _ExecVM, preempt: bool = False) -> None:
         if vm.crashed:
             return
         running = vm.running
@@ -383,15 +476,24 @@ class ScheduleExecutor:
         now = self.sim.now
         vm.crashed = True
         vm.crashed_at = now
-        self.stats.vm_crashes += 1
-        self.result.record(TraceEvent(now, "vm_crash", "", vm.name))
+        vm.preempted = preempt
+        reason = "spot_preempt" if preempt else "vm_crash"
+        if preempt:
+            self.stats.preemptions += 1
+            self.result.record(TraceEvent(now, "vm_preempt", "", vm.name))
+        else:
+            self.stats.vm_crashes += 1
+            self.result.record(TraceEvent(now, "vm_crash", "", vm.name))
         if running is not None:
             attempt = self._attempt_of(running)
             wasted = max(now - self.result.task_start[running], 0.0)
+            if running in self._ckpt:
+                # checkpointed progress is not lost to the reclamation
+                wasted = max(wasted - self._ckpt[running], 0.0)
             self.stats.task_failures += 1
             self.stats.wasted_task_seconds += wasted
             self.result.record(
-                TraceEvent(now, "task_fail", running, vm.name, "vm_crash")
+                TraceEvent(now, "task_fail", running, vm.name, reason)
             )
             self._started.discard(running)
             vm.running = None
@@ -400,14 +502,15 @@ class ScheduleExecutor:
                 vm_id=vm.id,
                 attempt=attempt,
                 time=now,
-                reason="vm_crash",
+                reason=reason,
                 vm_alive=False,
+                purchase=vm.purchase,
             )
             action = self.recovery.decide(failure)
-            self.stats.decisions.append(f"{action.kind}:{running}@{now:.3f}")
+            self._log_decision(action, running, now)
             if action.kind == "abort":
                 raise FaultError(
-                    f"task {running!r} lost to a VM crash after {attempt} attempts"
+                    f"task {running!r} lost to a {reason} after {attempt} attempts"
                 )
             self._attempt[running] = attempt + 1
         else:
@@ -419,21 +522,29 @@ class ScheduleExecutor:
             self.stats.replans += 1
             self._replan(action.delay)
         else:
-            # one replacement VM inherits the interrupted + queued work
+            # one replacement VM inherits the interrupted + queued work,
+            # bought as the recovery directed (rebid/fallback) or on the
+            # dead VM's own terms
             self.stats.resubmits += 1
-            nvm = self._new_vm(vm.itype, vm.region)
+            nvm = self._new_vm(vm.itype, vm.region, action.purchase or vm.purchase)
             for tid in remaining:
                 self._move_task(tid, nvm, action.delay)
 
     # ------------------------------------------------------------------
     # recovery mechanics
     # ------------------------------------------------------------------
-    def _new_vm(self, itype: InstanceType, region: Region) -> _ExecVM:
+    def _new_vm(
+        self,
+        itype: InstanceType,
+        region: Region,
+        purchase: Optional[object] = None,
+    ) -> _ExecVM:
         evm = _ExecVM(
             id=len(self._vms),
             name=f"vm{len(self._vms)}-{itype.short}",
             itype=itype,
             region=region,
+            purchase=purchase if purchase is not None else self._default_purchase,
         )
         self._vms.append(evm)
         self.result.record(
@@ -448,10 +559,16 @@ class ScheduleExecutor:
         self._gen[task_id] += 1
         self._restage_inputs(task_id, vm, delay)
 
-    def _resubmit(self, task_id: str, old_vm: _ExecVM, delay: float) -> None:
+    def _resubmit(
+        self,
+        task_id: str,
+        old_vm: _ExecVM,
+        delay: float,
+        purchase: Optional[object] = None,
+    ) -> None:
         """Move a failed task from *old_vm* to a freshly rented VM."""
         old_vm.queue.remove(task_id)
-        nvm = self._new_vm(old_vm.itype, old_vm.region)
+        nvm = self._new_vm(old_vm.itype, old_vm.region, purchase or old_vm.purchase)
         self._move_task(task_id, nvm, delay)
         nxt = self._front(old_vm)
         if nxt is not None:
@@ -661,7 +778,7 @@ class ScheduleExecutor:
                 self.result.record(TraceEvent(window[1], "vm_stop", "", evm.name))
                 uptime = window[1] - evm.rent_start
             if self.stats is not None:
-                cost = billing.vm_cost(uptime, evm.itype, evm.region)
+                cost = self._vm_cost(billing, evm, uptime)
                 paid = billing.paid_seconds(uptime)
                 self.result.vm_costs[evm.name] = cost
                 self.stats.realized_cost += cost
@@ -674,6 +791,22 @@ class ScheduleExecutor:
         if self.metrics is not None:
             self._emit_metrics()
         return self.result
+
+    def _vm_cost(self, billing, evm: _ExecVM, uptime: float) -> float:
+        """Realized rent of one VM: the fixed-price arithmetic outside
+        market runs, the price integral (by purchase option) inside."""
+        if self.market is None or evm.purchase is None:
+            return billing.vm_cost(uptime, evm.itype, evm.region)
+        assert self.fault_plan is not None
+        return self.market.vm_cost(
+            billing,
+            self.fault_plan.seed,
+            evm.rent_start,
+            uptime,
+            evm.itype,
+            evm.region,
+            evm.purchase,
+        )
 
     def _emit_trace(self) -> None:
         """Project the replay onto simulated-time trace tracks: one
@@ -707,7 +840,13 @@ class ScheduleExecutor:
                 cat="sim.task",
             )
         for ev in self.result.events:
-            if ev.kind in ("task_fail", "vm_crash", "vm_boot_fail"):
+            if ev.kind in (
+                "task_fail",
+                "vm_crash",
+                "vm_boot_fail",
+                "vm_preempt",
+                "spot_warning",
+            ):
                 tracer.instant(
                     f"{ev.kind}:{ev.task_id or ev.vm}",
                     ts=ev.time,
@@ -742,6 +881,14 @@ class ScheduleExecutor:
             m.inc("recovery.tasks_retried", self.stats.retries)
             m.inc("recovery.tasks_resubmitted", self.stats.resubmits)
             m.inc("recovery.replans", self.stats.replans)
+            # market counters only when the processes actually fired, so
+            # zero-market runs keep their historical counter keys
+            if self.stats.preemptions:
+                m.inc("faults.preemptions", self.stats.preemptions)
+            if self.stats.grace_warnings:
+                m.inc("faults.grace_warnings", self.stats.grace_warnings)
+            if self.stats.rebids:
+                m.inc("recovery.rebids", self.stats.rebids)
 
 
 def simulate_schedule(

@@ -32,11 +32,14 @@ import dataclasses
 import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.market.spot import Market, SpotInterruptionPlan
 
 
 def _stream(seed: int, *key) -> np.random.Generator:
@@ -73,6 +76,23 @@ class FaultPlan:
     #: relative std-dev of the multiplicative (log-normal, mean-1) noise
     #: on boot duration; 0 keeps boots at their nominal length
     boot_delay_rel_std: float = 0.0
+    #: price environment (a :class:`~repro.market.spot.Market`); when
+    #: set, VM cost is the price integral over paid BTUs and spot VMs
+    #: are preempted at price-crossing times drawn from the same stream
+    #: (seeded by this plan's seed, like every other fault process)
+    market: Optional["Market"] = None
+    #: extra cold-start seconds added to the platform's nominal boot
+    #: time for every cold (non-warm-pool) acquisition
+    boot_cold_seconds: float = 0.0
+    #: shape of the boot-delay noise: ``"lognormal"`` (the historical
+    #: mean-1 multiplicative noise) or ``"deterministic"`` (exact base
+    #: durations — calibrated-trace scenarios)
+    boot_delay_dist: str = "lognormal"
+    #: per-flavor warm pool: the first this-many acquisitions of each
+    #: flavor boot warm (in ``boot_warm_seconds``) instead of cold
+    boot_warm_pool: int = 0
+    #: boot duration of a warm-pool hit, seconds
+    boot_warm_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.task_fail_prob < 1.0:
@@ -91,6 +111,17 @@ class FaultPlan:
             raise SimulationError(
                 f"boot_delay_rel_std must be >= 0, got {self.boot_delay_rel_std}"
             )
+        if self.boot_cold_seconds < 0 or self.boot_warm_seconds < 0:
+            raise SimulationError("boot durations must be >= 0")
+        if self.boot_warm_pool < 0:
+            raise SimulationError(
+                f"boot_warm_pool must be >= 0, got {self.boot_warm_pool}"
+            )
+        if self.boot_delay_dist not in ("lognormal", "deterministic"):
+            raise SimulationError(
+                f"boot_delay_dist must be 'lognormal' or 'deterministic', "
+                f"got {self.boot_delay_dist!r}"
+            )
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -108,14 +139,31 @@ class FaultPlan:
             or self.vm_crash_rate > 0
             or self.boot_fail_prob > 0
             or self.boot_delay_rel_std > 0
+            or self.market is not None
+            or self.boot_cold_seconds > 0
+            or self.boot_warm_pool > 0
         )
+
+    def spot_plan(self) -> Optional["SpotInterruptionPlan"]:
+        """The price-correlated interruption process of this plan's
+        market, seeded like every other fault process; ``None`` without
+        a market."""
+        if self.market is None:
+            return None
+        from repro.market.spot import SpotInterruptionPlan
+
+        return SpotInterruptionPlan(self.market, self.seed)
 
     def scaled(self, intensity: float) -> "FaultPlan":
         """This plan with every process scaled by *intensity* (>= 0).
 
         The fault-intensity axis of the experiment grid: 0 disables all
         processes, 1 is the plan itself.  Probabilities are capped just
-        below 1 so a run always terminates almost surely.
+        below 1 so a run always terminates almost surely.  Cold-start
+        seconds scale with the intensity; the market, warm-pool, and
+        distribution-shape fields are structural configuration and carry
+        through unchanged (``dataclasses.replace`` preserves every field
+        not listed here, so new axes cannot be silently dropped).
         """
         if intensity < 0:
             raise SimulationError(f"intensity must be >= 0, got {intensity}")
@@ -126,6 +174,7 @@ class FaultPlan:
             vm_crash_rate=self.vm_crash_rate * intensity,
             boot_fail_prob=min(self.boot_fail_prob * intensity, cap),
             boot_delay_rel_std=self.boot_delay_rel_std * intensity,
+            boot_cold_seconds=self.boot_cold_seconds * intensity,
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
@@ -179,6 +228,33 @@ class FaultPlan:
                 factor = float(rng.lognormal(-sigma2 / 2.0, np.sqrt(sigma2)))
         return fails, factor
 
+    def boot_delay_outcome(
+        self,
+        vm_key: str,
+        attempt: int,
+        nominal_seconds: float,
+        warm: bool = False,
+    ) -> Tuple[bool, float]:
+        """Outcome of one boot attempt: ``(fails, delay_seconds)``.
+
+        The cold-start generalization of :meth:`boot_outcome`: the base
+        duration is the platform's *nominal_seconds* plus
+        ``boot_cold_seconds`` — or ``boot_warm_seconds`` for a warm-pool
+        hit — then shaped by ``boot_delay_dist`` (``"deterministic"``
+        keeps the base exact; ``"lognormal"`` applies the historical
+        mean-1 noise).  With all cold-start fields at their defaults the
+        delay is exactly ``nominal × factor``, byte-identical to the
+        pre-market boot path.
+        """
+        fails, factor = self.boot_outcome(vm_key, attempt)
+        if warm:
+            base = self.boot_warm_seconds
+        else:
+            base = nominal_seconds + self.boot_cold_seconds
+        if self.boot_delay_dist == "deterministic":
+            factor = 1.0
+        return fails, base * factor
+
 
 @dataclass
 class FaultStats:
@@ -187,6 +263,13 @@ class FaultStats:
     task_failures: int = 0
     vm_crashes: int = 0
     boot_failures: int = 0
+    #: spot VMs reclaimed by a price crossing (market runs only)
+    preemptions: int = 0
+    #: reclamation warnings delivered before a kill
+    grace_warnings: int = 0
+    #: recovery decisions that changed the purchase option (rebids and
+    #: on-demand fallbacks)
+    rebids: int = 0
     retries: int = 0
     resubmits: int = 0
     replans: int = 0
@@ -206,7 +289,12 @@ class FaultStats:
     @property
     def failures(self) -> int:
         """All fault firings, whatever the layer."""
-        return self.task_failures + self.vm_crashes + self.boot_failures
+        return (
+            self.task_failures
+            + self.vm_crashes
+            + self.boot_failures
+            + self.preemptions
+        )
 
     @property
     def recoveries(self) -> int:
@@ -217,6 +305,9 @@ class FaultStats:
             "task_failures": self.task_failures,
             "vm_crashes": self.vm_crashes,
             "boot_failures": self.boot_failures,
+            "preemptions": self.preemptions,
+            "grace_warnings": self.grace_warnings,
+            "rebids": self.rebids,
             "retries": self.retries,
             "resubmits": self.resubmits,
             "replans": self.replans,

@@ -137,7 +137,18 @@ class OnlineCloudExecutor:
         self.task_finish: Dict[str, float] = {}
         self.task_vm: Dict[str, int] = {}
         self.events: List[TraceEvent] = []
+        if fault_plan is None:
+            # a platform-level market makes the run fault-injected even
+            # without an explicit plan (the price process is a fault)
+            ambient = getattr(platform, "market", None)
+            if ambient is not None:
+                fault_plan = FaultPlan(market=ambient)
         self.fault_plan = fault_plan
+        self.market = fault_plan.market if fault_plan is not None else None
+        self._spot = fault_plan.spot_plan() if fault_plan is not None else None
+        self._default_purchase = (
+            self.market.purchase if self.market is not None else None
+        )
         self.recovery: Optional[RecoveryPolicy] = (
             recovery_policy(recovery) if fault_plan is not None else None
         )
@@ -149,10 +160,16 @@ class OnlineCloudExecutor:
         self._completed: set = set()
         #: tasks whose next placement must rent a fresh VM (resubmit)
         self._force_fresh: set = set()
+        #: purchase override for a task's next fresh rental (rebids)
+        self._force_purchase: Dict[str, object] = {}
+        #: seconds of work checkpointed at a reclamation warning
+        self._ckpt: Dict[str, float] = {}
         if self.fault_plan is not None:
             # crash recovery goes through the manager so every run with
             # reservations on a crashed shared VM reclaims its own tasks
             self._fleet_mgr.add_crash_listener(self._reclaim_crash_victims)
+            if self.market is not None:
+                self._fleet_mgr.add_warning_listener(self._checkpoint_victims)
 
     @property
     def fleet(self) -> List[FleetVM]:
@@ -179,19 +196,34 @@ class OnlineCloudExecutor:
     def _alive(self) -> List[FleetVM]:
         return self._fleet_mgr.alive()
 
-    def _rent(self) -> FleetVM:
+    def _rent(self, purchase: object | None = None) -> FleetVM:
         # Cold starts: the VM is requested now but cannot execute until
         # it has booted (the paper pre-boots; online cannot).
-        boot = 0.0 if self.platform.prebooted else self.platform.boot_seconds
+        plan = self.fault_plan
+        nominal = 0.0 if self.platform.prebooted else self.platform.boot_seconds
+        boot = nominal
         vm_id = len(self.fleet)
-        if self.fault_plan is not None and boot > 0:
+        boot_active = (
+            plan is not None
+            and not self.platform.prebooted
+            and (
+                nominal > 0
+                or plan.boot_cold_seconds > 0
+                or plan.boot_warm_pool > 0
+            )
+        )
+        warm = False
+        if boot_active:
             # boot failures re-issue the request; the delays accumulate
             assert self.recovery is not None and self.stats is not None
+            warm = self._fleet_mgr.take_warm(self.itype, plan.boot_warm_pool)
             total, attempt = 0.0, 0
             while True:
                 attempt += 1
-                fails, factor = self.fault_plan.boot_outcome(f"vm{vm_id}", attempt)
-                total += boot * factor
+                fails, delay = plan.boot_delay_outcome(
+                    f"vm{vm_id}", attempt, nominal, warm=warm
+                )
+                total += delay
                 if not fails:
                     break
                 self.stats.boot_failures += 1
@@ -201,18 +233,38 @@ class OnlineCloudExecutor:
                 if attempt >= self.recovery.max_attempts:
                     raise FaultError(f"vm{vm_id} failed to boot {attempt} times")
             boot = total
+        if purchase is None:
+            purchase = self._default_purchase
         vm = self._fleet_mgr.rent(
             self.itype,
             started_at=self.sim.now,
             free_at=self.sim.now + boot,
             owner=self.owner,
+            purchase=purchase,
         )
+        vm.booted_warm = warm
         self.events.append(TraceEvent(self.sim.now, "vm_start", "", f"vm{vm.id}"))
         if self.fault_plan is not None:
             uptime = self.fault_plan.vm_crash_uptime(f"vm{vm.id}")
             if uptime != float("inf"):
                 self.sim.after(
                     uptime, lambda v=vm: self._on_vm_crash(v), f"crash:vm{vm.id}"
+                )
+        if self._spot is not None and vm.purchase is not None:
+            warn, kill = self._spot.preemption(
+                self.itype, self.region, vm.purchase, self.sim.now
+            )
+            if kill != float("inf"):
+                if warn < kill:  # a zero-grace market kills unwarned
+                    self.sim.at(
+                        warn,
+                        lambda v=vm: self._on_spot_warning(v),
+                        f"spot_warn:vm{vm.id}",
+                    )
+                self.sim.at(
+                    kill,
+                    lambda v=vm: self._on_vm_crash(v, preempt=True),
+                    f"preempt:vm{vm.id}",
                 )
         return vm
 
@@ -274,7 +326,7 @@ class OnlineCloudExecutor:
         planned = self.platform.runtime(self.workflow.task(task_id), self.itype)
         if task_id in self._force_fresh:
             self._force_fresh.discard(task_id)
-            vm = self._rent()
+            vm = self._rent(self._force_purchase.pop(task_id, None))
         else:
             vm = self._select_vm(task_id, planned)
         vm.levels.add(self.levels[task_id])
@@ -300,6 +352,15 @@ class OnlineCloudExecutor:
             duration = self.runtime_fn(task_id, duration)
             if duration < 0:
                 raise SimulationError("runtime_fn returned a negative duration")
+        if self._ckpt:
+            # resume from the state checkpointed at a reclamation
+            # warning: only the remainder runs, plus the restore cost
+            done = self._ckpt.pop(task_id, 0.0)
+            if done > 0:
+                assert self.recovery is not None
+                duration = (
+                    max(duration - done, 0.0) + self.recovery.restart_cost_seconds
+                )
         finish = start + duration
         vm.free_at = finish
         vm.busy_seconds += duration
@@ -370,9 +431,14 @@ class OnlineCloudExecutor:
             time=now,
             reason=reason,
             vm_alive=not vm.dead,
+            purchase=vm.purchase,
         )
         action = self.recovery.decide(failure)
-        self.stats.decisions.append(f"{action.kind}:{task_id}@{now:.3f}")
+        line = f"{action.kind}:{task_id}@{now:.3f}"
+        if action.tag:
+            line += f"[{action.tag}]"
+            self.stats.rebids += 1
+        self.stats.decisions.append(line)
         if action.kind == "abort":
             raise FaultError(
                 f"task {task_id!r} failed {attempt} times; recovery gave up"
@@ -391,6 +457,9 @@ class OnlineCloudExecutor:
         if action.kind == "resubmit" or (action.kind == "retry" and vm.dead):
             self.stats.resubmits += 1
             self._force_fresh.add(task_id)
+            if action.purchase is not None:
+                # the bidding decision rides to the replacement rental
+                self._force_purchase[task_id] = action.purchase
         else:  # replan: the online policy re-places against the fleet
             self.stats.replans += 1
         self.sim.after(
@@ -420,24 +489,52 @@ class OnlineCloudExecutor:
         )
         self._recover(task_id, vm, "task")
 
-    def _on_vm_crash(self, vm: _OnlineVM) -> None:
+    def _on_vm_crash(self, vm: _OnlineVM, preempt: bool = False) -> None:
         if vm.dead or vm.crashed:
             return  # released before the crash would have hit
         assert self.stats is not None
         now = self.sim.now
         self._fleet_mgr.mark_crashed(vm, now)
-        self.stats.vm_crashes += 1
-        self.events.append(TraceEvent(now, "vm_crash", "", f"vm{vm.id}"))
+        vm.preempted = preempt
+        if preempt:
+            self.stats.preemptions += 1
+            self.events.append(TraceEvent(now, "vm_preempt", "", f"vm{vm.id}"))
+        else:
+            self.stats.vm_crashes += 1
+            self.events.append(TraceEvent(now, "vm_crash", "", f"vm{vm.id}"))
         self._fleet_mgr.notify_crash(vm)
 
-    def _reclaim_crash_victims(self, vm: FleetVM) -> None:
-        """Fail and re-dispatch *this run's* unfinished reservations on
-        a crashed VM (shared fleets host tasks of many runs — each
-        attached executor reclaims only its own roster entries)."""
+    def _on_spot_warning(self, vm: _OnlineVM) -> None:
+        """The provider's reclamation warning for a VM this run rented:
+        count it and fan it out so every run checkpoints its work."""
+        if vm.dead or vm.crashed:
+            return
         assert self.stats is not None
+        self.stats.grace_warnings += 1
+        self.events.append(
+            TraceEvent(self.sim.now, "spot_warning", "", f"vm{vm.id}")
+        )
+        self._fleet_mgr.notify_warning(vm)
+
+    def _checkpoint_victims(self, vm: FleetVM) -> None:
+        """Checkpoint this run's attempts running on *vm* at a warning
+        (when the recovery policy opts in)."""
+        assert self.recovery is not None
+        if not self.recovery.checkpoint_on_warning:
+            return
         now = self.sim.now
+        for tid in self._own_reservations(vm):
+            started = self.task_start.get(tid)
+            if started is None or started > now:
+                continue  # reserved but not yet running
+            done = min(now, self.task_finish[tid]) - started
+            if done > 0:
+                self._ckpt[tid] = done
+
+    def _own_reservations(self, vm: FleetVM) -> List[str]:
+        """This run's unfinished reservations on *vm*, roster order."""
         prefix = f"{self.run_name}:" if self.run_name else ""
-        victims = []
+        out = []
         for entry in vm.tasks:
             if prefix:
                 if not entry.startswith(prefix):
@@ -447,19 +544,31 @@ class OnlineCloudExecutor:
                 tid = entry
             if tid in self._pending and self.task_vm.get(tid) == vm.id:
                 if tid not in self._completed:
-                    victims.append(tid)
-        for tid in victims:
+                    out.append(tid)
+        return out
+
+    def _reclaim_crash_victims(self, vm: FleetVM) -> None:
+        """Fail and re-dispatch *this run's* unfinished reservations on
+        a crashed VM (shared fleets host tasks of many runs — each
+        attached executor reclaims only its own roster entries)."""
+        assert self.stats is not None
+        now = self.sim.now
+        reason = "spot_preempt" if vm.preempted else "vm_crash"
+        for tid in self._own_reservations(vm):
             started = self.task_start.get(tid, now)
             wasted = max(min(now, self.task_finish[tid]) - started, 0.0)
+            if tid in self._ckpt:
+                # checkpointed progress is not lost to the reclamation
+                wasted = max(wasted - self._ckpt[tid], 0.0)
             self.stats.task_failures += 1
             self.stats.wasted_task_seconds += wasted
             # reclaim the voided reservation from the busy accounting
             vm.busy_seconds -= self.task_finish[tid] - started
-            vm.busy_seconds += wasted
+            vm.busy_seconds += max(min(now, self.task_finish[tid]) - started, 0.0)
             self.events.append(
-                TraceEvent(now, "task_fail", tid, f"vm{vm.id}", "vm_crash")
+                TraceEvent(now, "task_fail", tid, f"vm{vm.id}", reason)
             )
-            self._recover(tid, vm, "vm_crash")
+            self._recover(tid, vm, reason)
 
     # ------------------------------------------------------------------
     # observability (only reached when tracing/metrics were requested)
@@ -493,7 +602,7 @@ class OnlineCloudExecutor:
                 cat="sim.task",
             )
         for ev in self.events:
-            if ev.kind in ("task_fail", "vm_boot_fail"):
+            if ev.kind in ("task_fail", "vm_boot_fail", "vm_preempt", "spot_warning"):
                 self.tracer.instant(
                     ev.kind,
                     ts=ev.time,
@@ -527,6 +636,14 @@ class OnlineCloudExecutor:
             self.metrics.inc("recovery.tasks_retried", self.stats.retries)
             self.metrics.inc("recovery.tasks_resubmitted", self.stats.resubmits)
             self.metrics.inc("recovery.replans", self.stats.replans)
+            # market counters only when the processes actually fired, so
+            # zero-market runs keep their historical counter keys
+            if self.stats.preemptions:
+                self.metrics.inc("faults.preemptions", self.stats.preemptions)
+            if self.stats.grace_warnings:
+                self.metrics.inc("faults.grace_warnings", self.stats.grace_warnings)
+            if self.stats.rebids:
+                self.metrics.inc("recovery.rebids", self.stats.rebids)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -560,7 +677,19 @@ class OnlineCloudExecutor:
             # started BTU is still billed in full (the ceil below)
             end = vm.crashed_at if vm.crashed else vm.free_at
             uptime = end - vm.started_at
-            cost = billing.vm_cost(uptime, vm.itype, self.region)
+            if self.market is not None and vm.purchase is not None:
+                assert self.fault_plan is not None
+                cost = self.market.vm_cost(
+                    billing,
+                    self.fault_plan.seed,
+                    vm.started_at,
+                    uptime,
+                    vm.itype,
+                    self.region,
+                    vm.purchase,
+                )
+            else:
+                cost = billing.vm_cost(uptime, vm.itype, self.region)
             paid = billing.paid_seconds(uptime)
             rent += cost
             idle += paid - vm.busy_seconds

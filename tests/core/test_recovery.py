@@ -108,7 +108,12 @@ class TestReplanRemaining:
 
 class TestRegistry:
     def test_names(self):
-        assert set(RECOVERY_POLICIES) == {"retry", "resubmit", "replan"}
+        # the market policies register lazily on first import, so the
+        # registry holds the core three plus (at most) the bidding pair
+        assert {"retry", "resubmit", "replan"} <= set(RECOVERY_POLICIES)
+        assert set(RECOVERY_POLICIES) <= {
+            "retry", "resubmit", "replan", "rebid", "fallback"
+        }
 
     def test_resolver(self):
         assert isinstance(recovery_policy(None), RetrySameVM)

@@ -1,0 +1,126 @@
+"""Metamorphic identity: a neutral market is byte-identical to none.
+
+A market with a constant multiplier of 1.0 and on-demand (or
+infinite-bid spot) purchases changes *nothing* observable: the same
+events, the same costs, the same makespan — across the static
+executor for every paper policy family, the online executor, and the
+multi-tenant service loop.  This is the relation that lets the whole
+market subsystem ride inside the executors without a parallel "no
+market" code path: the zero-market behavior IS the neutral-market
+behavior.
+"""
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.config import strategy
+from repro.market import ConstantPrice, Market, ON_DEMAND, spot
+from repro.service.arrivals import WorkflowRequest
+from repro.service.loop import WorkflowService
+from repro.simulator.executor import ScheduleExecutor
+from repro.simulator.online import run_online
+from repro.workflows.generators import mapreduce, montage
+
+PLATFORM = CloudPlatform.ec2()
+NEUTRAL = Market(ConstantPrice(1.0), purchase=ON_DEMAND)
+#: an infinite bid never loses capacity; multiplier 1.0 never discounts
+NEUTRAL_SPOT = Market(ConstantPrice(1.0), purchase=spot())
+
+POLICY_FAMILIES = [
+    "OneVMperTask-s",
+    "StartParNotExceed-s",
+    "StartParExceed-s",
+    "AllParNotExceed-s",
+    "AllParExceed-s",
+]
+
+
+@pytest.mark.parametrize("label", POLICY_FAMILIES)
+@pytest.mark.parametrize("market", [NEUTRAL, NEUTRAL_SPOT], ids=["od", "spotinf"])
+def test_static_executor_neutral_market_identity(label, market):
+    wf = montage(25)
+    base_sched = strategy(label).run(wf, PLATFORM)
+    base = ScheduleExecutor(base_sched).run()
+
+    plat = PLATFORM.with_market(market)
+    sched = strategy(label).run(wf, plat)
+    got = ScheduleExecutor(sched).run()
+
+    assert got.events == base.events
+    assert got.makespan == base.makespan
+    assert got.task_start == base.task_start
+    assert got.task_finish == base.task_finish
+    # the market run carries realized-rent accounting; neutral prices
+    # must reproduce the planned fixed-price rent exactly
+    assert got.realized_cost == base_sched.total_cost
+    assert got.faults is not None
+    assert got.faults.preemptions == 0
+    assert got.faults.grace_warnings == 0
+    assert got.faults.rebids == 0
+    assert got.faults.decisions == []
+
+
+@pytest.mark.parametrize("market", [NEUTRAL, NEUTRAL_SPOT], ids=["od", "spotinf"])
+def test_online_executor_neutral_market_identity(market):
+    wf = montage(25)
+    base = run_online(wf, PLATFORM, policy="StartParNotExceed")
+    got = run_online(
+        wf, PLATFORM.with_market(market), policy="StartParNotExceed"
+    )
+    assert got.events == base.events
+    assert got.makespan == base.makespan
+    assert got.rent_cost == base.rent_cost
+    assert got.idle_seconds == base.idle_seconds
+    assert got.task_finish == base.task_finish
+
+
+def test_service_loop_neutral_market_identity():
+    reqs = [
+        WorkflowRequest(name="a", tenant="t1", workflow=montage(25), arrival=0.0),
+        WorkflowRequest(
+            name="b", tenant="t2", workflow=mapreduce(20), arrival=900.0
+        ),
+    ]
+
+    def run(platform):
+        svc = WorkflowService(platform, policy="StartParNotExceed")
+        return svc.run(list(reqs))
+
+    base = run(PLATFORM)
+    got = run(PLATFORM.with_market(NEUTRAL))
+    assert got.rent_cost == base.rent_cost
+    assert got.makespan == base.makespan
+    assert got.btus == base.btus
+    assert got.utilization == base.utilization
+    assert [
+        (t.tenant, t.bill.rent_cost if t.bill else None)
+        for t in got.tenants.values()
+    ] == [
+        (t.tenant, t.bill.rent_cost if t.bill else None)
+        for t in base.tenants.values()
+    ]
+
+
+def test_decision_log_format_unchanged_without_market():
+    """Zero-market recovery logs keep their historical format (no tag
+    suffix) byte-for-byte."""
+    from repro.simulator.faults import FaultPlan
+
+    sched = strategy("StartParNotExceed-s").run(montage(25), PLATFORM)
+    res = ScheduleExecutor(
+        sched, fault_plan=FaultPlan(seed=1, task_fail_prob=0.3), recovery="retry"
+    ).run()
+    assert res.faults is not None and res.faults.decisions
+    for line in res.faults.decisions:
+        assert "[" not in line and "]" not in line
+
+
+def test_zero_market_metrics_keys_unchanged():
+    """A zero-market run must not grow new counter keys."""
+    from repro.obs.metrics import MetricsRegistry
+
+    sched = strategy("StartParNotExceed-s").run(montage(25), PLATFORM)
+    reg = MetricsRegistry()
+    ScheduleExecutor(sched, metrics=reg).run()
+    keys = set(reg.as_dict().get("counters", reg.as_dict()))
+    assert not any("preempt" in str(k) or "rebid" in str(k) for k in keys)

@@ -1,0 +1,140 @@
+"""Price-process determinism and arithmetic.
+
+The contract under test: a realized price path is a pure function of
+``(process, seed, flavor, region)`` — same inputs, identical values,
+whatever the order or backend asking — and its integral/crossing
+queries are exact piecewise-constant arithmetic.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.market import (
+    ConstantPrice,
+    MeanRevertingPrice,
+    StepTracePrice,
+    price_path,
+)
+
+
+class TestConstantPrice:
+    def test_flat_path(self):
+        path = price_path(ConstantPrice(0.4), 0, "small", "us-east")
+        assert path.is_constant
+        assert path.multiplier_at(0.0) == 0.4
+        assert path.multiplier_at(1e9) == 0.4
+        assert path.integral(100.0, 3700.0) == pytest.approx(0.4 * 3600.0)
+
+    def test_never_crosses_above_itself(self):
+        path = price_path(ConstantPrice(0.4), 0, "small", "us-east")
+        assert math.isinf(path.next_crossing_above(0.4, 0.0, 1e9))
+        assert path.next_crossing_above(0.39, 500.0, 1e9) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ConstantPrice(-1.0)
+        ConstantPrice(0.0)  # a free market is degenerate but legal
+
+
+class TestStepTracePrice:
+    TRACE = StepTracePrice((0.0, 600.0, 4200.0), (0.3, 1.2, 0.3))
+
+    def test_lookup(self):
+        path = price_path(self.TRACE, 0, "small", "us-east")
+        assert path.multiplier_at(0.0) == 0.3
+        assert path.multiplier_at(599.9) == 0.3
+        assert path.multiplier_at(600.0) == 1.2
+        assert path.multiplier_at(4200.0) == 0.3
+
+    def test_integral_exact(self):
+        path = price_path(self.TRACE, 0, "small", "us-east")
+        # 600 s at 0.3, 3600 s at 1.2, 800 s at 0.3
+        expected = 600 * 0.3 + 3600 * 1.2 + 800 * 0.3
+        assert path.integral(0.0, 5000.0) == pytest.approx(expected)
+
+    def test_crossing(self):
+        path = price_path(self.TRACE, 0, "small", "us-east")
+        assert path.next_crossing_above(0.5, 0.0, 1e6) == 600.0
+        # already above at the query time
+        assert path.next_crossing_above(0.5, 700.0, 1e6) == 700.0
+        # recovered; next spike never comes
+        assert math.isinf(path.next_crossing_above(0.5, 4200.0, 1e6))
+        # horizon cuts the scan short
+        assert math.isinf(path.next_crossing_above(0.5, 0.0, 599.0))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            StepTracePrice((100.0,), (1.0,))  # must start at 0
+        with pytest.raises(SimulationError):
+            StepTracePrice((0.0, 0.0), (1.0, 2.0))  # strictly increasing
+        with pytest.raises(SimulationError):
+            StepTracePrice((0.0, 10.0), (1.0,))  # length mismatch
+        with pytest.raises(SimulationError):
+            StepTracePrice((0.0,), (-0.5,))  # non-negative
+
+
+class TestWalkDeterminism:
+    PROC = MeanRevertingPrice()
+
+    def test_same_key_same_path(self):
+        a = price_path(self.PROC, 7, "small", "us-east")
+        b = price_path(self.PROC, 7, "small", "us-east")
+        assert a is b  # shared cache instance
+
+    def test_values_reproducible_across_instances(self):
+        from repro.market.prices import _WalkPath
+
+        # two independent realizations (bypassing the cache) of the
+        # same identity draw identical values
+        a = _WalkPath(self.PROC, 7, "small", "us-east")
+        b = _WalkPath(MeanRevertingPrice(), 7, "small", "us-east")
+        a._ensure(64)
+        b._ensure(64)
+        assert list(a.values[:64]) == list(b.values[:64])
+
+    def test_seed_and_identity_matter(self):
+        a = price_path(self.PROC, 7, "small", "us-east")
+        b = price_path(self.PROC, 8, "small", "us-east")
+        c = price_path(self.PROC, 7, "large", "us-east")
+        d = price_path(self.PROC, 7, "small", "eu-west")
+        for p in (a, b, c, d):
+            p._ensure(32)
+        assert list(b.values[:32]) != list(a.values[:32])
+        assert list(c.values[:32]) != list(a.values[:32])
+        assert list(d.values[:32]) != list(a.values[:32])
+
+    def test_extension_never_perturbs_prefix(self):
+        path = price_path(self.PROC, 11, "small", "us-east")
+        path._ensure(10)
+        prefix = list(path.values[:10])
+        path._ensure(2000)  # multiple chunk extensions
+        assert list(path.values[:10]) == prefix
+
+    def test_walk_respects_bounds(self):
+        proc = MeanRevertingPrice(sigma=1.5, floor=0.2, cap=0.9)
+        path = price_path(proc, 3, "small", "us-east")
+        path._ensure(512)
+        assert all(0.2 <= v <= 0.9 for v in path.values)
+
+    def test_crossing_inf_when_threshold_at_cap(self):
+        proc = MeanRevertingPrice(cap=1.0)
+        path = price_path(proc, 3, "small", "us-east")
+        assert math.isinf(path.next_crossing_above(1.0, 0.0, 1e9))
+        assert math.isinf(path.next_crossing_above(2.0, 0.0, 1e9))
+
+    def test_integral_matches_step_sum(self):
+        proc = MeanRevertingPrice(step_seconds=100.0)
+        path = price_path(proc, 5, "small", "us-east")
+        path._ensure(12)
+        expected = sum(path.values[i] * 100.0 for i in range(10))
+        assert path.integral(0.0, 1000.0) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MeanRevertingPrice(sigma=-0.1)
+        with pytest.raises(SimulationError):
+            MeanRevertingPrice(step_seconds=0.0)
+        with pytest.raises(SimulationError):
+            MeanRevertingPrice(floor=0.5, cap=0.4)

@@ -1,0 +1,247 @@
+"""Purchase options, market billing, and spot interruption times."""
+
+import math
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.errors import SimulationError
+from repro.market import (
+    ConstantPrice,
+    Market,
+    MeanRevertingPrice,
+    ON_DEMAND,
+    PurchaseOption,
+    SpotInterruptionPlan,
+    StepTracePrice,
+    spot,
+)
+
+PLATFORM = CloudPlatform.ec2()
+SMALL = PLATFORM.itype("small")
+REGION = PLATFORM.default_region
+BILLING = PLATFORM.billing
+
+SPIKE = StepTracePrice((0.0, 1000.0, 4000.0), (0.3, 1.5, 0.3))
+
+
+class TestPurchaseOption:
+    def test_defaults_are_the_paper(self):
+        assert ON_DEMAND.kind == "on_demand"
+        assert not ON_DEMAND.is_spot
+        assert ON_DEMAND.label() == "on_demand"
+
+    def test_spot_labels(self):
+        assert spot().label() == "spot(inf)"
+        assert spot(0.5).label() == "spot(0.5)"
+        assert spot(0.5).is_spot
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PurchaseOption("preemptible")
+        with pytest.raises(SimulationError):
+            spot(0.0)
+        with pytest.raises(SimulationError):
+            spot(-1.0)
+
+
+class TestMarketCost:
+    def test_on_demand_is_exactly_fixed_price(self):
+        market = Market(SPIKE)
+        for uptime in (0.0, 1.0, 3600.0, 3601.0, 9999.0):
+            assert market.vm_cost(
+                BILLING, 0, 0.0, uptime, SMALL, REGION, ON_DEMAND
+            ) == BILLING.vm_cost(uptime, SMALL, REGION)
+
+    def test_constant_spot_scales_the_list_price(self):
+        market = Market(ConstantPrice(0.35))
+        got = market.vm_cost(BILLING, 0, 0.0, 3600.0, SMALL, REGION, spot())
+        assert got == 0.35 * BILLING.vm_cost(3600.0, SMALL, REGION)
+
+    def test_neutral_spot_reproduces_on_demand_exactly(self):
+        market = Market(ConstantPrice(1.0))
+        for uptime in (1.0, 3600.0, 7300.0):
+            assert market.vm_cost(
+                BILLING, 0, 0.0, uptime, SMALL, REGION, spot()
+            ) == BILLING.vm_cost(uptime, SMALL, REGION)
+
+    def test_zero_uptime_is_free(self):
+        market = Market(SPIKE)
+        assert market.vm_cost(BILLING, 0, 0.0, 0.0, SMALL, REGION, spot()) == 0.0
+
+    def test_step_spot_integrates_the_paid_window(self):
+        market = Market(SPIKE)
+        # 1 BTU starting at t=0: 1000 s at 0.3 + 2600 s at 1.5
+        expected = (
+            REGION.price(SMALL) * (1000 * 0.3 + 2600 * 1.5) / BILLING.btu_seconds
+        )
+        got = market.vm_cost(BILLING, 0, 0.0, 3600.0, SMALL, REGION, spot())
+        assert got == pytest.approx(expected)
+
+    def test_spot_cheaper_than_on_demand_under_capped_walk(self):
+        # multiplier can never exceed 1 => the integral over any window
+        # is at most the fixed-price rent
+        market = Market(MeanRevertingPrice(cap=1.0))
+        for seed in range(5):
+            for start in (0.0, 500.0, 7200.0):
+                spot_cost = market.vm_cost(
+                    BILLING, seed, start, 5000.0, SMALL, REGION, spot()
+                )
+                od_cost = BILLING.vm_cost(5000.0, SMALL, REGION)
+                assert spot_cost <= od_cost + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Market(SPIKE, grace_seconds=-1.0)
+        with pytest.raises(SimulationError):
+            Market(SPIKE, horizon_seconds=0.0)
+
+
+class TestSpotInterruption:
+    PLAN = SpotInterruptionPlan(Market(SPIKE, grace_seconds=120.0), seed=0)
+
+    def test_on_demand_never_preempted(self):
+        warn, kill = self.PLAN.preemption(SMALL, REGION, ON_DEMAND, 0.0)
+        assert math.isinf(warn) and math.isinf(kill)
+
+    def test_infinite_bid_never_preempted(self):
+        warn, kill = self.PLAN.preemption(SMALL, REGION, spot(), 0.0)
+        assert math.isinf(warn) and math.isinf(kill)
+
+    def test_crossing_gives_warning_then_kill(self):
+        warn, kill = self.PLAN.preemption(SMALL, REGION, spot(0.5), 0.0)
+        assert warn == 1000.0
+        assert kill == 1120.0
+
+    def test_underwater_bid_still_gets_grace(self):
+        # rented while the price is already above the bid: the warning
+        # is clamped to the rent time, so the VM still runs grace long
+        warn, kill = self.PLAN.preemption(SMALL, REGION, spot(0.5), 2000.0)
+        assert warn == 2000.0
+        assert kill == 2120.0
+
+    def test_after_recovery_no_crossing(self):
+        warn, kill = self.PLAN.preemption(SMALL, REGION, spot(0.5), 4000.0)
+        assert math.isinf(warn) and math.isinf(kill)
+
+    def test_pure_function_of_inputs(self):
+        a = self.PLAN.preemption(SMALL, REGION, spot(0.5), 0.0)
+        b = SpotInterruptionPlan(Market(SPIKE, grace_seconds=120.0), 0).preemption(
+            SMALL, REGION, spot(0.5), 0.0
+        )
+        assert a == b
+
+    def test_walk_interruptions_deterministic_by_seed(self):
+        proc = MeanRevertingPrice(mean=0.45, sigma=0.2)
+        plan7 = SpotInterruptionPlan(Market(proc), seed=7)
+        plan7b = SpotInterruptionPlan(Market(proc), seed=7)
+        plan8 = SpotInterruptionPlan(Market(proc), seed=8)
+        a = plan7.preemption(SMALL, REGION, spot(0.6), 0.0)
+        assert plan7b.preemption(SMALL, REGION, spot(0.6), 0.0) == a
+        # a different seed realizes a different path (and with this
+        # sigma, virtually surely a different crossing)
+        assert plan8.preemption(SMALL, REGION, spot(0.6), 0.0) != a
+
+    def test_correlated_across_vms_of_one_flavor(self):
+        # all spot VMs of one (flavor, region) share one path: same rent
+        # time, same kill time — the correlated-reclamation hazard
+        t1 = self.PLAN.preemption(SMALL, REGION, spot(0.5), 100.0)
+        t2 = self.PLAN.preemption(SMALL, REGION, spot(0.5), 100.0)
+        assert t1 == t2 == (1000.0, 1120.0)
+
+
+class TestFaultPlanMarketFields:
+    def test_spot_plan_carries_seed(self):
+        from repro.simulator.faults import FaultPlan
+
+        market = Market(SPIKE)
+        plan = FaultPlan(seed=5, market=market)
+        sp = plan.spot_plan()
+        assert sp is not None
+        assert sp.seed == 5 and sp.market is market
+        assert FaultPlan().spot_plan() is None
+
+    def test_with_seed_round_trips_market_and_boot_fields(self):
+        from repro.simulator.faults import FaultPlan
+
+        market = Market(SPIKE)
+        plan = FaultPlan(
+            seed=1,
+            market=market,
+            boot_cold_seconds=60.0,
+            boot_delay_dist="deterministic",
+            boot_warm_pool=2,
+            boot_warm_seconds=5.0,
+        )
+        again = plan.with_seed(9)
+        assert again.seed == 9
+        assert again.market is market
+        assert again.boot_cold_seconds == 60.0
+        assert again.boot_delay_dist == "deterministic"
+        assert again.boot_warm_pool == 2
+        assert again.boot_warm_seconds == 5.0
+        assert again.with_seed(1) == plan
+
+    def test_scaled_scales_cold_and_keeps_structure(self):
+        from repro.simulator.faults import FaultPlan
+
+        market = Market(SPIKE)
+        plan = FaultPlan(
+            market=market,
+            boot_cold_seconds=60.0,
+            boot_warm_pool=2,
+            boot_warm_seconds=5.0,
+        )
+        half = plan.scaled(0.5)
+        assert half.boot_cold_seconds == 30.0
+        assert half.market is market
+        assert half.boot_warm_pool == 2
+        assert half.boot_warm_seconds == 5.0
+        zero = plan.scaled(0.0)
+        assert zero.boot_cold_seconds == 0.0
+        # the market is structural config, not an intensity: it stays
+        assert zero.market is market
+
+    def test_enabled_accounts_for_new_axes(self):
+        from repro.simulator.faults import FaultPlan
+
+        assert not FaultPlan().enabled
+        assert FaultPlan(market=Market(SPIKE)).enabled
+        assert FaultPlan(boot_cold_seconds=1.0).enabled
+        assert FaultPlan(boot_warm_pool=1).enabled
+
+    def test_boot_delay_outcome_defaults_match_boot_outcome(self):
+        from repro.simulator.faults import FaultPlan
+
+        plan = FaultPlan(seed=3, boot_fail_prob=0.2, boot_delay_rel_std=0.5)
+        for attempt in range(1, 6):
+            fails, factor = plan.boot_outcome("vm0", attempt)
+            fails2, delay = plan.boot_delay_outcome("vm0", attempt, 45.0)
+            assert fails2 == fails
+            assert delay == 45.0 * factor
+
+    def test_boot_delay_outcome_cold_warm_deterministic(self):
+        from repro.simulator.faults import FaultPlan
+
+        plan = FaultPlan(
+            seed=3,
+            boot_delay_rel_std=0.5,
+            boot_cold_seconds=60.0,
+            boot_delay_dist="deterministic",
+            boot_warm_pool=1,
+            boot_warm_seconds=5.0,
+        )
+        _, cold = plan.boot_delay_outcome("vm0", 1, 45.0)
+        assert cold == 105.0  # exact: deterministic dist ignores noise
+        _, warm = plan.boot_delay_outcome("vm0", 1, 45.0, warm=True)
+        assert warm == 5.0
+
+    def test_stats_dict_includes_market_counters(self):
+        from repro.simulator.faults import FaultStats
+
+        stats = FaultStats(preemptions=3, grace_warnings=2, rebids=1)
+        d = stats.as_dict()
+        assert d["preemptions"] == 3
+        assert d["grace_warnings"] == 2
+        assert d["rebids"] == 1
+        assert stats.failures == 3  # preemptions count as failures

@@ -66,14 +66,19 @@ def test_online_accounting_consistent(seed):
     wf = _wf(seed)
     for policy in ("OneVMperTask", "AllParExceed"):
         result = run_online(wf, _PLATFORM, policy=policy)
-        # group realized spans per VM and recompute the bill
+        # group realized spans per VM and recompute the bill from the
+        # rent window: rented at the vm_start event (which may precede
+        # the first task start by a transfer delay), released at the
+        # vm_stop event or, if held to the end, at the last finish
         by_vm = {}
         for tid, vm in result.task_vm.items():
-            by_vm.setdefault(vm, []).append(tid)
+            by_vm.setdefault(f"vm{vm}", []).append(tid)
+        rented = {e.vm: e.time for e in result.events if e.kind == "vm_start"}
+        stopped = {e.vm: e.time for e in result.events if e.kind == "vm_stop"}
         rent = 0.0
-        for tasks in by_vm.values():
-            start = min(result.task_start[t] for t in tasks)
-            end = max(result.task_finish[t] for t in tasks)
+        for vm, tasks in by_vm.items():
+            start = rented[vm]
+            end = stopped.get(vm, max(result.task_finish[t] for t in tasks))
             btus = max(1, math.ceil((end - start) / 3600.0 - 1e-9))
             rent += btus * 0.08
         assert result.rent_cost == pytest.approx(rent)
