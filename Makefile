@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint check coverage bench bench-scaling bench-service \
-  bench-pricing bench-check profile report artifacts examples faults-smoke \
-  service-smoke pricing-smoke clean
+  bench-pricing bench-check profile profile-service report artifacts examples \
+  faults-smoke service-smoke pricing-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -58,8 +58,9 @@ bench-all:
 bench-scaling:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py
 
-# Refreshes BENCH_service.json: the 1000-workflow/50-tenant WaaS
-# service stress run (best-of-3), appended to BENCH_history.jsonl.
+# Refreshes BENCH_service.json: the WaaS service stress run at
+# 1k/5k/10k workflows (best-of-3 at 1k) plus the scan-based reference
+# fleet at 1k, appended to BENCH_history.jsonl.
 bench-service:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py
 
@@ -77,6 +78,7 @@ bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pricing.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --check
 
 # cProfile one representative sweep cell plus the 50k columnar fused
 # pipeline; top-25 cumulative entries go to artifacts/profile*.txt for
@@ -86,6 +88,13 @@ profile:
 	PYTHONPATH=src $(PYTHON) benchmarks/profile_cell.py --out artifacts/profile.txt
 	PYTHONPATH=src $(PYTHON) benchmarks/profile_cell.py --columnar \
 	  --out artifacts/profile_columnar.txt
+
+# cProfile one seeded multi-tenant run_service cell (the WaaS hot path
+# served by the indexed fleet kernels).
+profile-service:
+	mkdir -p artifacts
+	PYTHONPATH=src $(PYTHON) benchmarks/profile_cell.py --service \
+	  --out artifacts/profile_service.txt
 
 report:
 	$(PYTHON) -m repro.experiments.cli all

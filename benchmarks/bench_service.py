@@ -1,14 +1,26 @@
-"""WaaS service-loop throughput benchmark: the 1000-workflow stress run.
+"""WaaS service-loop throughput benchmark: the multi-size stress run.
 
-Times one seeded multi-tenant service run (1000 workflows over 50
-tenants by default) and records wall time, simulated throughput, tail
-latency and fleet utilization to ``BENCH_service.json`` at the repo
-root, appending one dated row to ``BENCH_history.jsonl`` — the same
+Times seeded multi-tenant service runs at three sizes (1k/5k/10k
+workflows over 50/250/500 tenants), plus the preserved scan-based
+reference fleet (``FleetManager(indexed=False)``) at 1k, and records
+wall time, per-size speedup, simulated throughput, tail latency and
+fleet utilization to ``BENCH_service.json`` at the repo root —
+appending one dated row to ``BENCH_history.jsonl``, the same
 trajectory log the sweep and scaling benchmarks feed.
+
+The reference path is O(tasks x fleet) — a full-roster scan per
+placement — so it is only timed at the smallest size; per-size
+speedups divide each indexed throughput by the reference throughput
+at 1k and are therefore *lower bounds* (the scan path only gets
+slower as the fleet grows).
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_service.py
+
+Regression gate (used by ``make bench-check``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --check
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ from pathlib import Path
 
 from repro.cloud.platform import CloudPlatform
 from repro.experiments.service import ServiceCell, build_requests
+from repro.service.fleet import FleetManager
 from repro.service.loop import run_service
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -31,21 +44,32 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_service.json"
 HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 SEED = 2013
 
+#: (workflows, tenants) per size label; 1k is the headline cell the
+#: regression gate re-times
+SIZES = {"1k": (1000, 50), "5k": (5000, 250), "10k": (10000, 500)}
 
-def bench(args) -> dict:
+#: minimum absolute slowdown (on top of the ratio tolerance) before the
+#: gate fails — ratio-only gates flip on 1-core scheduler jitter
+#: (ROADMAP watch item); a real return of the O(tasks x fleet) scan
+#: costs tens of seconds, not fractions of one
+ABS_SLACK_SECONDS = 1.0
+
+
+def _run_cell(args, count: int, tenants: int, repeats: int, indexed: bool = True):
+    """Best-of-*repeats* wall time for one seeded service run."""
     cell = ServiceCell(
         platform=CloudPlatform.ec2(),
         policy=args.policy,
         admission=args.admission,
-        count=args.count,
-        tenants=args.tenants,
+        count=count,
+        tenants=tenants,
         mean_interarrival=args.interarrival,
         seed=args.seed,
         max_concurrent=args.max_concurrent,
     )
     requests = build_requests(cell)
     best, result = float("inf"), None
-    for _ in range(args.repeats):
+    for _ in range(repeats):
         t0 = time.perf_counter()
         result = run_service(
             requests,
@@ -53,15 +77,59 @@ def bench(args) -> dict:
             policy=cell.policy,
             admission=cell.admission,
             max_concurrent=cell.max_concurrent,
+            fleet=None if indexed else FleetManager(indexed=False),
         )
         best = min(best, time.perf_counter() - t0)
     assert result is not None and result.completed == result.admitted
+    return result, best
+
+
+def bench(args) -> dict:
+    sizes = {}
+    results = {}
+    for label, (count, tenants) in SIZES.items():
+        # best-of repeats at the gated 1k cell; single shot at the
+        # larger sizes to bound total bench time
+        repeats = args.repeats if label == "1k" else 1
+        result, best = _run_cell(args, count, tenants, repeats)
+        results[label] = result
+        sizes[label] = {
+            "workflows": count,
+            "tenants": tenants,
+            "repeats_best_of": repeats,
+            "wall_seconds": round(best, 4),
+            "workflows_per_wall_second": round(result.completed / best, 1),
+            "simulated": {
+                "completed": result.completed,
+                "makespan_s": round(result.makespan, 1),
+                "throughput_wf_per_h": round(result.throughput_per_hour, 3),
+                "latency_p50_s": round(result.latency_p50, 1),
+                "latency_p99_s": round(result.latency_p99, 1),
+                "utilization": round(result.utilization, 4),
+                "vms_rented": result.vm_count,
+                "rent_cost": round(result.rent_cost, 2),
+            },
+        }
+
+    # scan-based reference at 1k only: one shot (it is the slow path),
+    # with a byte-identity assertion against the indexed run
+    ref_result, ref_wall = _run_cell(args, *SIZES["1k"], repeats=1, indexed=False)
+    ref_rate = ref_result.completed / ref_wall
+    reference = {
+        "size": "1k",
+        "wall_seconds": round(ref_wall, 4),
+        "workflows_per_wall_second": round(ref_rate, 1),
+        "identical_to_indexed": ref_result == results["1k"],
+    }
+    for label, entry in sizes.items():
+        entry["speedup_vs_reference_1k"] = round(
+            entry["workflows_per_wall_second"] / ref_rate, 1
+        )
+
     return {
         "benchmark": "WaaS service loop (run_service)",
         "seed": args.seed,
         "workload": {
-            "workflows": args.count,
-            "tenants": args.tenants,
             "mean_interarrival_s": args.interarrival,
             "policy": args.policy,
             "admission": args.admission,
@@ -72,48 +140,26 @@ def bench(args) -> dict:
             "python": platform_module.python_version(),
             "platform": platform_module.platform(),
         },
-        "repeats_best_of": args.repeats,
-        "wall_seconds": round(best, 4),
-        "workflows_per_wall_second": round(result.completed / best, 1),
-        "simulated": {
-            "completed": result.completed,
-            "makespan_s": round(result.makespan, 1),
-            "throughput_wf_per_h": round(result.throughput_per_hour, 3),
-            "latency_p50_s": round(result.latency_p50, 1),
-            "latency_p99_s": round(result.latency_p99, 1),
-            "utilization": round(result.utilization, 4),
-            "vms_rented": result.vm_count,
-            "rent_cost": round(result.rent_cost, 2),
-        },
+        "reference": reference,
+        "speedup_note": (
+            "speedups divide indexed throughput by the 1k reference "
+            "throughput; the scan path is O(tasks x fleet), so larger "
+            "sizes understate the true ratio"
+        ),
+        "sizes": sizes,
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--count", type=int, default=1000)
-    parser.add_argument("--tenants", type=int, default=50)
-    parser.add_argument("--interarrival", type=float, default=180.0)
-    parser.add_argument("--policy", default="StartParNotExceed")
-    parser.add_argument("--admission", default="fair")
-    parser.add_argument("--max-concurrent", type=int, default=32)
-    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
-    parser.add_argument("--seed", type=int, default=SEED)
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
-    args = parser.parse_args(argv)
-
-    record = bench(args)
-    args.out.write_text(json.dumps(record, indent=2) + "\n")
-
-    sim = record["simulated"]
+def _append_history(wall: float, sim: dict, workflows: int, tenants: int) -> None:
     with HISTORY.open("a") as fh:
         fh.write(
             json.dumps(
                 {
                     "date": datetime.date.today().isoformat(),
                     "benchmark": "service",
-                    "wall_seconds": record["wall_seconds"],
-                    "workflows": record["workload"]["workflows"],
-                    "tenants": record["workload"]["tenants"],
+                    "wall_seconds": wall,
+                    "workflows": workflows,
+                    "tenants": tenants,
                     "throughput_wf_per_h": sim["throughput_wf_per_h"],
                     "latency_p99_s": sim["latency_p99_s"],
                     "utilization": sim["utilization"],
@@ -121,11 +167,97 @@ def main(argv=None) -> int:
             )
             + "\n"
         )
+
+
+def check(args) -> int:
+    """Regression gate: re-time the 1k cell, compare to the committed
+    baseline with a ratio tolerance AND an absolute slack."""
+    if not args.out.exists():
+        print(f"no baseline at {args.out}; run without --check first")
+        return 2
+    baseline = json.loads(args.out.read_text())
+    base_entry = baseline.get("sizes", {}).get("1k")
+    if base_entry is None:
+        print(f"baseline at {args.out} has no sizes/1k cell; regenerate it")
+        return 2
+    count, tenants = SIZES["1k"]
+    result, best = _run_cell(args, count, tenants, repeats=args.repeats)
+    base_wall = base_entry["wall_seconds"]
+    ratio = best / base_wall
+    slack = best - base_wall
+    regressed = ratio > 1 + args.tolerance and slack > ABS_SLACK_SECONDS
+    status = "OK" if not regressed else "REGRESSION"
     print(
-        f"{sim['completed']} workflows in {record['wall_seconds']:.2f}s wall "
-        f"({record['workflows_per_wall_second']:.0f} wf/s) | simulated "
-        f"{sim['throughput_wf_per_h']:.1f} wf/h, p99 {sim['latency_p99_s']:.0f}s, "
-        f"util {sim['utilization']:.3f}, {sim['vms_rented']} VMs"
+        f"service 1k: base {base_wall:8.3f}s  now {best:8.3f}s  "
+        f"x{ratio:5.2f}  {status}"
+    )
+    _append_history(
+        round(best, 4),
+        {
+            "throughput_wf_per_h": round(result.throughput_per_hour, 3),
+            "latency_p99_s": round(result.latency_p99, 1),
+            "utilization": round(result.utilization, 4),
+        },
+        count,
+        tenants,
+    )
+    if regressed:
+        print(
+            f"\nperf regression gate FAILED: {ratio:.2f}x baseline "
+            f"(+{slack:.3f}s; tolerance {1 + args.tolerance:.2f}x "
+            f"and +{ABS_SLACK_SECONDS:.2f}s)"
+        )
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--interarrival", type=float, default=180.0)
+    parser.add_argument("--policy", default="StartParNotExceed")
+    parser.add_argument("--admission", default="fair")
+    parser.add_argument("--max-concurrent", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-time the 1k cell and fail on regression vs --out",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed slowdown ratio before the gate fails (with --check)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check(args)
+
+    record = bench(args)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    head = record["sizes"]["1k"]
+    _append_history(
+        head["wall_seconds"], head["simulated"], head["workflows"], head["tenants"]
+    )
+    for label, entry in record["sizes"].items():
+        sim = entry["simulated"]
+        print(
+            f"{label:>3s}: {sim['completed']} workflows in "
+            f"{entry['wall_seconds']:.2f}s wall "
+            f"({entry['workflows_per_wall_second']:.0f} wf/s, "
+            f"{entry['speedup_vs_reference_1k']:.0f}x ref) | simulated "
+            f"p99 {sim['latency_p99_s']:.0f}s, util {sim['utilization']:.3f}, "
+            f"{sim['vms_rented']} VMs"
+        )
+    ref = record["reference"]
+    print(
+        f"ref: 1k scan-based in {ref['wall_seconds']:.2f}s wall "
+        f"(identical={ref['identical_to_indexed']})"
     )
     print(f"wrote {args.out}")
     return 0

@@ -11,10 +11,16 @@ and to prove the fix after an optimization PR.
 the fused kernels (``make profile`` writes that report to
 ``artifacts/profile_columnar.txt``).
 
+``--service`` profiles one seeded multi-tenant ``run_service`` cell —
+the WaaS hot path the indexed fleet kernels serve (``make
+profile-service`` writes that report to
+``artifacts/profile_service.txt``).
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/profile_cell.py --out artifacts/profile.txt
     PYTHONPATH=src python benchmarks/profile_cell.py --columnar
+    PYTHONPATH=src python benchmarks/profile_cell.py --service
 """
 
 from __future__ import annotations
@@ -82,6 +88,44 @@ def profile_columnar(projections: int, top: int) -> str:
     return header + buf.getvalue()
 
 
+def profile_service(count: int, tenants: int, seed: int, top: int) -> str:
+    """Profile one seeded multi-tenant ``run_service`` cell."""
+    from repro.experiments.service import ServiceCell, build_requests
+    from repro.service.loop import run_service
+
+    cell = ServiceCell(
+        platform=CloudPlatform.ec2(),
+        policy="StartParNotExceed",
+        admission="fair",
+        count=count,
+        tenants=tenants,
+        mean_interarrival=180.0,
+        seed=seed,
+        max_concurrent=32,
+    )
+    requests = build_requests(cell)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_service(
+        requests,
+        cell.platform,
+        policy=cell.policy,
+        admission=cell.admission,
+        max_concurrent=cell.max_concurrent,
+    )
+    profiler.disable()
+
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(top)
+    header = (
+        f"service cell: {count} workflows / {tenants} tenants "
+        f"({cell.policy}/{cell.admission}, seed {seed}); "
+        f"{result.completed} completed, {result.vm_count} VMs rented\n"
+        f"top {top} by cumulative time\n\n"
+    )
+    return header + buf.getvalue()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", type=int, default=0, help="scenario index")
@@ -100,10 +144,24 @@ def main(argv=None) -> int:
         default=16665,
         help="montage size for --columnar (default 16665 -> 50001 tasks)",
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="profile one multi-tenant run_service cell instead",
+    )
+    parser.add_argument(
+        "--count", type=int, default=1000, help="workflows for --service"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=50, help="tenants for --service"
+    )
     args = parser.parse_args(argv)
 
-    if args.columnar:
-        report = profile_columnar(args.projections, args.top)
+    if args.columnar or args.service:
+        if args.columnar:
+            report = profile_columnar(args.projections, args.top)
+        else:
+            report = profile_service(args.count, args.tenants, args.seed, args.top)
         if args.out is not None:
             args.out.parent.mkdir(parents=True, exist_ok=True)
             args.out.write_text(report)

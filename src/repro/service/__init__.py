@@ -6,7 +6,9 @@ the resource-sharing WaaS model of Hilman et al. (arXiv:1903.01113):
 
 * a :class:`~repro.service.fleet.FleetManager` owns a long-lived VM
   fleet shared *across* workflow submissions (rent, reuse, idle-expiry
-  at BTU boundaries, per-tenant billing attribution);
+  at BTU boundaries, per-tenant billing attribution) — indexed with
+  stamp-guarded lazy heaps (DESIGN.md §14) so placement-time fleet
+  queries never scan the dead roster;
 * an arrival stream (:mod:`repro.service.arrivals`) delivers workflow
   submissions from many tenants, Poisson- or trace-driven;
 * admission policies (:mod:`repro.service.admission`) decide, per
@@ -35,6 +37,7 @@ _EXPORTS = {
     "FleetVM": "repro.service.fleet",
     "private_fleet": "repro.service.fleet",
     "OwnerBill": "repro.service.fleet",
+    "FleetRollup": "repro.service.fleet",
     "WorkflowRequest": "repro.service.arrivals",
     "poisson_arrivals": "repro.service.arrivals",
     "trace_arrivals": "repro.service.arrivals",

@@ -66,11 +66,25 @@ class FairShareAdmission(AdmissionPolicy):
     name = "fair"
 
     def select_next(self, queue: Sequence[WorkflowRequest], service) -> int:
-        def rank(i: int):
-            acct = service.account(queue[i].tenant)
-            return (acct.running, acct.admitted, i)
-
-        return min(range(len(queue)), key=rank)
+        # Every queued request of one tenant shares the same
+        # (running, admitted) pair, so the argmin over the queue equals
+        # the argmin over each tenant's *first* occurrence: one account
+        # lookup per distinct tenant instead of per queued entry.
+        # Strict < keeps the earliest index on cross-tenant ties,
+        # matching min(..., key=(running, admitted, i)) exactly.
+        best_i = 0
+        best_key = None
+        seen = set()
+        for i, request in enumerate(queue):
+            tenant = request.tenant
+            if tenant in seen:
+                continue
+            seen.add(tenant)
+            acct = service.account(tenant)
+            key = (acct.running, acct.admitted)
+            if best_key is None or key < best_key:
+                best_key, best_i = key, i
+        return best_i
 
 
 def default_estimator(request: WorkflowRequest, service) -> float:

@@ -15,18 +15,50 @@ lands on stays with the provisioning policies; the manager only owns
 the records and their lifecycle.  It imports nothing above the cloud
 layer, so the static builder, the online executor and the service loop
 can all depend on it without cycles.
+
+Indexed hot path (DESIGN.md §14)
+--------------------------------
+A long service run rents tens of thousands of VMs, almost all of them
+dead at any moment — but the original :meth:`reap` and :meth:`alive`
+re-scanned the *entire* roster per placement, making the online path
+O(tasks × fleet).  The manager now keeps incremental indexes, the
+PR 4 stamp-guarded lazy-heap pattern applied to the live fleet:
+
+* a **live-id set** maintained at rent/death, so liveness queries never
+  touch dead records;
+* an **expiry min-heap** of ``(lower-bound horizon, id, stamp)``
+  entries — ``free_at`` is pushed as a lower bound (it never exceeds
+  the BTU horizon), and a popped entry whose true horizon has not
+  passed is re-armed at that horizon, so :meth:`reap` is O(k log n)
+  for k expired/stale entries instead of O(fleet);
+* a **busy-rank max-heap** over live VMs keyed by the policies'
+  ``(busy_seconds, -id)`` tie-break, answering the StartPar* "most
+  utilized VM" query as a stale-skipping peek;
+* a **free-pool**: a min-heap by ``free_at`` feeding an idle max-heap
+  by busy rank as simulation time passes, answering the AllPar*
+  "most utilized *idle* VM (that fits)" query without scanning.
+
+Every mutation bumps the VM's stamp (``note_use`` after a placement,
+death at reap/crash), invalidating old heap entries lazily.  The
+original full scans are preserved (``reap_reference``; pass
+``indexed=False``) as the property-test oracle: decision logs, service
+rollups and metric counters are byte-identical between the two paths.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cloud.billing import BillingModel
 from repro.cloud.instance import InstanceType
 from repro.cloud.region import Region
 from repro.errors import SimulationError
+
+#: reap/idle comparisons share the executor's float slack
+_EPS = 1e-9
 
 
 @dataclass
@@ -80,6 +112,17 @@ class OwnerBill:
     paid_seconds: float
 
 
+@dataclass(frozen=True)
+class FleetRollup:
+    """Everything the service loop needs from one roster pass:
+    per-owner bills, fleet utilization and the billing totals."""
+
+    bills: Dict[str, OwnerBill]
+    utilization: float
+    btus: int
+    rent_cost: float
+
+
 class FleetManager:
     """Owns a fleet of :class:`FleetVM` records shared across runs.
 
@@ -94,10 +137,16 @@ class FleetManager:
     :meth:`on_builder_rent`, so static planning (e.g. the budget-guard
     admission estimate) is accounted per owner without the builder
     giving up its local VM indexing.
+
+    With *indexed* (the default) the manager maintains the incremental
+    structures described in the module docstring; ``indexed=False``
+    preserves the original full-roster scans — same observable
+    behavior, property-tested byte-identical — as the reference oracle.
     """
 
-    def __init__(self, region: Region | None = None) -> None:
+    def __init__(self, region: Region | None = None, indexed: bool = True) -> None:
         self.region = region
+        self.indexed = indexed
         self.vms: List[FleetVM] = []
         #: executors (or any callables) notified when a VM crashes, so
         #: every run with work on the VM can recover its own tasks
@@ -111,6 +160,25 @@ class FleetManager:
         #: the owner attributed builder rentals (and rentals made with
         #: no explicit owner); the service sets this around each run
         self.active_owner: str = ""
+        # --- incremental fleet indexes (maintained in both modes, so
+        # counters/liveness stay O(1) even on the reference path) ----
+        #: ids of living VMs
+        self._live: set = set()
+        #: per-VM entry stamp; heap entries with an older stamp are
+        #: dropped lazily on pop (the PR 4 busy-heap pattern)
+        self._stamp: List[int] = []
+        #: min-heap of (lower-bound horizon, id, stamp) — see reap()
+        self._expiry: List[Tuple[float, int, int]] = []
+        #: max-heap (negated) of (busy_seconds, -id) over live VMs
+        self._rank: List[Tuple[float, int, int]] = []
+        #: min-heap by free_at of live VMs not yet promoted to idle
+        self._free_pool: List[Tuple[float, int, int]] = []
+        #: max-heap (negated busy rank) of live VMs known idle
+        self._idle_rank: List[Tuple[float, int, int]] = []
+        # --- incremental tallies (counters()) -----------------------
+        self.crashed_count = 0
+        self.preempted_count = 0
+        self.reaped_count = 0
 
     # ------------------------------------------------------------------
     # live-fleet lifecycle
@@ -133,7 +201,28 @@ class FleetManager:
             purchase=purchase,
         )
         self.vms.append(vm)
+        self._live.add(vm.id)
+        self._stamp.append(0)
+        if self.indexed:
+            heapq.heappush(self._expiry, (vm.free_at, vm.id, 0))
+            heapq.heappush(self._rank, (-vm.busy_seconds, vm.id, 0))
+            heapq.heappush(self._free_pool, (vm.free_at, vm.id, 0))
         return vm
+
+    def note_use(self, vm: FleetVM) -> None:
+        """Re-index *vm* after a placement extended its ``free_at`` /
+        ``busy_seconds``.  Executors call this for every reservation on
+        a live VM (crash bookkeeping on dead VMs needs no note — death
+        already invalidated every entry)."""
+        if not self.indexed or vm.dead:
+            return
+        stamp = self._stamp[vm.id] + 1
+        self._stamp[vm.id] = stamp
+        # free_at never exceeds the BTU horizon, so it is a valid
+        # expiry lower bound; reap() re-arms at the true horizon
+        heapq.heappush(self._expiry, (vm.free_at, vm.id, stamp))
+        heapq.heappush(self._rank, (-vm.busy_seconds, vm.id, stamp))
+        heapq.heappush(self._free_pool, (vm.free_at, vm.id, stamp))
 
     def take_warm(self, itype: InstanceType, pool: int) -> bool:
         """Claim one warm-pool slot for a new *itype* acquisition.
@@ -151,30 +240,136 @@ class FleetManager:
         self.warm_used[itype.name] = used + 1
         return True
 
+    @property
+    def live_count(self) -> int:
+        """Number of living VMs (O(1))."""
+        return len(self._live)
+
     def alive(self, owner: str | None = None) -> List[FleetVM]:
         """Living VMs in rental order; *owner* restricts to one tenant's
         rentals (tenant-scoped sharing)."""
+        vms = self.vms
+        live = [vms[i] for i in sorted(self._live)]
         if owner is None:
-            return [vm for vm in self.vms if not vm.dead]
-        return [vm for vm in self.vms if not vm.dead and vm.owner == owner]
+            return live
+        return [vm for vm in live if vm.owner == owner]
+
+    def _retire(self, vm: FleetVM, finished_at: float) -> None:
+        """Mark *vm* dead at *finished_at* and invalidate its indexes
+        (the single kill path shared by reap and crash)."""
+        vm.dead = True
+        vm.finished_at = finished_at
+        self._live.discard(vm.id)
+        self._stamp[vm.id] += 1
 
     def reap(self, now: float, btu: float) -> List[FleetVM]:
         """Mark VMs idle past their BTU horizon dead; returns the newly
-        dead ones (callers record their own ``vm_stop`` events)."""
+        dead ones in roster order (callers record their own ``vm_stop``
+        events).
+
+        Indexed: pop the expiry heap while the top entry's lower bound
+        has passed.  A popped entry whose VM is current (stamp match)
+        but not expired — the lower bound was ``free_at`` or the VM is
+        still inside its horizon — is re-armed at ``max(horizon,
+        free_at)``, which stays a lower bound of any future expiry
+        (reuse only pushes ``free_at``, hence the horizon, later).
+        O(k log n) for k expired + stale entries, instead of the
+        reference's O(fleet) scan.
+        """
+        if not self.indexed:
+            return self.reap_reference(now, btu)
+        reaped: List[FleetVM] = []
+        heap = self._expiry
+        stamps = self._stamp
+        cutoff = now - _EPS
+        while heap and heap[0][0] < cutoff:
+            _, vid, stamp = heapq.heappop(heap)
+            if stamp != stamps[vid]:
+                continue  # superseded by reuse or death
+            vm = self.vms[vid]
+            horizon = vm.horizon(btu)
+            if vm.free_at <= now and horizon < cutoff:
+                self._retire(vm, vm.free_at)
+                self.reaped_count += 1
+                reaped.append(vm)
+            else:
+                # not expired: re-arm past the pop window (free_at > now
+                # or horizon >= cutoff, so the key never re-pops now)
+                heapq.heappush(heap, (max(horizon, vm.free_at), vid, stamp))
+        if len(reaped) > 1:
+            reaped.sort(key=lambda v: v.id)
+        return reaped
+
+    def reap_reference(self, now: float, btu: float) -> List[FleetVM]:
+        """The original full-roster reap scan — the property-test
+        oracle for :meth:`reap` (identical dead set, order, timing)."""
         reaped: List[FleetVM] = []
         for vm in self.vms:
-            if not vm.dead and vm.free_at <= now and vm.horizon(btu) < now - 1e-9:
-                vm.dead = True
-                vm.finished_at = vm.free_at
+            if not vm.dead and vm.free_at <= now and vm.horizon(btu) < now - _EPS:
+                self._retire(vm, vm.free_at)
+                self.reaped_count += 1
                 reaped.append(vm)
         return reaped
+
+    # ------------------------------------------------------------------
+    # indexed candidate queries (the executors' placement hot path)
+    # ------------------------------------------------------------------
+    def max_busy_alive(self) -> Optional[FleetVM]:
+        """The live VM maximizing ``(busy_seconds, -id)`` — the
+        StartPar* reuse target — as a stale-skipping heap peek."""
+        heap = self._rank
+        stamps = self._stamp
+        while heap:
+            _, vid, stamp = heap[0]
+            if stamp != stamps[vid]:
+                heapq.heappop(heap)
+                continue
+            return self.vms[vid]
+        return None
+
+    def best_idle(
+        self, now: float, fits: Callable[[FleetVM], bool] | None = None
+    ) -> Optional[FleetVM]:
+        """The idle live VM maximizing ``(busy_seconds, -id)`` that
+        passes *fits* — the AllPar* candidate query.
+
+        VMs migrate from the free-pool (ordered by ``free_at``) into
+        the idle rank heap as the clock passes their reservations; a
+        reuse bumps the stamp, so a reused VM's idle entry dies lazily.
+        Entries rejected by *fits* stay idle and are pushed back.
+        """
+        pool, stamps = self._free_pool, self._stamp
+        idle = self._idle_rank
+        while pool and pool[0][0] <= now + _EPS:
+            _, vid, stamp = heapq.heappop(pool)
+            if stamp != stamps[vid]:
+                continue
+            vm = self.vms[vid]
+            heapq.heappush(idle, (-vm.busy_seconds, vid, stamp))
+        rejected: List[Tuple[float, int, int]] = []
+        found: Optional[FleetVM] = None
+        while idle:
+            entry = heapq.heappop(idle)
+            _, vid, stamp = entry
+            if stamp != stamps[vid]:
+                continue
+            vm = self.vms[vid]
+            if fits is not None and not fits(vm):
+                rejected.append(entry)
+                continue
+            found = vm
+            heapq.heappush(idle, entry)  # idle until its next reuse
+            break
+        for entry in rejected:
+            heapq.heappush(idle, entry)
+        return found
 
     def mark_crashed(self, vm: FleetVM, now: float) -> None:
         """Void a VM at *now*; reservations are reclaimed by listeners."""
         vm.crashed = True
-        vm.dead = True
         vm.crashed_at = now
-        vm.finished_at = now
+        self._retire(vm, now)
+        self.crashed_count += 1
 
     # ------------------------------------------------------------------
     # crash fan-out (shared fleets host tasks of many runs)
@@ -185,6 +380,8 @@ class FleetManager:
     def notify_crash(self, vm: FleetVM) -> None:
         """Let every attached run reclaim its victims on *vm* (in
         attachment order, so recovery interleaving is deterministic)."""
+        if vm.preempted:
+            self.preempted_count += 1
         for listener in self._crash_listeners:
             listener(vm)
 
@@ -219,6 +416,90 @@ class FleetManager:
         end = vm.crashed_at if vm.crashed else vm.free_at
         return max(end - vm.started_at, 0.0)
 
+    def counters(self) -> Dict[str, int]:
+        """O(1) fleet tallies, maintained incrementally (no roster
+        scan): total rentals, live/crashed/preempted/reaped counts."""
+        return {
+            "vms": len(self.vms),
+            "alive": len(self._live),
+            "crashed": self.crashed_count,
+            "preempted": self.preempted_count,
+            "reaped": self.reaped_count,
+        }
+
+    def finalize(
+        self,
+        billing: BillingModel,
+        region: Region | None = None,
+        market: object | None = None,
+        seed: int = 0,
+        check: bool = True,
+    ) -> FleetRollup:
+        """Bills, utilization and conservation in **one** roster pass.
+
+        The original service finish walked the (mostly dead) roster
+        three times — ``check_conservation``, ``bill`` and two sums in
+        ``utilization``.  This compacts them into a single pass with
+        identical accumulation order, so every float comes out
+        bit-equal to the multi-pass originals (a property the identity
+        tests pin).
+        """
+        region = region or self.region
+        if region is None and self.vms:
+            raise SimulationError("bill() needs a region (none configured)")
+        rows: Dict[str, Dict[str, float]] = {}
+        busy_total = 0.0
+        paid_total = 0.0
+        for idx, vm in enumerate(self.vms):
+            if check:
+                if vm.id != idx:
+                    raise SimulationError(
+                        f"fleet ids not dense: vm{vm.id} at slot {idx}"
+                    )
+                if vm.crashed and not vm.dead:
+                    raise SimulationError(f"vm{vm.id} crashed but not dead")
+                if vm.free_at < vm.started_at - _EPS:
+                    raise SimulationError(
+                        f"vm{vm.id} freed at {vm.free_at} before start "
+                        f"{vm.started_at}"
+                    )
+            up = self.uptime(vm)
+            paid = billing.paid_seconds(up)
+            if market is not None and vm.purchase is not None:
+                cost = market.vm_cost(
+                    billing, seed, vm.started_at, up, vm.itype, region, vm.purchase
+                )
+            else:
+                cost = billing.btus(up) * region.price(vm.itype)
+            acc = rows.setdefault(
+                vm.owner,
+                {"vms": 0, "btus": 0, "cost": 0.0, "busy": 0.0, "paid": 0.0},
+            )
+            acc["vms"] += 1
+            acc["btus"] += billing.btus(up)
+            acc["cost"] += cost
+            acc["busy"] += vm.busy_seconds
+            acc["paid"] += paid
+            busy_total += vm.busy_seconds
+            paid_total += paid
+        bills = {
+            owner: OwnerBill(
+                owner=owner,
+                vm_count=int(acc["vms"]),
+                btus=int(acc["btus"]),
+                rent_cost=acc["cost"],
+                busy_seconds=acc["busy"],
+                paid_seconds=acc["paid"],
+            )
+            for owner, acc in sorted(rows.items())
+        }
+        return FleetRollup(
+            bills=bills,
+            utilization=busy_total / paid_total if paid_total > 0 else 0.0,
+            btus=sum(b.btus for b in bills.values()),
+            rent_cost=sum(b.rent_cost for b in bills.values()),
+        )
+
     def bill(
         self,
         billing: BillingModel,
@@ -238,43 +519,20 @@ class FleetManager:
         region = region or self.region
         if region is None:
             raise SimulationError("bill() needs a region (none configured)")
-        rows: Dict[str, Dict[str, float]] = {}
-        for vm in self.vms:
-            up = self.uptime(vm)
-            if market is not None and vm.purchase is not None:
-                cost = market.vm_cost(
-                    billing, seed, vm.started_at, up, vm.itype, region, vm.purchase
-                )
-            else:
-                cost = billing.btus(up) * region.price(vm.itype)
-            acc = rows.setdefault(
-                vm.owner,
-                {"vms": 0, "btus": 0, "cost": 0.0, "busy": 0.0, "paid": 0.0},
-            )
-            acc["vms"] += 1
-            acc["btus"] += billing.btus(up)
-            acc["cost"] += cost
-            acc["busy"] += vm.busy_seconds
-            acc["paid"] += billing.paid_seconds(up)
-        return {
-            owner: OwnerBill(
-                owner=owner,
-                vm_count=int(acc["vms"]),
-                btus=int(acc["btus"]),
-                rent_cost=acc["cost"],
-                busy_seconds=acc["busy"],
-                paid_seconds=acc["paid"],
-            )
-            for owner, acc in sorted(rows.items())
-        }
+        return self.finalize(
+            billing, region, market=market, seed=seed, check=False
+        ).bills
 
     def utilization(self, billing: BillingModel) -> float:
         """Busy seconds over paid seconds across the fleet (0 when the
-        fleet never rented anything)."""
-        paid = sum(billing.paid_seconds(self.uptime(vm)) for vm in self.vms)
+        fleet never rented anything) — one roster pass."""
+        busy = 0.0
+        paid = 0.0
+        for vm in self.vms:
+            busy += vm.busy_seconds
+            paid += billing.paid_seconds(self.uptime(vm))
         if paid <= 0:
             return 0.0
-        busy = sum(vm.busy_seconds for vm in self.vms)
         return busy / paid
 
     # ------------------------------------------------------------------
@@ -289,14 +547,13 @@ class FleetManager:
                 raise SimulationError(f"fleet ids not dense: vm{vm.id} at slot {idx}")
             if vm.crashed and not vm.dead:
                 raise SimulationError(f"vm{vm.id} crashed but not dead")
-            if vm.free_at < vm.started_at - 1e-9:
+            if vm.free_at < vm.started_at - _EPS:
                 raise SimulationError(
                     f"vm{vm.id} freed at {vm.free_at} before start {vm.started_at}"
                 )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        alive = sum(1 for vm in self.vms if not vm.dead)
-        return f"FleetManager(vms={len(self.vms)}, alive={alive})"
+        return f"FleetManager(vms={len(self.vms)}, alive={len(self._live)})"
 
 
 #: the owner attributed to VMs rented outside any tenant context

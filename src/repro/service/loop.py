@@ -173,6 +173,7 @@ class WorkflowService:
         max_events: int = 10_000_000,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        fleet: FleetManager | None = None,
     ) -> None:
         supported = online_policy_names()
         if policy not in supported:
@@ -197,7 +198,9 @@ class WorkflowService:
         self.tracer = ensure_tracer(tracer)
         self.metrics = metrics if metrics is not None else current_metrics()
         self.sim = Simulator(max_events=max_events, tracer=tracer)
-        self.fleet = FleetManager(region=self.region)
+        #: the shared fleet; inject one (e.g. ``FleetManager(
+        #: indexed=False)``) to run against the reference scan path
+        self.fleet = fleet if fleet is not None else FleetManager(region=self.region)
         self.accounts: Dict[str, TenantAccount] = {}
         self.queue: List[WorkflowRequest] = []
         self.running = 0
@@ -209,6 +212,15 @@ class WorkflowService:
         self._started_at: Dict[int, float] = {}
         self._seq = 0
         self._finished = False
+        # streaming rollup accumulators: totals and the latency list
+        # grow as workflows finish, so _finish() never re-walks the
+        # reports for facts it already observed (percentiles stay
+        # sort-once over the accumulated latencies)
+        self._submitted = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._latencies: List[float] = []
+        self._makespan = 0.0
 
     # ------------------------------------------------------------------
     # state the admission policies read
@@ -230,6 +242,7 @@ class WorkflowService:
     def _on_arrival(self, request: WorkflowRequest) -> None:
         acct = self.account(request.tenant)
         acct.submitted += 1
+        self._submitted += 1
         # the manager attributes any static planning (e.g. the budget
         # guard's estimator builds) to the arriving tenant
         self.fleet.active_owner = request.tenant
@@ -240,9 +253,11 @@ class WorkflowService:
         estimate = self._estimates.pop(id(request), 0.0)
         if not admitted:
             acct.rejected += 1
+            self._rejected += 1
             self.rejected_requests.append(request)
             return
         acct.admitted += 1
+        self._admitted += 1
         # commitment at admit (not dequeue): queued siblings must not
         # jointly overshoot the budget
         acct.committed += estimate
@@ -293,6 +308,7 @@ class WorkflowService:
         acct.spent += estimate
         started = self._started_at.pop(id(request))
         now = self.sim.now
+        latency = now - request.arrival
         self.reports.append(
             WorkflowReport(
                 name=request.name,
@@ -300,11 +316,14 @@ class WorkflowService:
                 arrival=request.arrival,
                 started=started,
                 finished=now,
-                latency=now - request.arrival,
+                latency=latency,
                 wait=started - request.arrival,
                 tasks=len(request.workflow.task_ids),
             )
         )
+        self._latencies.append(latency)
+        if now > self._makespan:
+            self._makespan = now
         self._drain_queue()
 
     # ------------------------------------------------------------------
@@ -342,17 +361,14 @@ class WorkflowService:
             )
         if self.sim.pending_events:
             raise SimulationError("event queue not drained")  # pragma: no cover
-        self.fleet.check_conservation()
         billing = self.platform.billing
         market = self.fault_plan.market if self.fault_plan is not None else None
         seed = self.fault_plan.seed if self.fault_plan is not None else 0
-        bills = (
-            self.fleet.bill(billing, self.region, market=market, seed=seed)
-            if self.fleet.vms
-            else {}
-        )
-        latencies = sorted(r.latency for r in self.reports)
-        makespan = max((r.finished for r in self.reports), default=0.0)
+        # one compacted roster pass: conservation check + per-owner
+        # bills + utilization, instead of three full fleet walks
+        roll = self.fleet.finalize(billing, self.region, market=market, seed=seed)
+        latencies = sorted(self._latencies)
+        makespan = self._makespan
         completed = len(self.reports)
         throughput = completed / (makespan / 3600.0) if makespan > 0 else 0.0
         tenants: Dict[str, TenantReport] = {}
@@ -365,21 +381,21 @@ class WorkflowService:
                 rejected=acct.rejected,
                 completed=acct.completed,
                 spent_estimate=acct.spent,
-                bill=bills.get(name),
+                bill=roll.bills.get(name),
             )
         result = ServiceResult(
-            submitted=sum(a.submitted for a in self.accounts.values()),
-            admitted=sum(a.admitted for a in self.accounts.values()),
-            rejected=sum(a.rejected for a in self.accounts.values()),
+            submitted=self._submitted,
+            admitted=self._admitted,
+            rejected=self._rejected,
             completed=completed,
             makespan=makespan,
             throughput_per_hour=throughput,
             latency_p50=_nearest_rank(latencies, 50.0),
             latency_p99=_nearest_rank(latencies, 99.0),
-            utilization=self.fleet.utilization(billing),
+            utilization=roll.utilization,
             vm_count=len(self.fleet.vms),
-            btus=sum(b.btus for b in bills.values()),
-            rent_cost=sum(b.rent_cost for b in bills.values()),
+            btus=roll.btus,
+            rent_cost=roll.rent_cost,
             tenants=tenants,
             workflows=sorted(
                 self.reports, key=lambda r: (r.finished, r.arrival, r.name)
@@ -416,6 +432,7 @@ def run_service(
     recovery: "str | RecoveryPolicy | None" = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    fleet: "FleetManager | None" = None,
 ) -> ServiceResult:
     """Convenience wrapper: build a service and run one request stream."""
     return WorkflowService(
@@ -430,4 +447,5 @@ def run_service(
         recovery=recovery,
         tracer=tracer,
         metrics=metrics,
+        fleet=fleet,
     ).run(requests)

@@ -274,6 +274,59 @@ class OnlineCloudExecutor:
         return start + duration <= vm.horizon(self.platform.btu_seconds) + 1e-9
 
     def _select_vm(self, task_id: str, duration: float) -> _OnlineVM:
+        """Pick the VM for *task_id* against the fleet state *now*.
+
+        On an indexed manager (the default) every query is served from
+        the fleet indexes — heap-peek reap, max-busy peek, idle-pool
+        scan — so a placement costs O(log fleet) instead of the
+        reference's O(fleet) roster walks.  Decision-identical to
+        :meth:`_select_vm_reference` (property-tested)."""
+        mgr = self._fleet_mgr
+        if not mgr.indexed:
+            return self._select_vm_reference(task_id, duration)
+        self._reap()
+        if self.policy == "OneVMperTask":
+            return self._rent()
+        if self.policy.startswith("StartPar"):
+            if not self.workflow.predecessors(task_id) or not mgr.live_count:
+                return self._rent()
+            target = mgr.max_busy_alive()
+            assert target is not None
+            if self.policy.endswith("Exceed") and not self.policy.endswith(
+                "NotExceed"
+            ):
+                return target
+            return target if self._fits_btu(target, duration) else self._rent()
+        # AllPar* (see _select_vm_reference for the policy reading)
+        now = self.sim.now
+        fits = None
+        if self.policy == "AllParNotExceed":
+            fits = lambda vm: self._fits_btu(vm, duration)  # noqa: E731
+        pred_vm = self._largest_pred_vm(task_id)
+        if self.level_sizes[self.levels[task_id]] > 1:
+            # the predecessor's VM wins whenever it qualifies as a
+            # candidate (alive, idle now, fits); otherwise the most
+            # utilized qualifying idle VM, served from the idle pool
+            if (
+                pred_vm is not None
+                and not pred_vm.dead
+                and pred_vm.free_at <= now + 1e-9
+                and (fits is None or fits(pred_vm))
+            ):
+                return pred_vm
+            best = mgr.best_idle(now, fits)
+            return best if best is not None else self._rent()
+        # singleton level: only the predecessor's VM is ever reusable
+        if pred_vm is None or pred_vm.dead:
+            return self._rent()
+        if fits is not None and not fits(pred_vm):
+            return self._rent()
+        return pred_vm
+
+    def _select_vm_reference(self, task_id: str, duration: float) -> _OnlineVM:
+        """The original O(alive)-scan selection — preserved as the
+        byte-identity oracle for the indexed path (use a
+        ``FleetManager(indexed=False)``)."""
         self._reap()
         alive = self._alive()
         if self.policy == "OneVMperTask":
@@ -364,6 +417,9 @@ class OnlineCloudExecutor:
         finish = start + duration
         vm.free_at = finish
         vm.busy_seconds += duration
+        # the reservation moved the VM's free/busy state: re-index it
+        # (expiry lower bound, busy rank, free pool) in the manager
+        self._fleet_mgr.note_use(vm)
         prev = self.task_vm.get(task_id)
         key = self._roster_key(task_id)
         if prev is not None and prev != vm.id:

@@ -1,0 +1,272 @@
+"""Byte-identity property tests for the indexed fleet kernels.
+
+The indexed :class:`~repro.service.fleet.FleetManager` (live-id set,
+stamp-guarded expiry/rank/idle heaps — DESIGN.md §14) must be
+observationally indistinguishable from the preserved full-scan
+reference (``FleetManager(indexed=False)``, ``reap_reference``,
+``_select_vm_reference``): same decision logs, same service rollups,
+same metric counters, bit-equal floats.  These tests drive both paths
+over the DAG zoo x policies x admissions x seeds and compare entire
+results — the same trace-identity contract the static columnar kernels
+pin in ``tests/core/test_kernel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.platform import CloudPlatform
+from repro.experiments.service import ServiceCell, build_requests
+from repro.obs.metrics import MetricsRegistry
+from repro.service.fleet import FleetManager
+from repro.service.loop import run_service
+from repro.simulator.faults import FaultPlan
+from repro.simulator.online import OnlineCloudExecutor
+from repro.workflows.generators import fork_join, mapreduce, random_layered
+
+POLICIES = [
+    "OneVMperTask",
+    "AllParExceed",
+    "AllParNotExceed",
+    "StartParExceed",
+    "StartParNotExceed",
+]
+SEEDS = [1, 2013]
+
+SHAPES = {
+    "wide": lambda seed: random_layered(
+        layers=4, width_range=(6, 14), edge_density=0.4, seed=seed,
+        name=f"wide-s{seed}",
+    ),
+    "diamond": lambda seed: fork_join(
+        width=3 + seed % 5, stages=2 + seed % 3, name=f"diamond-s{seed}"
+    ),
+    "mapreduce": lambda seed: mapreduce(
+        mappers=5 + 3 * (seed % 4), reducers=1 + seed % 3, name=f"mr-s{seed}"
+    ),
+    "deep": lambda seed: random_layered(
+        layers=9, width_range=(1, 5), edge_density=0.6, seed=seed,
+        name=f"deep-s{seed}",
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return CloudPlatform.ec2()
+
+
+# ----------------------------------------------------------------------
+# solo online runs: decision log + metric counter identity
+# ----------------------------------------------------------------------
+def _online_pair(platform, workflow, policy, fault_plan=None, recovery=None):
+    results = []
+    registries = []
+    for fleet in (None, FleetManager(indexed=False)):
+        metrics = MetricsRegistry()
+        result = OnlineCloudExecutor(
+            workflow,
+            platform,
+            policy=policy,
+            itype=platform.itype("small"),
+            fault_plan=fault_plan,
+            recovery=recovery,
+            metrics=metrics,
+            fleet=fleet,
+        ).run()
+        results.append(result)
+        registries.append(metrics)
+    return results, registries
+
+
+@pytest.mark.parametrize(
+    "shape,seed",
+    [pytest.param(s, z, id=f"{s}-s{z}") for s in SHAPES for z in SEEDS],
+)
+def test_online_trace_identical(platform, shape, seed):
+    """Every policy's full online trace (task timings, VM ids, events,
+    costs) and metric counters match between indexed and reference."""
+    workflow = SHAPES[shape](seed)
+    for policy in POLICIES:
+        (indexed, reference), (m_idx, m_ref) = _online_pair(
+            platform, workflow, policy
+        )
+        assert indexed == reference, f"{policy} trace diverged"
+        assert m_idx.as_dict() == m_ref.as_dict(), f"{policy} metrics diverged"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_online_trace_identical_under_faults(platform, seed):
+    """Crashes, boot failures and retries hit the index maintenance
+    paths (mark_crashed, reclaim listeners); the traces must still
+    match event for event."""
+    plan = FaultPlan(
+        seed=seed, task_fail_prob=0.15, vm_crash_rate=1 / 20000, boot_fail_prob=0.1
+    )
+    workflow = SHAPES["deep"](seed)
+    for policy in POLICIES:
+        (indexed, reference), (m_idx, m_ref) = _online_pair(
+            platform, workflow, policy, fault_plan=plan, recovery="retry"
+        )
+        assert indexed == reference, f"{policy} faulted trace diverged"
+        assert indexed.faults == reference.faults
+        assert m_idx.as_dict() == m_ref.as_dict(), f"{policy} metrics diverged"
+
+
+# ----------------------------------------------------------------------
+# service loop: rollup identity over policies x admissions x seeds
+# ----------------------------------------------------------------------
+def _service_pair(platform, policy, admission, seed, budget=float("inf")):
+    cell = ServiceCell(
+        platform=platform,
+        policy=policy,
+        admission=admission,
+        count=14,
+        tenants=4,
+        mean_interarrival=180.0,
+        seed=seed,
+        budget=budget,
+        max_concurrent=4,
+    )
+    requests = build_requests(cell)
+    runs = []
+    for fleet in (None, FleetManager(indexed=False)):
+        runs.append(
+            run_service(
+                requests,
+                platform,
+                policy=policy,
+                admission=admission,
+                max_concurrent=cell.max_concurrent,
+                fleet=fleet,
+            )
+        )
+    return runs
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("admission", ["fifo", "fair"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_service_rollup_identical(platform, policy, admission, seed):
+    """The entire ServiceResult — per-tenant bills, latency
+    percentiles, utilization, per-workflow reports — is equal between
+    the indexed and reference fleets."""
+    indexed, reference = _service_pair(platform, policy, admission, seed)
+    assert indexed == reference
+    assert indexed.rollup() == reference.rollup()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_service_rollup_identical_budget_admission(platform, seed):
+    """Budget-guard admission estimates price workflows through a
+    static builder against the shared fleet ledger; rejections and
+    rollups must not depend on the fleet's indexing mode."""
+    indexed, reference = _service_pair(
+        platform, "StartParNotExceed", "budget", seed, budget=2.0
+    )
+    assert indexed.rejected == reference.rejected
+    assert indexed == reference
+
+
+# ----------------------------------------------------------------------
+# manager-level property: random op sequences
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [1, 7, 2013])
+def test_manager_random_ops_identical(platform, seed):
+    """Drive an indexed and a reference manager through one random
+    rent/use/crash/reap sequence; liveness, reap order, selection
+    queries and counters must stay equal at every step."""
+    itype = platform.itype("small")
+    billing = platform.billing
+    btu = billing.btu_seconds
+    rng = random.Random(seed)
+    indexed = FleetManager(region=platform.default_region)
+    reference = FleetManager(region=platform.default_region, indexed=False)
+    now = 0.0
+    for _ in range(400):
+        now += rng.expovariate(1 / 300.0)
+        roll = rng.random()
+        if roll < 0.45 or not indexed.live_count:
+            boot = 30.0 + 60.0 * rng.random()
+            dur = 100.0 + 2000.0 * rng.random()
+            owner = f"t{rng.randrange(4)}"
+            va = indexed.rent(itype, now, now + boot + dur, owner=owner)
+            vb = reference.rent(itype, now, now + boot + dur, owner=owner)
+            va.busy_seconds += dur
+            vb.busy_seconds += dur
+            indexed.note_use(va)
+            reference.note_use(vb)
+        elif roll < 0.80:
+            live = indexed.alive()
+            vm = live[rng.randrange(len(live))]
+            twin = reference.vms[vm.id]
+            dur = 100.0 + 2000.0 * rng.random()
+            start = max(now, vm.free_at)
+            for v in (vm, twin):
+                v.free_at = start + dur
+                v.busy_seconds += dur
+            indexed.note_use(vm)
+            reference.note_use(twin)
+        else:
+            live = indexed.alive()
+            vm = live[rng.randrange(len(live))]
+            indexed.mark_crashed(vm, now)
+            reference.mark_crashed(reference.vms[vm.id], now)
+        got = [vm.id for vm in indexed.reap(now, btu)]
+        want = [vm.id for vm in reference.reap(now, btu)]
+        assert got == want
+        assert [vm.id for vm in indexed.alive()] == [
+            vm.id for vm in reference.alive()
+        ]
+        assert indexed.counters() == reference.counters()
+        best = indexed.max_busy_alive()
+        live = reference.alive()
+        want_best = max(live, key=lambda v: (v.busy_seconds, -v.id), default=None)
+        assert (best.id if best else None) == (
+            want_best.id if want_best else None
+        )
+        idle = indexed.best_idle(now)
+        want_idle = max(
+            (v for v in live if v.free_at <= now + 1e-9),
+            key=lambda v: (v.busy_seconds, -v.id),
+            default=None,
+        )
+        assert (idle.id if idle else None) == (
+            want_idle.id if want_idle else None
+        )
+    # the single-pass rollup equals the three-pass accounting, floats
+    # bit-equal (same accumulation order)
+    roll_idx = indexed.finalize(billing)
+    assert roll_idx.bills == reference.bill(billing)
+    assert roll_idx.utilization == reference.utilization(billing)
+
+
+# ----------------------------------------------------------------------
+# scale smoke (excluded from tier 1 via the `slow` marker)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_service_10k_smoke(platform):
+    """The 10k-workflow / 500-tenant run the indexed kernels target:
+    must complete (admitted == completed) without event-budget blowups."""
+    cell = ServiceCell(
+        platform=platform,
+        policy="StartParNotExceed",
+        admission="fair",
+        count=10_000,
+        tenants=500,
+        mean_interarrival=180.0,
+        seed=2013,
+        max_concurrent=32,
+    )
+    result = run_service(
+        build_requests(cell),
+        platform,
+        policy=cell.policy,
+        admission=cell.admission,
+        max_concurrent=cell.max_concurrent,
+    )
+    assert result.submitted == 10_000
+    assert result.completed == result.admitted == 10_000
+    assert result.vm_count > 0
