@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint check coverage bench bench-scaling bench-service \
-  bench-pricing bench-check profile profile-service report artifacts examples \
-  faults-smoke service-smoke pricing-smoke clean
+  bench-pricing bench-tune bench-check profile profile-service report \
+  artifacts examples faults-smoke service-smoke pricing-smoke tune-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -69,6 +69,11 @@ bench-service:
 bench-pricing:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pricing.py
 
+# Refreshes BENCH_tune.json: the constraint-aware autotune search
+# (best-of-3), appended to BENCH_history.jsonl.
+bench-tune:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_tune.py
+
 # Perf-regression gate: re-runs the small scaling sizes and fails when
 # any cell is >25% slower than the committed BENCH_scaling.json, then
 # gates the parallel sweep (serial/parallel identity always; process
@@ -79,6 +84,7 @@ bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pricing.py --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_tune.py --check
 
 # cProfile one representative sweep cell plus the 50k columnar fused
 # pipeline; top-25 cumulative entries go to artifacts/profile*.txt for
@@ -121,6 +127,12 @@ service-smoke:
 pricing-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli pricing --quick \
 	  --workflow montage
+
+# Fast end-to-end check of the constraint-aware autotuner: a reduced
+# search on montage under a deadline+budget bound, through the CLI.
+tune-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli tune --quick \
+	  --workflow montage --deadline 9000 --budget 15
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \

@@ -1,0 +1,210 @@
+"""Autotune benchmark: the constraint-aware configuration search under load.
+
+Times one seeded :func:`repro.tune.autotune` search (24 sampled
+configurations over the full 360-point space, successively halved under
+a deadline bound on montage) and records wall time plus the headline
+the search exists for — the winner's cost against the best *fixed*
+paper configuration (the Figure-4 policy/flavor menu at on-demand
+prices, no reduction, retry recovery) under the same constraints — to
+``BENCH_tune.json`` at the repo root, appending one dated row to
+``BENCH_history.jsonl``.
+
+``--check`` re-runs the committed search once and fails when it is more
+than ``--tolerance`` (default 25%) slower than the baseline, with an
+absolute slack so timer noise cannot trip the gate — the
+``make bench-check`` regression hook.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py
+    PYTHONPATH=src python benchmarks/bench_tune.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform as platform_module
+import sys
+import time
+from pathlib import Path
+
+from repro.core.constraints import Constraints
+from repro.tune import TuneSpace, autotune
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_tune.json"
+HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+#: minimum absolute slowdown (on top of the ratio tolerance) before the
+#: check fails — the search runs in seconds, where scheduler noise alone
+#: can exceed a 25% ratio on loaded machines.
+ABS_SLACK_SECONDS = 0.5
+
+#: the search's bound: tight enough that slow configurations are
+#: infeasible on the montage/pareto instance, loose enough that a
+#: feasible winner always exists
+DEADLINE_SECONDS = 9000.0
+
+#: the paper's fixed menu — 5 provisioning policies x 3 flavors, no
+#: reduction, retry recovery, on-demand prices
+PAPER_MENU = TuneSpace(
+    reductions=("none",),
+    recoveries=("retry",),
+    purchases=("on_demand",),
+)
+
+
+def run_search(candidates: int, seed: int, jobs: int | None, backend: str | None):
+    return autotune(
+        constraints=Constraints(deadline=DEADLINE_SECONDS),
+        workflow_name="montage",
+        n_candidates=candidates,
+        seed=seed,
+        jobs=jobs,
+        backend=backend,
+    )
+
+
+def paper_best(jobs: int | None, backend: str | None):
+    """The cheapest feasible fixed paper configuration — evaluate the
+    whole 15-point menu so the comparison is exhaustive, not sampled."""
+    return autotune(
+        constraints=Constraints(deadline=DEADLINE_SECONDS),
+        workflow_name="montage",
+        space=PAPER_MENU,
+        n_candidates=PAPER_MENU.size,
+        seed=0,
+        jobs=jobs,
+        backend=backend,
+    )
+
+
+def bench(args) -> dict:
+    best, result = float("inf"), None
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        result = run_search(args.candidates, args.seed, args.jobs, args.backend)
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None and result.winner is not None
+
+    fixed = paper_best(args.jobs, args.backend)
+    assert fixed.winner is not None
+    evals = sum(r.evaluated for r in result.rungs)
+    savings = 1.0 - result.winner.cost / fixed.winner.cost
+    return {
+        "benchmark": "constraint-aware autotune (repro.tune.autotune)",
+        "workload": {
+            "workflow": "montage",
+            "constraints": Constraints(deadline=DEADLINE_SECONDS).describe(),
+            "candidates": args.candidates,
+            "space_size": TuneSpace().size,
+            "rungs": len(result.rungs),
+            "evaluations": evals,
+            "backend": args.backend or "serial",
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform_module.python_version(),
+            "platform": platform_module.platform(),
+        },
+        "repeats_best_of": args.repeats,
+        "wall_seconds": round(best, 4),
+        "evals_per_wall_second": round(evals / best, 1),
+        "headline": {
+            "winner": result.winner.label,
+            "winner_cost": round(result.winner.cost, 4),
+            "winner_makespan": round(result.winner.makespan, 1),
+            "paper_best": fixed.winner.label,
+            "paper_best_cost": round(fixed.winner.cost, 4),
+            "savings_fraction_vs_paper_best": round(savings, 4),
+        },
+    }
+
+
+def check(baseline_path: Path, tolerance: float, args) -> int:
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run without --check first")
+        return 0
+    base = json.loads(baseline_path.read_text())
+    t0 = time.perf_counter()
+    result = run_search(args.candidates, args.seed, args.jobs, args.backend)
+    seconds = time.perf_counter() - t0
+    assert result.winner is not None
+    ratio = seconds / base["wall_seconds"]
+    slack = seconds - base["wall_seconds"]
+    regressed = ratio > 1 + tolerance and slack > ABS_SLACK_SECONDS
+    status = "REGRESSED" if regressed else "ok"
+    print(
+        f"autotune search: {seconds:6.3f}s vs baseline "
+        f"{base['wall_seconds']:6.3f}s  x{ratio:5.2f}  {status}"
+    )
+    if regressed:
+        print(
+            f"autotune search {ratio:.2f}x baseline (+{slack:.3f}s; "
+            f"tolerance {1 + tolerance:.2f}x and >{ABS_SLACK_SECONDS}s)"
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--candidates", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--backend", default=None)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of refreshing it",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction for --check (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check(args.out, args.tolerance, args)
+
+    record = bench(args)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    headline = record["headline"]
+    with HISTORY.open("a") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "date": datetime.date.today().isoformat(),
+                    "benchmark": "tune",
+                    "wall_seconds": record["wall_seconds"],
+                    "evaluations": record["workload"]["evaluations"],
+                    "winner_cost": headline["winner_cost"],
+                    "savings_fraction_vs_paper_best": headline[
+                        "savings_fraction_vs_paper_best"
+                    ],
+                }
+            )
+            + "\n"
+        )
+    print(
+        f"{record['workload']['evaluations']} evaluations in "
+        f"{record['wall_seconds']:.3f}s wall "
+        f"({record['evals_per_wall_second']:.0f} evals/s) | "
+        f"winner {headline['winner']} ${headline['winner_cost']:.2f} vs "
+        f"paper-best {headline['paper_best']} ${headline['paper_best_cost']:.2f} "
+        f"({headline['savings_fraction_vs_paper_best']:.0%} cheaper)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,36 @@ Quickstart::
     sweep = api.run_sweep(platform=platform, jobs=2, backend="thread")
     print(api.render_summary(api.summarize(sweep)))
 
+One result protocol
+-------------------
+Every experiment entry point — :func:`run_sweep`,
+:func:`run_fault_sweep`, :func:`run_pricing_sweep`,
+:func:`run_service`/:func:`run_service_sweep` and :func:`autotune` —
+returns a :class:`ResultBase`: ``.summary()`` renders the human
+report, ``.to_json()`` is the JSON-stable (and, for seeded runs,
+cross-backend byte-identical) data form, and ``.manifest`` carries the
+producing run's reproducibility manifest when one was attached.  Hold
+any experiment result through that one shape::
+
+    result = api.run_sweep(jobs=2, backend="thread")   # any entry point
+    print(result.summary())
+    payload = result.to_json()
+
+Constraints and autotuning
+--------------------------
+:class:`Constraints` (deadline seconds, budget USD, optional VM cap)
+is the library-wide spelling of "an acceptable outcome":
+:func:`evaluate`/:func:`compare_to_reference` stamp metrics with a
+``feasible`` verdict, the service layer's per-tenant budget admission
+is the same object with only ``budget`` set, and :func:`autotune`
+searches the (policy, flavor, reduction, recovery, purchase-option)
+space for the cheapest configuration whose re-simulated outcome
+satisfies them::
+
+    best = api.autotune(constraints=api.Constraints(deadline=7200),
+                        workflow_name="montage", seed=0)
+    print(best.winner.label, best.winner.cost)
+
 The surface is grouped below:
 
 * **Workflows** — the paper's four shapes plus the extension gallery
@@ -25,10 +55,14 @@ The surface is grouped below:
 * **Platform** — the EC2-style cloud model: catalog, regions, billing.
 * **Scheduling** — provisioning policies, allocation strategies, and
   the registries that name them.
+* **Constraints** — deadline/budget/VM-cap bounds and the
+  feasibility verdict on metrics (:mod:`repro.core.constraints`).
 * **Simulation** — the discrete-event replay, online execution,
   perturbation studies, and fault injection/recovery.
 * **Experiments** — the paper sweep, replication, fault sweeps,
-  summaries and reports.
+  summaries and reports, all returning :class:`ResultBase` results.
+* **Tune** — the constraint-aware configuration search
+  (:mod:`repro.tune`).
 * **Service** — the multi-tenant Workflow-as-a-Service mode: shared
   fleet, arrival streams, admission policies and the service loop
   (:mod:`repro.service`).  The indexed fleet kernels (DESIGN.md §14)
@@ -89,6 +123,8 @@ from repro.cloud import (
 from repro.core import (
     Schedule,
     ScheduleMetrics,
+    Constraints,
+    ConstraintViolation,
     evaluate,
     compare_to_reference,
     reference_schedule,
@@ -127,6 +163,7 @@ from repro.simulator import (
 
 # --- experiments -------------------------------------------------------
 from repro.experiments import (
+    ResultBase,
     StrategySpec,
     paper_strategies,
     paper_workflows,
@@ -180,6 +217,15 @@ from repro.experiments.pricing import (
     paper_boot_settings,
     run_pricing_sweep,
     render_pricing_sweep,
+)
+
+# --- constraint-aware autotuning ---------------------------------------
+from repro.tune import (
+    autotune,
+    Candidate,
+    CandidateOutcome,
+    TuneResult,
+    TuneSpace,
 )
 
 # --- multi-tenant service (WaaS) ---------------------------------------
@@ -267,6 +313,8 @@ __all__ = [
     # scheduling
     "Schedule",
     "ScheduleMetrics",
+    "Constraints",
+    "ConstraintViolation",
     "evaluate",
     "compare_to_reference",
     "reference_schedule",
@@ -299,6 +347,7 @@ __all__ = [
     "OnlineResult",
     "run_online",
     # experiments
+    "ResultBase",
     "StrategySpec",
     "paper_strategies",
     "paper_workflows",
@@ -343,6 +392,12 @@ __all__ = [
     "paper_boot_settings",
     "run_pricing_sweep",
     "render_pricing_sweep",
+    # constraint-aware autotuning
+    "autotune",
+    "Candidate",
+    "CandidateOutcome",
+    "TuneResult",
+    "TuneSpace",
     # multi-tenant service (WaaS)
     "FleetManager",
     "FleetVM",

@@ -4,6 +4,7 @@ cloud substrate."""
 
 from repro.core.schedule import Schedule
 from repro.core.builder import ScheduleBuilder, BuilderVM
+from repro.core.constraints import CONSTRAINT_NAMES, Constraints, ConstraintViolation
 from repro.core.metrics import ScheduleMetrics, compare_to_reference, evaluate
 from repro.core.baseline import reference_schedule
 from repro.core.provisioning import (
@@ -66,6 +67,9 @@ __all__ = [
     "Schedule",
     "ScheduleBuilder",
     "BuilderVM",
+    "CONSTRAINT_NAMES",
+    "Constraints",
+    "ConstraintViolation",
     "ScheduleMetrics",
     "compare_to_reference",
     "evaluate",

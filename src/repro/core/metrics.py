@@ -13,8 +13,10 @@ is the quadrant with ``gain >= 0`` and ``loss <= 0``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
+from repro.core.constraints import Constraints, ConstraintViolation
 from repro.core.schedule import Schedule
 from repro.errors import SchedulingError
 
@@ -32,6 +34,11 @@ class ScheduleMetrics:
     #: vs. reference; 0 for the reference itself
     gain_pct: float = 0.0
     loss_pct: float = 0.0
+    #: constraint verdict — ``None`` when no constraints were applied,
+    #: otherwise whether this run satisfies every bound
+    feasible: Optional[bool] = None
+    #: the breakdown behind a ``feasible=False`` verdict
+    violations: Tuple[ConstraintViolation, ...] = ()
 
     @property
     def savings_pct(self) -> float:
@@ -41,6 +48,22 @@ class ScheduleMetrics:
     def in_target_square(self) -> bool:
         """Both faster and cheaper than (or equal to) the reference."""
         return self.gain_pct >= 0.0 and self.loss_pct <= 0.0
+
+    def with_constraints(self, constraints: "Constraints | None") -> "ScheduleMetrics":
+        """Copy of these metrics stamped with a constraint verdict.
+
+        ``None`` clears the verdict (back to the unconstrained form).
+        """
+        if constraints is None:
+            return replace(self, feasible=None, violations=())
+        violations = constraints.check(
+            makespan=self.makespan, cost=self.cost, vm_count=self.vm_count
+        )
+        return replace(self, feasible=not violations, violations=violations)
+
+    def violation_summary(self) -> str:
+        """One line per missed bound; "" when feasible or unjudged."""
+        return "; ".join(str(v) for v in self.violations)
 
     def as_row(self) -> tuple:
         return (
@@ -54,9 +77,17 @@ class ScheduleMetrics:
         )
 
 
-def evaluate(schedule: Schedule, label: str | None = None) -> ScheduleMetrics:
-    """Raw metrics of one schedule (no reference comparison)."""
-    return ScheduleMetrics(
+def evaluate(
+    schedule: Schedule,
+    label: str | None = None,
+    constraints: "Constraints | None" = None,
+) -> ScheduleMetrics:
+    """Raw metrics of one schedule (no reference comparison).
+
+    With *constraints*, the result carries the feasibility verdict and
+    violation breakdown against the planned makespan/cost/VM count.
+    """
+    metrics = ScheduleMetrics(
         label=label or schedule.label,
         makespan=schedule.makespan,
         cost=schedule.total_cost,
@@ -64,10 +95,14 @@ def evaluate(schedule: Schedule, label: str | None = None) -> ScheduleMetrics:
         vm_count=schedule.vm_count,
         btus=schedule.total_btus,
     )
+    return metrics.with_constraints(constraints) if constraints is not None else metrics
 
 
 def compare_to_reference(
-    schedule: Schedule, reference: Schedule, label: str | None = None
+    schedule: Schedule,
+    reference: Schedule,
+    label: str | None = None,
+    constraints: "Constraints | None" = None,
 ) -> ScheduleMetrics:
     """Metrics of *schedule* with gain/loss relative to *reference*."""
     if reference.makespan <= 0 or reference.total_cost <= 0:
@@ -75,7 +110,7 @@ def compare_to_reference(
     base = evaluate(schedule, label)
     gain = (reference.makespan - base.makespan) / reference.makespan * 100.0
     loss = (base.cost - reference.total_cost) / reference.total_cost * 100.0
-    return ScheduleMetrics(
+    metrics = ScheduleMetrics(
         label=base.label,
         makespan=base.makespan,
         cost=base.cost,
@@ -85,3 +120,4 @@ def compare_to_reference(
         gain_pct=gain,
         loss_pct=loss,
     )
+    return metrics.with_constraints(constraints) if constraints is not None else metrics

@@ -109,6 +109,19 @@ class Schedule:
         billing = self.platform.billing
         return sum(vm.cost(billing) for vm in self.vms)
 
+    def check_constraints(self, constraints) -> tuple:
+        """Violations of *constraints* (a
+        :class:`~repro.core.constraints.Constraints`) against this plan's
+        makespan/cost/VM count; empty tuple means the plan is feasible.
+        Realized (fault-/market-replayed) outcomes can still differ —
+        the autotuner judges those, not the static plan.
+        """
+        return constraints.check(
+            makespan=self.makespan,
+            cost=self.total_cost,
+            vm_count=self.vm_count,
+        )
+
     def transfer_volumes(self) -> List[Tuple[str, str, float]]:
         """Cross-region edges as ``(src_region, dst_region, gb)``, in
         deterministic (parent, child) order."""

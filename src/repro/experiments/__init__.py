@@ -15,6 +15,7 @@ from repro.experiments.parallel import (
     ThreadBackend,
     make_backend,
 )
+from repro.experiments.result import ResultBase
 from repro.experiments.runner import SweepResult, run_strategy, run_sweep
 from repro.experiments import figures, tables
 from repro.experiments.gantt import gantt
@@ -39,6 +40,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "make_backend",
+    "ResultBase",
     "SweepResult",
     "run_strategy",
     "run_sweep",

@@ -11,6 +11,7 @@ draws schedules::
     repro-experiments profile --workflow cybershake
     repro-experiments gantt --workflow montage --strategy AllParExceed-m
     repro-experiments faults --workflow montage --recovery replan --jobs 4
+    repro-experiments tune --workflow montage --deadline 9000 --budget 15
 
 ``--jobs N`` fans the sweep's (scenario, workflow) cells — and
 ``replicate``'s seeds — out over N workers; the default (``--jobs 1``)
@@ -75,6 +76,7 @@ _ARTIFACTS = [
     "faults",
     "pricing",
     "service",
+    "tune",
     "profile",
     "gantt",
     "explain",
@@ -242,6 +244,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrently executing workflows in the service "
         "(0 = unlimited)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="makespan bound in seconds for the tune artifact",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="cost bound in USD for the tune artifact",
+    )
+    parser.add_argument(
+        "--max-vms",
+        type=int,
+        default=None,
+        help="rented-VM cap for the tune artifact",
+    )
+    parser.add_argument(
+        "--candidates",
+        type=int,
+        default=24,
+        help="configurations sampled by the tune artifact's search",
+    )
+    parser.add_argument(
+        "--eta",
+        type=int,
+        default=2,
+        help="successive-halving cull factor for the tune artifact",
+    )
+    parser.add_argument(
+        "--keep-final",
+        type=int,
+        default=4,
+        help="survivors evaluated at top fidelity by the tune artifact",
+    )
+    parser.add_argument(
+        "--tune-seed",
+        type=int,
+        default=0,
+        help="search RNG seed for the tune artifact (--seed stays the "
+        "workflow seed)",
+    )
     parser.add_argument("--out", help="write the report to a file instead of stdout")
     parser.add_argument(
         "--out-dir",
@@ -345,7 +390,7 @@ def main(argv=None) -> int:
     # fan-out artifacts (faults, replicate) are excluded: their workers
     # do not inherit the context, and a serial-only leak would break the
     # counters' backend-independence guarantee.
-    ambient = args.artifact not in ("faults", "pricing", "replicate")
+    ambient = args.artifact not in ("faults", "pricing", "replicate", "tune")
     with contextlib.ExitStack() as scope:
         if ambient:
             scope.enter_context(metrics.activate())
@@ -503,6 +548,7 @@ def _run_artifact(args, platform, sweep, outputs) -> str:
         )
         text = render_pricing_sweep(pricing_sweep)
     elif args.artifact == "service":
+        from repro.core.constraints import Constraints
         from repro.experiments.service import (
             ServiceCell,
             build_requests,
@@ -510,6 +556,13 @@ def _run_artifact(args, platform, sweep, outputs) -> str:
         )
         from repro.service.loop import run_service
 
+        # --tenant-budget is one spelling of the library-wide
+        # Constraints object; the budget guard enforces it per tenant
+        limits = (
+            Constraints(budget=args.tenant_budget)
+            if args.tenant_budget > 0
+            else None
+        )
         cell = ServiceCell(
             platform=platform,
             policy=args.policy,
@@ -518,7 +571,7 @@ def _run_artifact(args, platform, sweep, outputs) -> str:
             tenants=10 if args.quick else args.tenants,
             mean_interarrival=args.interarrival,
             seed=args.seed,
-            budget=args.tenant_budget if args.tenant_budget > 0 else float("inf"),
+            budget=limits.budget if limits is not None else float("inf"),
             max_concurrent=args.max_concurrent or None,
         )
         result = run_service(
@@ -526,6 +579,7 @@ def _run_artifact(args, platform, sweep, outputs) -> str:
             platform,
             policy=cell.policy,
             admission=cell.admission,
+            constraints=limits if cell.admission == "budget" else None,
             max_concurrent=cell.max_concurrent,
         )
         text = render_service(
@@ -536,6 +590,27 @@ def _run_artifact(args, platform, sweep, outputs) -> str:
                 f"seed={cell.seed}"
             ),
         )
+    elif args.artifact == "tune":
+        from repro.core.constraints import Constraints
+        from repro.tune import autotune
+
+        limits = Constraints(
+            deadline=args.deadline, budget=args.budget, max_vms=args.max_vms
+        )
+        tuned = autotune(
+            constraints=limits,
+            workflow_name=args.workflow,
+            scenario=args.scenario,
+            workflow_seed=args.seed,
+            n_candidates=6 if args.quick else args.candidates,
+            eta=args.eta,
+            keep_final=args.keep_final,
+            seed=args.tune_seed,
+            jobs=args.jobs,
+            backend=args.backend,
+            on_infeasible="return",
+        )
+        text = tuned.summary()
     elif args.artifact == "profile":
         text = _render_profile(args.workflow)
     elif args.artifact == "gantt":

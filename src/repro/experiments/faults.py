@@ -20,6 +20,7 @@ failure, not a dead sweep.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -32,9 +33,10 @@ from repro.experiments.parallel import (
     make_backend,
     map_guarded,
 )
+from repro.experiments.result import ResultBase
 from repro.simulator.executor import ScheduleExecutor
 from repro.simulator.faults import FaultPlan, FaultStats
-from repro.util.compat import renamed_kwargs
+from repro.util.compat import removed_kwargs
 from repro.util.tables import format_table
 from repro.workflows.dag import Workflow
 
@@ -123,7 +125,7 @@ def fault_cell_label(cell: FaultCell) -> str:
 
 
 @dataclass
-class FaultSweepResult:
+class FaultSweepResult(ResultBase):
     """All cells of one fault-intensity sweep, plus captured failures."""
 
     recovery: str
@@ -152,8 +154,24 @@ class FaultSweepResult:
             if c.strategy == strategy_label and c.intensity == intensity
         ]
 
+    # ------------------------------------------------------------------
+    # ResultBase protocol
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """The per-(policy, intensity) robustness tables."""
+        return render_fault_sweep(self)
 
-@renamed_kwargs(n_jobs="jobs", pool="backend", recovery_policy="recovery")
+    def to_json(self) -> dict:
+        """Cell outcomes as plain data (the base plan's market object is
+        provenance, not data — it lives in the manifest, not here)."""
+        return {
+            "recovery": self.recovery,
+            "cells": [dataclasses.asdict(c) for c in self.cells],
+            "failures": [str(f) for f in self.failures],
+        }
+
+
+@removed_kwargs(n_jobs="jobs", pool="backend", recovery_policy="recovery")
 def run_fault_sweep(
     platform: CloudPlatform | None = None,
     workflow: Workflow | None = None,

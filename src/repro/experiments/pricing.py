@@ -34,6 +34,7 @@ from repro.experiments.parallel import (
     map_guarded,
 )
 from repro.experiments.pareto_front import dominates
+from repro.experiments.result import ResultBase
 from repro.experiments.scenarios import PriceScenario, price_scenarios
 from repro.simulator.executor import ScheduleExecutor
 from repro.simulator.faults import FaultPlan, FaultStats
@@ -168,7 +169,7 @@ def pricing_cell_label(cell: PricingCell) -> str:
 
 
 @dataclass
-class PricingSweepResult:
+class PricingSweepResult(ResultBase):
     """All cells of one pricing sweep, plus captured failures."""
 
     cells: List[PricingCellResult] = field(default_factory=list)
@@ -248,6 +249,19 @@ class PricingSweepResult:
                 key=lambda l: (points[l][1], points[l][0], l),
             )
         )
+
+    # ------------------------------------------------------------------
+    # ResultBase protocol
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """The per-(scenario, boot) ranking tables and frontiers."""
+        return render_pricing_sweep(self)
+
+    def to_json(self) -> dict:
+        return {
+            "cells": [dataclasses.asdict(c) for c in self.cells],
+            "failures": [str(f) for f in self.failures],
+        }
 
 
 def run_pricing_sweep(

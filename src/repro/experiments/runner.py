@@ -27,11 +27,12 @@ from repro.experiments.parallel import (
     map_guarded,
     run_cell,
 )
+from repro.experiments.result import ResultBase
 from repro.experiments.scenarios import Scenario, paper_scenarios
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, ensure_tracer
 from repro.simulator.executor import simulate_schedule
-from repro.util.compat import renamed_kwargs
+from repro.util.compat import removed_kwargs
 from repro.util.rng import spawn_seeds
 from repro.workflows.dag import Workflow
 
@@ -66,7 +67,7 @@ def run_strategy(
 
 
 @dataclass
-class SweepResult:
+class SweepResult(ResultBase):
     """Results of a full sweep, indexed [scenario][workflow][strategy]."""
 
     platform: CloudPlatform
@@ -117,8 +118,26 @@ class SweepResult:
                     out.append((sc, wf, label, m))
         return out
 
+    # ------------------------------------------------------------------
+    # ResultBase protocol
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """The cross-cell stability report (same as ``render_summary``)."""
+        from repro.experiments.summary import render_summary
 
-@renamed_kwargs(n_jobs="jobs", pool="backend", rng_seed="seed", error_mode="on_error")
+        return render_summary(self)
+
+    def to_json(self) -> dict:
+        """The persisted sweep form (``save_sweep``'s layout) plus
+        captured failure labels."""
+        from repro.experiments.store import sweep_to_dict
+
+        data = sweep_to_dict(self)
+        data["failures"] = [str(f) for f in self.failures]
+        return data
+
+
+@removed_kwargs(n_jobs="jobs", pool="backend", rng_seed="seed", error_mode="on_error")
 def run_sweep(
     platform: CloudPlatform | None = None,
     workflows: Mapping[str, Workflow] | None = None,

@@ -22,6 +22,7 @@ from repro.experiments.parallel import (
     make_backend,
     map_guarded,
 )
+from repro.experiments.result import ResultBase
 from repro.service.arrivals import poisson_arrivals
 from repro.service.loop import ServiceResult, run_service
 from repro.util.tables import format_table
@@ -108,7 +109,7 @@ def service_cell_label(cell: ServiceCell) -> str:
 
 
 @dataclass
-class ServiceSweepResult:
+class ServiceSweepResult(ResultBase):
     """All cells of one service sweep, plus captured failures."""
 
     cells: List[ServiceCellResult] = field(default_factory=list)
@@ -129,6 +130,19 @@ class ServiceSweepResult:
             for c in sorted(
                 self.cells, key=lambda c: (c.policy, c.admission, c.seed)
             )
+        }
+
+    # ------------------------------------------------------------------
+    # ResultBase protocol
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One row per cell of the (policy × admission × seed) grid."""
+        return render_service_sweep(self)
+
+    def to_json(self) -> dict:
+        return {
+            "cells": self.rollups(),
+            "failures": [str(f) for f in self.failures],
         }
 
 

@@ -17,8 +17,9 @@ service run admits, queues and rejects identically on every backend.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
+from repro.core.constraints import Constraints
 from repro.errors import ExperimentError
 from repro.service.arrivals import WorkflowRequest
 from repro.util.suggest import unknown_name_message
@@ -127,6 +128,14 @@ class BudgetGuardAdmission(AdmissionPolicy):
     FIFO.  Estimates come from *estimator* (default:
     :func:`default_estimator`); when estimates upper-bound realized
     cost, per-tenant spend provably never exceeds the budget.
+
+    The bound itself is a :class:`~repro.core.constraints.Constraints`
+    budget: pass *constraints* to cap every tenant by one service-level
+    object, or leave it ``None`` to read each request's own bounds
+    (``WorkflowRequest.constraints``, the per-request ``budget`` field's
+    Constraints spelling).  Judging goes through
+    :meth:`Constraints.feasible`, the same verdict the metric layer and
+    the autotuner use.
     """
 
     name = "budget"
@@ -134,15 +143,24 @@ class BudgetGuardAdmission(AdmissionPolicy):
     def __init__(
         self,
         estimator: Callable[[WorkflowRequest, object], float] | None = None,
+        constraints: "Constraints | float | None" = None,
     ) -> None:
         self.estimator = estimator or default_estimator
+        if constraints is not None and not isinstance(constraints, Constraints):
+            constraints = Constraints(budget=float(constraints))
+        self.constraints: Optional[Constraints] = constraints
 
     def admit(self, request: WorkflowRequest, service) -> bool:
-        if request.budget == float("inf"):
+        limits = (
+            self.constraints if self.constraints is not None else request.constraints
+        )
+        if limits.budget is None:
             return True
         acct = service.account(request.tenant)
         estimate = self.estimator(request, service)
-        if acct.spent + acct.committed + estimate > request.budget + 1e-9:
+        projected = acct.spent + acct.committed + estimate
+        # the 1e-9 slack absorbs float accumulation noise in the ledger
+        if not limits.feasible(cost=projected - 1e-9):
             return False
         # stash the estimate: the loop commits it against the budget on
         # admit, without pricing the workflow a second time

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.core.constraints import Constraints
 from repro.errors import ExperimentError
 from repro.util.rng import ensure_rng
 from repro.workflows.dag import Workflow
@@ -45,6 +46,16 @@ class WorkflowRequest:
         if not self.tenant:
             raise ExperimentError("request needs a tenant id")
 
+    @property
+    def constraints(self) -> Constraints:
+        """The request's bounds as the library-wide
+        :class:`~repro.core.constraints.Constraints` spelling
+        (``inf`` axes map to unconstrained)."""
+        return Constraints(
+            deadline=None if self.deadline == float("inf") else self.deadline,
+            budget=None if self.budget == float("inf") else self.budget,
+        )
+
 
 def _sorted_stream(requests: Iterable[WorkflowRequest]) -> Tuple[WorkflowRequest, ...]:
     """Stable arrival order: ties broken by submission index, never by
@@ -58,15 +69,19 @@ def poisson_arrivals(
     tenants: int,
     mean_interarrival: float,
     seed=None,
-    budget: float = float("inf"),
+    budget: "float | Constraints" = float("inf"),
 ) -> Tuple[WorkflowRequest, ...]:
     """*count* submissions with exponential inter-arrivals, tenants and
     workflow shapes drawn uniformly per submission.
 
     One RNG drives all three draws in a fixed order (gap, tenant,
     shape), so a stream is fully determined by ``(count, tenants,
-    mean_interarrival, seed)``.
+    mean_interarrival, seed)``.  *budget* caps every tenant, spelled
+    either as a plain USD float or as a
+    :class:`~repro.core.constraints.Constraints` with ``budget`` set.
     """
+    if isinstance(budget, Constraints):
+        budget = float("inf") if budget.budget is None else budget.budget
     if count < 1:
         raise ExperimentError("count must be >= 1")
     if tenants < 1:

@@ -33,13 +33,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.cloud.instance import InstanceType
 from repro.cloud.platform import CloudPlatform
 from repro.cloud.region import Region
+from repro.core.constraints import Constraints
 from repro.core.provisioning.base import online_policy_names
 from repro.core.recovery import RecoveryPolicy
 from repro.errors import SchedulingError, SimulationError
+from repro.experiments.result import ResultBase
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.metrics import current as current_metrics
 from repro.obs.tracer import Tracer, ensure_tracer
-from repro.service.admission import AdmissionPolicy, admission_policy
+from repro.service.admission import (
+    AdmissionPolicy,
+    BudgetGuardAdmission,
+    admission_policy,
+)
 from repro.service.arrivals import WorkflowRequest
 from repro.service.fleet import FleetManager, OwnerBill
 from repro.simulator.engine import Simulator
@@ -96,7 +102,7 @@ class TenantReport:
 
 
 @dataclass
-class ServiceResult:
+class ServiceResult(ResultBase):
     """Outcome of one service run."""
 
     submitted: int
@@ -147,6 +153,18 @@ class ServiceResult:
             },
         }
 
+    # ------------------------------------------------------------------
+    # ResultBase protocol
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Headline + per-tenant tables (same as ``render_service``)."""
+        from repro.experiments.service import render_service
+
+        return render_service(self)
+
+    def to_json(self) -> dict:
+        return self.rollup()
+
 
 def _nearest_rank(sorted_vals: List[float], q: float) -> float:
     """Nearest-rank percentile (q in [0, 100]); 0 for an empty list."""
@@ -166,6 +184,7 @@ class WorkflowService:
         itype: InstanceType | None = None,
         region: Region | None = None,
         admission: "str | AdmissionPolicy | None" = None,
+        constraints: "Constraints | None" = None,
         max_concurrent: int | None = None,
         runtime_fn: Callable[[str, float], float] | None = None,
         fault_plan: FaultPlan | None = None,
@@ -186,7 +205,23 @@ class WorkflowService:
         self.policy = policy
         self.itype = itype or platform.itype("small")
         self.region = region or platform.default_region
-        self.admission = admission_policy(admission)
+        # *constraints* is the Constraints spelling of admission="budget":
+        # one service-level bound capping every tenant.
+        resolved = admission_policy(admission)
+        if constraints is not None and not constraints.unconstrained:
+            if admission is None:
+                resolved = BudgetGuardAdmission(constraints=constraints)
+            elif isinstance(resolved, BudgetGuardAdmission):
+                resolved = BudgetGuardAdmission(
+                    estimator=resolved.estimator, constraints=constraints
+                )
+            else:
+                raise SchedulingError(
+                    f"constraints ({constraints.describe()}) is the Constraints "
+                    f"spelling of admission='budget'; it cannot combine with "
+                    f"admission={resolved.name!r}"
+                )
+        self.admission = resolved
         self.max_concurrent = max_concurrent
         self.runtime_fn = runtime_fn
         if fault_plan is None and getattr(platform, "market", None) is not None:
@@ -426,6 +461,7 @@ def run_service(
     itype: InstanceType | None = None,
     region: Region | None = None,
     admission: "str | AdmissionPolicy | None" = None,
+    constraints: "Constraints | None" = None,
     max_concurrent: int | None = None,
     runtime_fn: Callable[[str, float], float] | None = None,
     fault_plan: FaultPlan | None = None,
@@ -434,13 +470,18 @@ def run_service(
     metrics: MetricsRegistry | None = None,
     fleet: "FleetManager | None" = None,
 ) -> ServiceResult:
-    """Convenience wrapper: build a service and run one request stream."""
+    """Convenience wrapper: build a service and run one request stream.
+
+    *constraints* is the :class:`~repro.core.constraints.Constraints`
+    spelling of ``admission="budget"``: a service-level budget bound
+    capping every tenant."""
     return WorkflowService(
         platform,
         policy=policy,
         itype=itype,
         region=region,
         admission=admission,
+        constraints=constraints,
         max_concurrent=max_concurrent,
         runtime_fn=runtime_fn,
         fault_plan=fault_plan,

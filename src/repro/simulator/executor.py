@@ -49,7 +49,7 @@ from repro.obs.tracer import Tracer, ensure_tracer
 from repro.simulator.engine import Simulator
 from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.trace import SimulationResult, TraceEvent
-from repro.util.compat import renamed_kwargs
+from repro.util.compat import removed_kwargs
 
 
 @dataclass
@@ -905,7 +905,7 @@ def simulate_schedule(
     return result
 
 
-@renamed_kwargs(faults="fault_plan", recovery_policy="recovery")
+@removed_kwargs(faults="fault_plan", recovery_policy="recovery")
 def run_with_faults(
     schedule: Schedule,
     fault_plan: FaultPlan,

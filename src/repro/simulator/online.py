@@ -47,7 +47,7 @@ from repro.service.fleet import FleetManager, FleetVM
 from repro.simulator.engine import Simulator
 from repro.simulator.faults import FaultPlan, FaultStats
 from repro.simulator.trace import TraceEvent
-from repro.util.compat import renamed_kwargs
+from repro.util.compat import removed_kwargs
 from repro.workflows.dag import Workflow
 
 #: the fleet record was lifted into :mod:`repro.service.fleet` so a
@@ -818,7 +818,7 @@ def online_to_schedule(
     ).validate()
 
 
-@renamed_kwargs(faults="fault_plan", recovery_policy="recovery")
+@removed_kwargs(faults="fault_plan", recovery_policy="recovery")
 def run_online(
     workflow: Workflow,
     platform: CloudPlatform,

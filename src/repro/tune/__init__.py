@@ -1,0 +1,37 @@
+"""Constraint-aware configuration autotuning.
+
+The paper compares fixed strategies; this package answers the
+operator's question — *which configuration is cheapest while still
+meeting my deadline/budget?* — by running a seed-deterministic random +
+successive-halving search (:func:`autotune`) over the
+(policy, flavor, parallelism-reduction, recovery, purchase-option)
+space (:class:`TuneSpace`), judging candidates with the market-aware
+simulator and the :class:`~repro.core.constraints.Constraints` layer.
+"""
+
+from repro.core.constraints import Constraints, ConstraintViolation
+from repro.tune.result import CandidateOutcome, RungRecord, TuneResult
+from repro.tune.search import EvalUnit, autotune, evaluate_candidate
+from repro.tune.space import (
+    DEFAULT_PURCHASES,
+    DEFAULT_RECOVERIES,
+    REDUCTIONS,
+    Candidate,
+    TuneSpace,
+)
+
+__all__ = [
+    "autotune",
+    "Candidate",
+    "CandidateOutcome",
+    "Constraints",
+    "ConstraintViolation",
+    "DEFAULT_PURCHASES",
+    "DEFAULT_RECOVERIES",
+    "EvalUnit",
+    "evaluate_candidate",
+    "REDUCTIONS",
+    "RungRecord",
+    "TuneResult",
+    "TuneSpace",
+]

@@ -1,12 +1,21 @@
-"""Backwards-compatibility shims for renamed keyword arguments.
+"""Compatibility machinery for renamed keyword arguments.
 
 Public entry-point kwargs drifted across the parallel-sweep, fault and
 scaling releases (``n_jobs`` vs ``jobs``, ``pool`` vs ``backend``,
 ``rng_seed`` vs ``seed``, ``error_mode`` vs ``on_error``, ``faults`` vs
-``fault_plan``, ``recovery_policy`` vs ``recovery``).  The new names are
-canonical everywhere; :func:`renamed_kwargs` keeps the old spellings
-working for one deprecation cycle — they forward to the new name and
-emit a :class:`DeprecationWarning` naming the replacement.
+``fault_plan``, ``recovery_policy`` vs ``recovery``).  The new names
+are canonical everywhere.
+
+Two decorators cover an alias's life cycle:
+
+* :func:`renamed_kwargs` — the deprecation stage: the old spelling
+  still works, forwards to the new name, and emits a
+  :class:`DeprecationWarning`.  Kept for the next rename; no current
+  entry point uses it.
+* :func:`removed_kwargs` — the retirement stage: the old spelling
+  raises :class:`TypeError` with a did-you-mean hint naming the
+  replacement.  The v1.2 aliases in :data:`LEGACY_KWARGS` reached this
+  stage in 1.7.0, one deprecation cycle after they started warning.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ from typing import Callable, TypeVar
 F = TypeVar("F", bound=Callable)
 
 #: the legacy -> canonical spellings unified across the experiment and
-#: simulator entry points (see ``tests/test_deprecations.py``)
+#: simulator entry points, retired in 1.7.0 (see
+#: ``tests/test_deprecations.py``)
 LEGACY_KWARGS = {
     "n_jobs": "jobs",
     "pool": "backend",
@@ -54,6 +64,32 @@ def renamed_kwargs(**aliases: str) -> Callable[[F], F]:
                         stacklevel=2,
                     )
                     kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def removed_kwargs(**aliases: str) -> Callable[[F], F]:
+    """Decorator rejecting retired kwarg names with a did-you-mean hint.
+
+    ``@removed_kwargs(n_jobs="jobs")`` makes ``fn(n_jobs=4)`` raise
+    ``TypeError: fn() no longer accepts 'n_jobs' ... — did you mean
+    jobs=?`` instead of the bare "unexpected keyword argument" python
+    would produce, so callers upgrading across the deprecation cycle
+    get pointed straight at the new spelling.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, new in aliases.items():
+                if old in kwargs:
+                    raise TypeError(
+                        f"{fn.__name__}() no longer accepts {old!r} "
+                        f"(removed in 1.7.0) — did you mean {new}=?"
+                    )
             return fn(*args, **kwargs)
 
         return wrapper  # type: ignore[return-value]

@@ -24,6 +24,7 @@ SMOKE = [
     ["figure4", "--quick"],
     ["profile", "--workflow", "montage"],
     ["service", "--quick"],
+    ["tune", "--quick", "--deadline", "9000", "--budget", "15"],
 ]
 
 
@@ -83,6 +84,24 @@ def test_sweep_manifest_records_metrics(tmp_path):
     assert counters["sweep.cells"] > 0
     assert counters["builder.vms_rented"] > 0
     assert counters["builder.tasks_placed"] > 0
+
+
+def test_tune_manifest_reproduces_the_search(tmp_path):
+    """The tune artifact is byte-reproducible from its manifest argv."""
+    first = tmp_path / "tune.txt"
+    argv = [
+        "tune", "--quick", "--deadline", "9000", "--budget", "15",
+        "--tune-seed", "3", "--out", str(first),
+    ]
+    assert main(argv) == 0
+    manifest = load_manifest(tmp_path / "tune.txt.manifest.json")
+    assert manifest["config"]["tune_seed"] == 3
+
+    replay = manifest_argv(manifest)
+    assert replay[0] == "tune"
+    second = tmp_path / "tune2.txt"
+    assert main(replay + ["--out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
 
 
 def test_manifest_reproduces_the_run(tmp_path):

@@ -1,0 +1,122 @@
+"""One result protocol: every experiment entry point returns a
+ResultBase with ``summary()``/``to_json()``/``manifest``."""
+
+import json
+
+import pytest
+
+import repro.api as api
+
+
+def _sweep():
+    return api.run_sweep(
+        workflows={"sequential": api.sequential()},
+        scenarios=[api.scenario("best")],
+        strategies=[api.strategy("OneVMperTask-s")],
+    )
+
+
+def _fault_sweep():
+    return api.run_fault_sweep(
+        workflow=api.sequential(),
+        workflow_name="sequential",
+        strategies=[api.strategy("OneVMperTask-s")],
+        intensities=[0.0],
+        fault_seeds=1,
+    )
+
+
+def _pricing_sweep():
+    return api.run_pricing_sweep(
+        workflow=api.sequential(),
+        workflow_name="sequential",
+        strategies=[api.strategy("OneVMperTask-s")],
+        scenarios=[api.price_scenario("on_demand")],
+        boots=[b for b in api.paper_boot_settings() if b.name == "prebooted"],
+        seeds=1,
+    )
+
+
+def _service():
+    from repro.service.arrivals import poisson_arrivals
+
+    requests = poisson_arrivals(
+        api.sequential(), count=5, tenants=2, mean_interarrival=60.0, seed=3
+    )
+    return api.run_service(requests, api.CloudPlatform.ec2())
+
+
+def _autotune():
+    from repro.tune import TuneSpace
+
+    return api.autotune(
+        workflow=api.sequential(),
+        space=TuneSpace(
+            policies=("OneVMperTask",),
+            flavors=("small",),
+            reductions=("none",),
+            recoveries=("retry",),
+            purchases=("on_demand",),
+        ),
+        n_candidates=1,
+    )
+
+
+def _service_sweep():
+    return api.run_service_sweep(
+        policies=("StartParNotExceed",),
+        admissions=("fifo",),
+        seeds=1,
+        count=5,
+        tenants=2,
+        shapes=("sequential",),
+    )
+
+
+FACTORIES = {
+    "run_sweep": _sweep,
+    "run_fault_sweep": _fault_sweep,
+    "run_pricing_sweep": _pricing_sweep,
+    "run_service": _service,
+    "run_service_sweep": _service_sweep,
+    "autotune": _autotune,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FACTORIES))
+def result(request):
+    return FACTORIES[request.param]()
+
+
+class TestResultProtocol:
+    def test_is_result_base(self, result):
+        assert isinstance(result, api.ResultBase)
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert isinstance(text, str) and text.strip()
+
+    def test_to_json_is_json_stable(self, result):
+        payload = result.to_json()
+        assert isinstance(payload, dict)
+        assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+
+    def test_manifest_attachment(self, result):
+        assert result.manifest is None
+        manifest = {"artifact": "test", "seed": 0}
+        assert result.with_manifest(manifest) is result
+        assert result.manifest == manifest
+        # reset so other tests of the module-scoped fixture see None-able state
+        assert result.with_manifest(None) is result
+
+
+class TestBaseContract:
+    def test_base_methods_name_the_subclass(self):
+        class Incomplete(api.ResultBase):
+            pass
+
+        r = Incomplete()
+        with pytest.raises(NotImplementedError, match="Incomplete"):
+            r.summary()
+        with pytest.raises(NotImplementedError, match="Incomplete"):
+            r.to_json()

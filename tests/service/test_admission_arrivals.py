@@ -148,6 +148,64 @@ class TestBudgetGuard:
         assert service.admission.admit(req(), service)
 
 
+class TestConstraintsSpelling:
+    """--tenant-budget / per-request budgets / Constraints are one object."""
+
+    def test_request_constraints_property(self, diamond):
+        from repro.core.constraints import Constraints
+
+        r = WorkflowRequest(tenant="t", workflow=diamond, arrival=0.0, budget=3.0)
+        assert r.constraints == Constraints(budget=3.0)
+        unbounded = WorkflowRequest(tenant="t", workflow=diamond, arrival=0.0)
+        assert unbounded.constraints.unconstrained
+
+    def test_guard_accepts_constraints_object(self, platform, diamond):
+        from repro.core.constraints import Constraints
+
+        guard = BudgetGuardAdmission(
+            lambda r, s: 1.0, constraints=Constraints(budget=3.0)
+        )
+        service = WorkflowService(platform, admission=guard)
+        acct = service.account("t")
+        acct.spent, acct.committed = 1.5, 1.0
+        # requests carry no budget of their own; the service-level
+        # Constraints bound decides, same arithmetic as the float path
+        request = WorkflowRequest(tenant="t", workflow=diamond, arrival=0.0)
+        assert not service.admission.admit(request, service)
+        acct.committed = 0.4
+        assert service.admission.admit(request, service)
+
+    def test_run_service_constraints_param_builds_budget_guard(self, platform):
+        from repro.core.constraints import Constraints
+
+        service = WorkflowService(
+            platform, constraints=Constraints(budget=2.0)
+        )
+        assert isinstance(service.admission, BudgetGuardAdmission)
+        assert service.admission.constraints == Constraints(budget=2.0)
+
+    def test_constraints_conflict_with_non_budget_admission(self, platform):
+        from repro.core.constraints import Constraints
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="admission='budget'"):
+            WorkflowService(
+                platform, admission="fair", constraints=Constraints(budget=2.0)
+            )
+
+    def test_poisson_arrivals_accepts_constraints_budget(self, diamond):
+        from repro.core.constraints import Constraints
+
+        kwargs = dict(count=5, tenants=2, mean_interarrival=60.0, seed=3)
+        via_float = poisson_arrivals(diamond, budget=2.5, **kwargs)
+        via_constraints = poisson_arrivals(
+            diamond, budget=Constraints(budget=2.5), **kwargs
+        )
+        assert [r.budget for r in via_constraints] == [
+            r.budget for r in via_float
+        ]
+
+
 def test_loop_rejects_bad_knobs(platform):
     from repro.errors import SchedulingError
 

@@ -24,10 +24,13 @@ class TestSurface:
         assert "stable, supported surface" in text
 
     def test_reexports_are_the_canonical_objects(self):
+        from repro.core.constraints import Constraints
         from repro.experiments import run_sweep, replicate
         from repro.experiments.faults import run_fault_sweep
+        from repro.experiments.result import ResultBase
         from repro.simulator import simulate_schedule, run_online
         from repro.obs import Tracer, MetricsRegistry
+        from repro.tune import autotune
 
         assert api.run_sweep is run_sweep
         assert api.replicate is replicate
@@ -36,6 +39,22 @@ class TestSurface:
         assert api.run_online is run_online
         assert api.Tracer is Tracer
         assert api.MetricsRegistry is MetricsRegistry
+        assert api.autotune is autotune
+        assert api.Constraints is Constraints
+        assert api.ResultBase is ResultBase
+
+    def test_tune_surface_is_blessed(self):
+        for name in (
+            "autotune",
+            "Constraints",
+            "ConstraintViolation",
+            "Candidate",
+            "CandidateOutcome",
+            "TuneResult",
+            "TuneSpace",
+            "ResultBase",
+        ):
+            assert name in api.__all__, name
 
     def test_reachable_from_package_root(self):
         assert repro.api is api

@@ -1,12 +1,14 @@
-"""The renamed-kwarg shims: every legacy spelling still works, warns
-with the replacement's name, and collides loudly with the new one."""
+"""The kwarg-alias life cycle: the v1.2 legacy spellings are retired —
+they raise :class:`TypeError` with a did-you-mean hint naming the
+canonical replacement — while :func:`renamed_kwargs` (the deprecation
+stage) stays available for the next rename."""
 
 import warnings
 
 import pytest
 
 import repro.api as api
-from repro.util.compat import LEGACY_KWARGS, renamed_kwargs
+from repro.util.compat import LEGACY_KWARGS, removed_kwargs, renamed_kwargs
 
 
 def _tiny_sweep_kwargs():
@@ -17,7 +19,9 @@ def _tiny_sweep_kwargs():
     )
 
 
-class TestDecorator:
+class TestRenamedKwargsDecorator:
+    """The deprecation-stage decorator, kept in compat for future use."""
+
     def test_forwards_and_warns(self):
         @renamed_kwargs(old="new")
         def fn(new=None):
@@ -43,6 +47,35 @@ class TestDecorator:
             warnings.simplefilter("error")
             assert fn(new=7) == 7
 
+
+class TestRemovedKwargsDecorator:
+    """The retirement-stage decorator the entry points now use."""
+
+    def test_old_name_raises_with_hint(self):
+        @removed_kwargs(old="new")
+        def fn(new=None):
+            return new
+
+        with pytest.raises(TypeError, match=r"did you mean new=\?"):
+            fn(old=42)
+
+    def test_message_names_the_function_and_old_spelling(self):
+        @removed_kwargs(old="new")
+        def fn(new=None):
+            return new
+
+        with pytest.raises(TypeError, match="fn\\(\\) no longer accepts 'old'"):
+            fn(old=1)
+
+    def test_new_spelling_is_silent(self):
+        @removed_kwargs(old="new")
+        def fn(new=None):
+            return new
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert fn(new=7) == 7
+
     def test_legacy_table_is_the_documented_mapping(self):
         assert LEGACY_KWARGS == {
             "n_jobs": "jobs",
@@ -55,56 +88,59 @@ class TestDecorator:
 
 
 class TestRunSweep:
-    def test_legacy_kwargs_work(self):
-        with pytest.warns(DeprecationWarning) as record:
-            old = api.run_sweep(n_jobs=1, rng_seed=3, **_tiny_sweep_kwargs())
-        messages = sorted(str(w.message) for w in record)
-        assert any("use jobs=" in m for m in messages)
-        assert any("use seed=" in m for m in messages)
-        new = api.run_sweep(jobs=1, seed=3, **_tiny_sweep_kwargs())
-        assert old.metrics == new.metrics
+    def test_n_jobs_retired(self):
+        with pytest.raises(TypeError, match=r"did you mean jobs=\?"):
+            api.run_sweep(n_jobs=1, **_tiny_sweep_kwargs())
 
-    def test_pool_maps_to_backend(self):
-        with pytest.warns(DeprecationWarning, match="use backend="):
-            sweep = api.run_sweep(pool="serial", **_tiny_sweep_kwargs())
+    def test_rng_seed_retired(self):
+        with pytest.raises(TypeError, match=r"did you mean seed=\?"):
+            api.run_sweep(rng_seed=3, **_tiny_sweep_kwargs())
+
+    def test_pool_retired(self):
+        with pytest.raises(TypeError, match=r"did you mean backend=\?"):
+            api.run_sweep(pool="serial", **_tiny_sweep_kwargs())
+
+    def test_error_mode_retired(self):
+        with pytest.raises(TypeError, match=r"did you mean on_error=\?"):
+            api.run_sweep(error_mode="raise", **_tiny_sweep_kwargs())
+
+    def test_canonical_spellings_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sweep = api.run_sweep(jobs=1, seed=3, **_tiny_sweep_kwargs())
         assert sweep.metrics
-
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError, match="'n_jobs'"):
-            api.run_sweep(n_jobs=1, jobs=1, **_tiny_sweep_kwargs())
 
 
 class TestSimulatorEntryPoints:
-    def test_run_with_faults_accepts_faults(self):
+    def test_run_with_faults_rejects_faults(self):
         platform = api.CloudPlatform.ec2()
         sched = api.reference_schedule(api.sequential(), platform)
-        with pytest.warns(DeprecationWarning, match="use fault_plan="):
-            result = api.run_with_faults(sched, faults=api.FaultPlan())
+        with pytest.raises(TypeError, match=r"did you mean fault_plan=\?"):
+            api.run_with_faults(sched, faults=api.FaultPlan())
+        result = api.run_with_faults(sched, fault_plan=api.FaultPlan())
         assert result.makespan > 0
 
-    def test_run_online_accepts_recovery_policy(self):
+    def test_run_online_rejects_recovery_policy(self):
         platform = api.CloudPlatform.ec2()
-        with pytest.warns(DeprecationWarning, match="use recovery="):
-            result = api.run_online(
-                api.sequential(), platform, recovery_policy="retry"
-            )
+        with pytest.raises(TypeError, match=r"did you mean recovery=\?"):
+            api.run_online(api.sequential(), platform, recovery_policy="retry")
+        result = api.run_online(api.sequential(), platform, recovery="retry")
         assert result.makespan > 0
 
 
 class TestExperimentEntryPoints:
-    def test_replicate_accepts_pool(self):
-        with pytest.warns(DeprecationWarning, match="use backend="):
-            rows = api.replicate(
+    def test_replicate_rejects_pool(self):
+        with pytest.raises(TypeError, match=r"did you mean backend=\?"):
+            api.replicate(
                 seeds=[1],
                 workflows={"sequential": api.sequential()},
                 strategies=[api.strategy("OneVMperTask-s")],
                 pool="serial",
             )
-        assert rows
 
-    def test_run_fault_sweep_accepts_recovery_policy(self):
-        with pytest.warns(DeprecationWarning, match="use recovery="):
-            sweep = api.run_fault_sweep(
+    def test_run_fault_sweep_rejects_recovery_policy(self):
+        with pytest.raises(TypeError, match=r"did you mean recovery=\?"):
+            api.run_fault_sweep(
                 workflow=api.sequential(),
                 workflow_name="sequential",
                 strategies=[api.strategy("OneVMperTask-s")],
@@ -112,4 +148,3 @@ class TestExperimentEntryPoints:
                 fault_seeds=1,
                 recovery_policy="retry",
             )
-        assert sweep.cells

@@ -1,0 +1,161 @@
+"""autotune: seed-deterministic, constraint-honest, backend-independent."""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.errors import ExperimentError
+from repro.tune import TuneSpace, autotune
+from repro.tune.search import EvalUnit, _eval_seeds, evaluate_candidate
+
+CONSTRAINTS = api.Constraints(deadline=9000, budget=15)
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    return autotune(
+        constraints=CONSTRAINTS,
+        workflow_name="montage",
+        n_candidates=8,
+        seed=1,
+    )
+
+
+class TestSearch:
+    def test_winner_is_cheapest_feasible_final_outcome(self, tuned):
+        assert tuned.winner is not None
+        assert tuned.feasible
+        feasible = [o for o in tuned.outcomes if o.feasible]
+        assert feasible
+        assert tuned.winner.cost == min(o.cost for o in feasible)
+        assert tuned.winner.metrics.feasible is True
+
+    def test_winner_satisfies_constraints_when_resimulated(self, tuned):
+        """The acceptance property: re-running the winning configuration
+        at the final rung's fidelity reproduces a feasible outcome."""
+        final = tuned.rungs[-1]
+        unit = EvalUnit(
+            candidate=tuned.winner.candidate,
+            workflow=tuned.workflow,
+            platform=tuned.platform,
+            seeds=_eval_seeds(tuned.seed, final.fidelity),
+            constraints=CONSTRAINTS,
+        )
+        replay = evaluate_candidate(unit)
+        assert replay.metrics.feasible is True
+        assert CONSTRAINTS.feasible(makespan=replay.makespan, cost=replay.cost)
+        assert replay.makespan == tuned.winner.makespan
+        assert replay.cost == tuned.winner.cost
+
+    def test_rung_ladder_shrinks_and_raises_fidelity(self, tuned):
+        assert tuned.rungs
+        for earlier, later in zip(tuned.rungs, tuned.rungs[1:]):
+            assert later.fidelity > earlier.fidelity
+            assert len(later.kept) <= len(earlier.kept)
+        assert tuned.winner.label in tuned.rungs[-1].kept
+
+    def test_frontier_is_a_subset_of_final_outcomes(self, tuned):
+        labels = {o.label for o in tuned.outcomes}
+        assert tuned.frontier
+        assert {o.label for o in tuned.frontier} <= labels
+
+    def test_summary_and_json_are_renderable(self, tuned):
+        text = tuned.summary()
+        assert tuned.winner.label in text
+        payload = json.dumps(tuned.to_json(), sort_keys=True)
+        assert tuned.winner.label in payload
+
+    def test_outcome_lookup_suggests(self, tuned):
+        label = tuned.winner.label
+        assert tuned.outcome(label) is tuned.winner
+        with pytest.raises(ExperimentError, match="did you mean"):
+            tuned.outcome(label.replace("@", "!"))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend,jobs", [("thread", 4), ("process", 2)])
+    def test_byte_identical_across_backends(self, tuned, backend, jobs):
+        other = autotune(
+            constraints=CONSTRAINTS,
+            workflow_name="montage",
+            n_candidates=8,
+            seed=1,
+            backend=backend,
+            jobs=jobs,
+        )
+        assert json.dumps(other.to_json(), sort_keys=True) == json.dumps(
+            tuned.to_json(), sort_keys=True
+        )
+
+
+class TestInfeasible:
+    def test_impossible_deadline_fails_loudly(self):
+        with pytest.raises(ExperimentError) as err:
+            autotune(
+                deadline=0.001,
+                workflow_name="sequential",
+                n_candidates=4,
+                seed=0,
+            )
+        message = str(err.value)
+        assert "no feasible configuration" in message
+        assert "deadline<=0.001s" in message
+        assert "deadline:" in message  # the nearest miss's violation breakdown
+
+    def test_on_infeasible_return_hands_back_near_misses(self):
+        result = autotune(
+            deadline=0.001,
+            workflow_name="sequential",
+            n_candidates=4,
+            seed=0,
+            on_infeasible="return",
+        )
+        assert result.winner is None
+        assert not result.feasible
+        assert result.outcomes
+        for outcome in result.outcomes:
+            assert outcome.metrics.feasible is False
+            assert any(
+                v.constraint == "deadline" for v in outcome.metrics.violations
+            )
+
+
+class TestValidation:
+    def test_scalar_and_object_constraints_conflict(self):
+        with pytest.raises(ExperimentError, match="not both"):
+            autotune(constraints=CONSTRAINTS, deadline=100)
+
+    def test_unknown_workflow_suggests(self):
+        with pytest.raises(ExperimentError, match="montage"):
+            autotune(workflow_name="montaage", n_candidates=1)
+
+    def test_unknown_on_infeasible_suggests(self):
+        with pytest.raises(ExperimentError, match="return"):
+            autotune(on_infeasible="retrun", n_candidates=1)
+
+    def test_space_dict_with_bad_axis_suggests(self):
+        with pytest.raises(ExperimentError, match="policies"):
+            autotune(space={"polices": ["AllParExceed"]}, n_candidates=1)
+
+    def test_result_protocol(self, tuned):
+        assert isinstance(tuned, api.ResultBase)
+        assert tuned.manifest is None
+        assert tuned.with_manifest({"artifact": "tune"}) is tuned
+        assert tuned.manifest == {"artifact": "tune"}
+
+    def test_explicit_workflow_narrow_space(self):
+        result = autotune(
+            workflow=api.sequential(),
+            space=TuneSpace(
+                policies=("OneVMperTask",),
+                flavors=("small",),
+                reductions=("none",),
+                recoveries=("retry",),
+                purchases=("on_demand",),
+            ),
+            n_candidates=1,
+            seed=5,
+        )
+        assert result.winner.label == "OneVMperTask-s/none/retry@on_demand"
+        assert result.scenario == "custom"
